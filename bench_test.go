@@ -1,0 +1,164 @@
+package sosf
+
+// One benchmark per reproduced table/figure, driving the same
+// internal/eval code paths as cmd/sosbench, at a reduced-but-meaningful
+// scale (one repetition per point; `sosbench -full` runs the paper's exact
+// 25 600-node, 25-run setup).
+//
+// Per-op work is a full experiment, so op counts stay at b.N=1 in
+// practice; the value of these benchmarks is (a) a stable regression
+// signal on end-to-end runtime and allocations and (b) a single command —
+// `go test -bench=. -benchmem` — that regenerates every figure's pipeline.
+
+import (
+	"testing"
+
+	"sosf/internal/core"
+	"sosf/internal/eval"
+)
+
+// benchOpts returns harness options sized for benchmarking.
+func benchOpts(seed int64) eval.Options {
+	return eval.Options{Runs: 1, Seed: seed, MaxRounds: 120}
+}
+
+// BenchmarkFig2ConvergenceVsNodes regenerates Figure 2 (rounds to converge
+// vs. population size, 20 components, log sweep).
+func BenchmarkFig2ConvergenceVsNodes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := eval.Fig2(benchOpts(int64(i) + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Series) != 5 {
+			b.Fatal("missing series")
+		}
+	}
+}
+
+// BenchmarkFig3ConvergenceVsComponents regenerates Figure 3 (rounds to
+// converge vs. number of components at fixed population).
+func BenchmarkFig3ConvergenceVsComponents(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := eval.Fig3(benchOpts(int64(i) + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Series) != 5 {
+			b.Fatal("missing series")
+		}
+	}
+}
+
+// BenchmarkFig4Bandwidth regenerates Figure 4 (baseline vs. runtime
+// overhead bandwidth per round).
+func BenchmarkFig4Bandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := eval.Fig4(benchOpts(int64(i) + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Series) != 2 {
+			b.Fatal("missing series")
+		}
+	}
+}
+
+// BenchmarkGalleryTopologies regenerates experiment (i): the composite
+// topology gallery table.
+func BenchmarkGalleryTopologies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Gallery(benchOpts(int64(i) + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCurvesRingOfRings regenerates experiment (ii): per-round
+// accuracy of every sub-procedure in a ring of rings.
+func BenchmarkCurvesRingOfRings(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Curves(benchOpts(int64(i) + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReconfiguration regenerates experiment (iii): live topology
+// evolution (3 rings -> 4 rings).
+func BenchmarkReconfiguration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Reconfig(benchOpts(int64(i) + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChurn regenerates the churn extension (steady-state accuracy
+// across churn rates).
+func BenchmarkChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Churn(benchOpts(int64(i) + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCatastrophe regenerates the catastrophic-failure extension
+// (recovery after mass failures).
+func BenchmarkCatastrophe(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Catastrophe(benchOpts(int64(i) + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationUO2 regenerates the UO2 ablation (port connection with
+// and without the distant-component overlay).
+func BenchmarkAblationUO2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.AblationUO2(benchOpts(int64(i) + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRandomness regenerates the randomness ablation
+// (full protocol vs. pure greedy T-Man).
+func BenchmarkAblationRandomness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.AblationRandomness(benchOpts(int64(i) + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulationRound measures the cost of one simulated round of the
+// full stack at 3 200 nodes / 20 components — the engine's inner loop.
+func BenchmarkSimulationRound(b *testing.B) {
+	sys, err := core.NewSystem(core.Config{
+		Topology: eval.MustTopology(eval.RingOfRingsDSL(20)),
+		Nodes:    3200,
+		Seed:     1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Run(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaselineComparison regenerates the composed-vs-monolithic
+// baseline table (the comparator of the paper's Section 2.2).
+func BenchmarkBaselineComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Baseline(benchOpts(int64(i) + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Command sos runs, validates, or renders a topology described in the
+// framework's DSL.
+//
+// Usage:
+//
+//	sos check file.sos             validate the DSL file
+//	sos run [flags] file.sos       simulate and report convergence
+//	sos dot [flags] file.sos       simulate, then emit the realized
+//	                               topology as Graphviz DOT on stdout
+//
+// Flags for run and dot:
+//
+//	-nodes N    population size (default: the file's `nodes` option)
+//	-rounds N   maximum rounds to simulate (default 150)
+//	-seed N     random seed (default 1)
+//	-churn F    replace F of the population per round (e.g. 0.01)
+//	-loss F     drop each exchange with probability F
+//	-to-end     keep running after convergence
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sosf"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sos:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: sos <check|run|dot> [flags] file.sos")
+	}
+	cmd, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	nodes := fs.Int("nodes", 0, "population size (default: the file's nodes option)")
+	rounds := fs.Int("rounds", 150, "maximum rounds to simulate")
+	seed := fs.Int64("seed", 1, "random seed")
+	churn := fs.Float64("churn", 0, "fraction of nodes replaced per round")
+	loss := fs.Float64("loss", 0, "probability that an exchange is lost")
+	toEnd := fs.Bool("to-end", false, "keep running after convergence")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("%s: expected exactly one DSL file", cmd)
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	opt := sosf.Options{
+		Nodes:     *nodes,
+		Rounds:    *rounds,
+		Seed:      *seed,
+		ChurnRate: *churn,
+		LossRate:  *loss,
+		RunToEnd:  *toEnd,
+	}
+
+	switch cmd {
+	case "check":
+		if err := sosf.Validate(string(src)); err != nil {
+			return err
+		}
+		fmt.Println("ok")
+		return nil
+	case "run":
+		rep, err := sosf.Run(string(src), opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep)
+		return nil
+	case "dot":
+		sys, err := sosf.New(string(src), opt)
+		if err != nil {
+			return err
+		}
+		if _, err := sys.Step(opt.Rounds); err != nil {
+			return err
+		}
+		fmt.Print(sys.DOT())
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (want check, run, or dot)", cmd)
+	}
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testTopo = "../../testdata/ringpair.sos"
+
+// capture redirects stdout around fn and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), runErr
+}
+
+func TestCheckCommand(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"check", testTopo}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ok") {
+		t.Fatalf("check output = %q", out)
+	}
+}
+
+func TestCheckRejectsBadFile(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.sos")
+	if err := os.WriteFile(bad, []byte("topology broken {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"check", bad}); err == nil {
+		t.Fatal("invalid file should fail")
+	}
+}
+
+func TestRunCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"run", "-rounds", "100", "-seed", "2", testTopo})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "converged: true") {
+		t.Fatalf("run output:\n%s", out)
+	}
+	if !strings.Contains(out, "Port Connection") {
+		t.Fatalf("run output missing sub-procedures:\n%s", out)
+	}
+}
+
+func TestDotCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"dot", "-rounds", "60", testTopo})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "graph \"ringpair\"") || !strings.Contains(out, " -- ") {
+		t.Fatalf("dot output:\n%.300s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"bogus", testTopo},
+		{"run"},
+		{"run", testTopo, "extra"},
+		{"run", "/does/not/exist.sos"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("run(%v) should fail", args)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Command sosbench regenerates every table and figure of the paper's
+// evaluation (plus the extension experiments documented in DESIGN.md).
+//
+// Usage:
+//
+//	sosbench -all                       run everything
+//	sosbench -fig2 -fig3 -fig4          the paper's three figures
+//	sosbench -gallery -curves -reconfig the paper's experiments (i)-(iii)
+//	sosbench -churn -catastrophe        robustness extensions
+//	sosbench -ablations                 design-choice ablations
+//
+// Common flags:
+//
+//	-full       paper-scale runs (25 600 nodes, 25 repetitions; slow)
+//	-runs N     repetitions per data point (default 5; 25 with -full)
+//	-seed N     base random seed (default 1)
+//	-out DIR    also write <id>.dat, <id>.svg and <id>.txt files
+//
+// Each experiment prints an aligned table and an ASCII chart; with -out it
+// also writes gnuplot-ready .dat files and standalone .svg charts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sosf/internal/eval"
+	"sosf/internal/plot"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sosbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	all := flag.Bool("all", false, "run every experiment")
+	fig2 := flag.Bool("fig2", false, "Figure 2: convergence vs. nodes")
+	fig3 := flag.Bool("fig3", false, "Figure 3: convergence vs. components")
+	fig4 := flag.Bool("fig4", false, "Figure 4: bandwidth baseline vs. overhead")
+	gallery := flag.Bool("gallery", false, "experiment (i): topology gallery")
+	curves := flag.Bool("curves", false, "experiment (ii): accuracy over time")
+	reconfig := flag.Bool("reconfig", false, "experiment (iii): live reconfiguration")
+	churn := flag.Bool("churn", false, "extension: continuous churn")
+	catastrophe := flag.Bool("catastrophe", false, "extension: catastrophic failures")
+	ablations := flag.Bool("ablations", false, "design-choice ablations")
+	baselineCmp := flag.Bool("baseline", false, "composed runtime vs. monolithic overlay")
+	full := flag.Bool("full", false, "paper-scale runs (slow)")
+	runs := flag.Int("runs", 0, "repetitions per data point")
+	seed := flag.Int64("seed", 1, "base random seed")
+	out := flag.String("out", "", "directory for .dat/.svg/.txt outputs")
+	flag.Parse()
+
+	o := eval.Options{Runs: *runs, Seed: *seed, Full: *full}
+	w := &writer{dir: *out}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return err
+		}
+	}
+
+	any := false
+	type figDriver struct {
+		enabled bool
+		run     func(eval.Options) (*eval.Figure, error)
+	}
+	for _, d := range []figDriver{
+		{*all || *fig2, eval.Fig2},
+		{*all || *fig3, eval.Fig3},
+		{*all || *fig4, eval.Fig4},
+		{*all || *curves, eval.Curves},
+		{*all || *churn, eval.Churn},
+		{*all || *ablations, eval.AblationUO2},
+		{*all || *ablations, eval.AblationRandomness},
+		{*all || *ablations, eval.AblationGossip},
+		{*all || *ablations, eval.AblationViewSize},
+	} {
+		if !d.enabled {
+			continue
+		}
+		any = true
+		fig, err := d.run(o)
+		if err != nil {
+			return err
+		}
+		if err := w.figure(fig); err != nil {
+			return err
+		}
+	}
+	type resDriver struct {
+		enabled bool
+		run     func(eval.Options) (*eval.Result, error)
+	}
+	for _, d := range []resDriver{
+		{*all || *gallery, eval.Gallery},
+		{*all || *reconfig, eval.Reconfig},
+		{*all || *catastrophe, eval.Catastrophe},
+		{*all || *baselineCmp, eval.Baseline},
+	} {
+		if !d.enabled {
+			continue
+		}
+		any = true
+		res, err := d.run(o)
+		if err != nil {
+			return err
+		}
+		for _, fig := range res.Figures {
+			if err := w.figure(fig); err != nil {
+				return err
+			}
+		}
+		for _, tbl := range res.Tables {
+			if err := w.table(tbl); err != nil {
+				return err
+			}
+		}
+	}
+	if !any {
+		flag.Usage()
+		return fmt.Errorf("no experiment selected (try -all)")
+	}
+	return nil
+}
+
+// writer renders results to stdout and, optionally, to files.
+type writer struct {
+	dir string
+}
+
+func (w *writer) figure(f *eval.Figure) error {
+	fmt.Printf("== %s ==\n", f.Title)
+	for _, n := range f.Notes {
+		fmt.Printf("   (%s)\n", n)
+	}
+	fmt.Println()
+	fmt.Print(f.Table().String())
+	fmt.Println()
+	fmt.Print(plot.ASCII(f.Title, f.XLabel, f.LogX, f.Series...))
+	fmt.Println()
+	if w.dir == "" {
+		return nil
+	}
+	dat := plot.DAT(f.XLabel, f.Series...)
+	if err := os.WriteFile(filepath.Join(w.dir, f.ID+".dat"), []byte(dat), 0o644); err != nil {
+		return err
+	}
+	svg := plot.SVG(f.Title, f.XLabel, f.YLabel, f.LogX, f.Series...)
+	return os.WriteFile(filepath.Join(w.dir, f.ID+".svg"), []byte(svg), 0o644)
+}
+
+func (w *writer) table(t *eval.TableResult) error {
+	fmt.Printf("== %s ==\n", t.Title)
+	for _, n := range t.Notes {
+		fmt.Printf("   (%s)\n", n)
+	}
+	fmt.Println()
+	fmt.Print(t.Table.String())
+	fmt.Println()
+	if w.dir == "" {
+		return nil
+	}
+	return os.WriteFile(filepath.Join(w.dir, t.ID+".txt"), []byte(t.Table.String()), 0o644)
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRenderToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ringpair.dot")
+	os.Args = []string{"sosviz", "-rounds", "60", "-o", out, "../../testdata/ringpair.sos"}
+	flag.CommandLine = flag.NewFlagSet("sosviz", flag.ContinueOnError)
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := string(data)
+	if !strings.Contains(dot, "graph \"ringpair\"") {
+		t.Fatalf("dot output:\n%.200s", dot)
+	}
+	if !strings.Contains(dot, "shape=box") {
+		t.Fatal("port managers should render as boxes")
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	os.Args = []string{"sosviz", "/does/not/exist.sos"}
+	flag.CommandLine = flag.NewFlagSet("sosviz", flag.ContinueOnError)
+	if err := run(); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}

@@ -1,0 +1,49 @@
+// Package sosf is an assembly-based programming framework for complex
+// distributed topologies, reproducing the system sketched in Simon Bouget's
+// "Position paper: Toward an holistic approach of Systems of Systems"
+// (Middleware 2016, Doctoral Symposium).
+//
+// The framework lets a developer describe a large distributed system as an
+// assembly of elementary self-organizing shapes — rings, stars, cliques,
+// trees, grids, tori, hypercubes — connected through named ports:
+//
+//	topology ring_of_rings {
+//	    let k = 8
+//	    repeat i 0 k-1 {
+//	        component seg[i] ring {
+//	            weight 1
+//	            port head
+//	            port tail
+//	        }
+//	    }
+//	    repeat i 0 k-1 {
+//	        link seg[i].head seg[(i+1)%k].tail
+//	    }
+//	}
+//
+// A gossip runtime maps this description onto a concrete node population
+// and keeps it converged through failures, churn, and live reconfiguration.
+// The stack (bottom to top): a peer-sampling service, a same-component
+// overlay (UO1), a distant-component overlay (UO2), one Vicinity-style core
+// protocol per component shape, a gossip port election, and a
+// port-connection procedure that realizes inter-component links.
+//
+// The simplest entry point runs a DSL source inside the deterministic
+// simulation engine and reports convergence:
+//
+//	report, err := sosf.Run(src, sosf.Options{Nodes: 800, Rounds: 100})
+//
+// For live interaction (mid-run reconfiguration, failure injection), build
+// a System and drive it round by round:
+//
+//	sys, _ := sosf.New(src, sosf.Options{Nodes: 800})
+//	sys.Step(50)
+//	sys.ReconfigureSource(newSrc)
+//	sys.Step(50)
+//
+// Everything underneath lives in internal packages: internal/core (the
+// runtime), internal/vicinity and internal/peersampling (the overlay
+// substrate), internal/shapes (the component library), internal/dsl (the
+// language), internal/sim (the cycle-driven engine), and internal/eval
+// (one driver per figure of the paper's evaluation).
+package sosf

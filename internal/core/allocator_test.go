@@ -1,0 +1,271 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sosf/internal/sim"
+	"sosf/internal/spec"
+	"sosf/internal/view"
+)
+
+// ringsTopo builds a k-ring topology where consecutive rings are linked
+// head-to-tail (the paper's ring-of-rings).
+func ringsTopo(k int) *spec.Topology {
+	t := &spec.Topology{Name: "ring-of-rings"}
+	for i := 0; i < k; i++ {
+		t.Components = append(t.Components, spec.Component{
+			Name: compName(i), Shape: "ring", Weight: 1,
+			Ports: []string{"head", "tail"},
+		})
+	}
+	for i := 0; i < k; i++ {
+		t.Links = append(t.Links, spec.Link{
+			A: spec.PortRef{Component: compName(i), Port: "head"},
+			B: spec.PortRef{Component: compName((i + 1) % k), Port: "tail"},
+		})
+	}
+	return t
+}
+
+func compName(i int) string {
+	return "r" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+}
+
+func newPopulation(t *testing.T, n int, seed int64) *sim.Engine {
+	t.Helper()
+	e := sim.New(seed)
+	e.Register(&nopProtocol{})
+	for _, slot := range e.AddNodes(n) {
+		e.Node(slot).Profile.Key = e.Rand().Uint64()
+	}
+	return e
+}
+
+type nopProtocol struct{}
+
+func (*nopProtocol) Name() string                  { return "nop" }
+func (*nopProtocol) InitNode(e *sim.Engine, s int) {}
+func (*nopProtocol) Step(e *sim.Engine, s int)     {}
+
+func TestAllocatorRejectsInvalidTopology(t *testing.T) {
+	if _, err := NewAllocator(&spec.Topology{}); err == nil {
+		t.Fatal("empty topology should be rejected")
+	}
+}
+
+func TestAssignAllDenseAndProportional(t *testing.T) {
+	topo := ringsTopo(4)
+	topo.Components[0].Weight = 3 // 3/6 of nodes
+	a, err := NewAllocator(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newPopulation(t, 1200, 1)
+	a.AssignAll(e)
+
+	counts := make([]int, 4)
+	maxIdx := make([]int32, 4)
+	for _, slot := range e.AliveSlots() {
+		p := e.Node(slot).Profile
+		counts[p.Comp]++
+		if p.Index > maxIdx[p.Comp] {
+			maxIdx[p.Comp] = p.Index
+		}
+		if p.Epoch != 0 {
+			t.Fatalf("epoch = %d, want 0", p.Epoch)
+		}
+	}
+	// Component 0 has weight 3 of total 6: expect ~600 of 1200 ±10%.
+	if math.Abs(float64(counts[0])-600) > 60 {
+		t.Fatalf("weighted component got %d nodes, want ~600", counts[0])
+	}
+	for c := 1; c < 4; c++ {
+		if math.Abs(float64(counts[c])-200) > 60 {
+			t.Fatalf("component %d got %d nodes, want ~200", c, counts[c])
+		}
+	}
+	// Indices must be dense 0..size-1.
+	for c := 0; c < 4; c++ {
+		if int(maxIdx[c]) != counts[c]-1 {
+			t.Fatalf("component %d: max index %d for %d members", c, maxIdx[c], counts[c])
+		}
+	}
+	// Sizes stamped into profiles must match.
+	for _, slot := range e.AliveSlots() {
+		p := e.Node(slot).Profile
+		if int(p.Size) != counts[p.Comp] {
+			t.Fatalf("profile size %d != component size %d", p.Size, counts[p.Comp])
+		}
+	}
+}
+
+func TestAssignmentDeterministic(t *testing.T) {
+	topo := ringsTopo(5)
+	a1, _ := NewAllocator(topo)
+	a2, _ := NewAllocator(ringsTopo(5))
+	e1 := newPopulation(t, 300, 7)
+	e2 := newPopulation(t, 300, 7)
+	a1.AssignAll(e1)
+	a2.AssignAll(e2)
+	for slot := 0; slot < 300; slot++ {
+		if e1.Node(slot).Profile != e2.Node(slot).Profile {
+			t.Fatalf("slot %d: %v != %v", slot, e1.Node(slot).Profile, e2.Node(slot).Profile)
+		}
+	}
+}
+
+// Property: rendezvous assignment is stable — a node's component depends
+// only on its key and the component list, not on the rest of the
+// population.
+func TestComponentOfStable(t *testing.T) {
+	a, _ := NewAllocator(ringsTopo(6))
+	f := func(key uint64) bool {
+		c1 := a.ComponentOf(key)
+		c2 := a.ComponentOf(key)
+		return c1 == c2 && c1 >= 0 && int(c1) < 6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReconfigureMovesFewNodes(t *testing.T) {
+	a, _ := NewAllocator(ringsTopo(8))
+	e := newPopulation(t, 2000, 3)
+	a.AssignAll(e)
+	before := make([]view.ComponentID, 2000)
+	for slot := 0; slot < 2000; slot++ {
+		before[slot] = e.Node(slot).Profile.Comp
+	}
+	// Add a 9th ring: rendezvous hashing should move roughly 1/9 of the
+	// population and leave everyone else in place.
+	if err := a.Reconfigure(e, ringsTopo(9)); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for slot := 0; slot < 2000; slot++ {
+		p := e.Node(slot).Profile
+		if p.Epoch != 1 {
+			t.Fatalf("epoch not bumped: %d", p.Epoch)
+		}
+		if p.Comp != before[slot] {
+			moved++
+		}
+	}
+	frac := float64(moved) / 2000
+	if frac < 0.05 || frac > 0.20 {
+		t.Fatalf("reconfiguration moved %.1f%% of nodes, want ~11%%", frac*100)
+	}
+}
+
+func TestAssignJoinAndLeave(t *testing.T) {
+	a, _ := NewAllocator(ringsTopo(3))
+	e := newPopulation(t, 90, 5)
+	a.AssignAll(e)
+	slots := e.AddNodes(1)
+	n := e.Node(slots[0])
+	n.Profile.Key = e.Rand().Uint64()
+	a.AssignJoin(n)
+	if n.Profile.Comp < 0 || n.Profile.Comp > 2 {
+		t.Fatalf("join got component %d", n.Profile.Comp)
+	}
+	// The join index continues after the densely assigned ones.
+	for _, slot := range e.AliveSlots() {
+		p := e.Node(slot).Profile
+		if p.Comp == n.Profile.Comp && slot != slots[0] && p.Index >= n.Profile.Index {
+			t.Fatalf("join index %d not beyond existing %d", n.Profile.Index, p.Index)
+		}
+	}
+	sizeBefore := a.sizes[n.Profile.Comp]
+	a.NoteLeave(n)
+	if a.sizes[n.Profile.Comp] != sizeBefore-1 {
+		t.Fatal("NoteLeave did not decrement size")
+	}
+}
+
+func TestLinkSides(t *testing.T) {
+	a, _ := NewAllocator(ringsTopo(3))
+	sides := a.Sides()
+	if len(sides) != 6 {
+		t.Fatalf("sides = %d, want 6 (two per link)", len(sides))
+	}
+	// Link 0: raa.head <-> rba.tail.
+	s0, s1 := sides[0], sides[1]
+	if s0.Comp != 0 || s0.Port != 0 || s0.RemoteComp != 1 || s0.RemotePort != 1 {
+		t.Fatalf("side 0 = %+v", s0)
+	}
+	if s1.Comp != 1 || s1.Port != 1 || s1.RemoteComp != 0 || s1.RemotePort != 0 {
+		t.Fatalf("side 1 = %+v", s1)
+	}
+	// Every component of the cycle is endpoint of exactly 2 sides.
+	for c := view.ComponentID(0); c < 3; c++ {
+		if got := len(a.SidesOf(c)); got != 2 {
+			t.Fatalf("component %d has %d sides, want 2", c, got)
+		}
+	}
+	if a.Ports(0) != 2 {
+		t.Fatalf("Ports(0) = %d, want 2", a.Ports(0))
+	}
+	if a.Ports(-1) != 0 || a.SidesOf(-1) != nil {
+		t.Fatal("out-of-range component should be empty")
+	}
+}
+
+func TestHashHelpers(t *testing.T) {
+	if fnv1a(1, 2) == fnv1a(2, 1) {
+		t.Fatal("fnv1a should be order-sensitive")
+	}
+	if fnv1a(7) != fnv1a(7) {
+		t.Fatal("fnv1a must be deterministic")
+	}
+	for _, h := range []uint64{0, 1, ^uint64(0), 12345} {
+		u := hash01(h)
+		if u <= 0 || u >= 1 {
+			t.Fatalf("hash01(%d) = %f outside (0,1)", h, u)
+		}
+	}
+	if mix01(1, 2) == mix01(2, 1) {
+		t.Fatal("mix01 should be asymmetric (pairwise diversity)")
+	}
+	if m := mix01(42, 42); m < 0 || m >= 1 {
+		t.Fatalf("mix01 out of range: %f", m)
+	}
+}
+
+// Property: weighted rendezvous respects weights within sampling noise.
+func TestRendezvousProportionality(t *testing.T) {
+	topo := &spec.Topology{
+		Components: []spec.Component{
+			{Name: "small", Shape: "ring", Weight: 1},
+			{Name: "big", Shape: "ring", Weight: 4},
+		},
+	}
+	a, err := NewAllocator(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if a.ComponentOf(splitmix64(uint64(i))) == 1 {
+			big++
+		}
+	}
+	// Expect 4/5 = 0.8 within a few percent.
+	frac := float64(big) / n
+	if frac < 0.76 || frac > 0.84 {
+		t.Fatalf("big component got %.3f of nodes, want ~0.8", frac)
+	}
+}
+
+func TestElectionScoreDistinguishesPorts(t *testing.T) {
+	a := electionScore(1, 0, 0, 42)
+	b := electionScore(1, 1, 0, 42)
+	c := electionScore(2, 0, 0, 42)
+	d := electionScore(1, 0, 1, 42)
+	if a == b || a == c || a == d {
+		t.Fatal("election scores must vary with port, component, epoch")
+	}
+}

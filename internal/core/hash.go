@@ -1,0 +1,90 @@
+// Package core implements the paper's primary contribution: the
+// assembly-based runtime that maps a high-level topology description
+// (components + ports + links, from internal/spec) onto a concrete node
+// population, using a stack of gossip sub-procedures layered over a global
+// peer-sampling service (the paper's Figure 1):
+//
+//   - role allocation: which node belongs to which component (weighted
+//     rendezvous hashing, so reconfigurations move few nodes);
+//   - UO1, the same-component overlay: clusters nodes of a component so the
+//     component's core protocol always has same-component peers;
+//   - UO2, the distant-component overlay: maintains one fresh contact into
+//     every other component;
+//   - the per-component core protocol: a Vicinity instance driven by the
+//     component's shape (internal/shapes);
+//   - port selection: a gossip min-election that maps each logical port to
+//     a concrete manager node, with heartbeats and failover;
+//   - port connection: managers of linked ports find each other through
+//     UO2 and establish node-level links.
+//
+// Everything runs inside the deterministic simulation engine
+// (internal/sim); the Oracle measures per-layer convergence exactly the way
+// the paper's evaluation reports it.
+package core
+
+import (
+	"math"
+
+	"sosf/internal/view"
+)
+
+// fnvOffset and fnvPrime are the FNV-1a 64-bit constants.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// fnv1a folds a sequence of 64-bit words through FNV-1a, byte by byte.
+// All tie-breaking and election scores in the runtime derive from this, so
+// they are stable across runs and platforms.
+func fnv1a(words ...uint64) uint64 {
+	h := uint64(fnvOffset)
+	for _, w := range words {
+		for i := 0; i < 8; i++ {
+			h ^= w & 0xff
+			h *= fnvPrime
+			w >>= 8
+		}
+	}
+	return h
+}
+
+// splitmix64 is the SplitMix64 finalizer, used to decorrelate hash inputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hash01 maps a hash to the open interval (0, 1) — never 0 or 1, so it is
+// safe as a logarithm argument in weighted rendezvous scores. Only 52 bits
+// are used so the +0.5 offset stays exactly representable.
+func hash01(h uint64) float64 {
+	const denom = float64(1 << 52)
+	return (float64(h>>12) + 0.5) / denom
+}
+
+// rendezvousScore is the weighted-rendezvous-hashing score of assigning a
+// node (by key) to a component (by index) at a given epoch-independent
+// salt. Lower is better; each node picks the component minimizing
+// -ln(u)/weight, which yields exactly weight-proportional assignment and
+// moves only ~1/C of the nodes when a component is added or removed.
+func rendezvousScore(nodeKey uint64, comp int, weight int64) float64 {
+	u := hash01(fnv1a(splitmix64(nodeKey), uint64(comp)+0x517cc1b727220a95))
+	return -math.Log(u) / float64(weight)
+}
+
+// electionScore scores a node's candidacy for a port; the alive member of
+// the component with the lowest score is the port's manager. The epoch is
+// folded in so that reconfigurations reshuffle managers deterministically.
+func electionScore(comp view.ComponentID, port int32, epoch uint32, nodeID view.NodeID) uint64 {
+	return fnv1a(uint64(uint32(comp))|uint64(epoch)<<32, uint64(uint32(port)), uint64(nodeID))
+}
+
+// mix01 produces a deterministic pseudo-random tie-break in [0, 1) from a
+// pair of node keys — used by UO1 so that different nodes prefer different
+// same-component peers, keeping the same-component overlay diverse.
+func mix01(a, b uint64) float64 {
+	return float64(splitmix64(a^splitmix64(b))>>11) / float64(1<<53)
+}

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"sort"
+
+	"sosf/internal/graph"
+	"sosf/internal/shapes"
+	"sosf/internal/sim"
+	"sosf/internal/view"
+)
+
+// Sub identifies one of the five measured sub-procedures — the exact series
+// of the paper's Figures 2 and 3.
+type Sub int
+
+// The five measured sub-procedures.
+const (
+	SubElementary  Sub = iota + 1 // the component shapes themselves
+	SubUO1                        // same-component overlay
+	SubUO2                        // distant-component overlay
+	SubPortSelect                 // port -> manager election
+	SubPortConnect                // manager <-> manager links
+)
+
+// Subs lists the sub-procedures in presentation order.
+func Subs() []Sub {
+	return []Sub{SubElementary, SubUO1, SubUO2, SubPortSelect, SubPortConnect}
+}
+
+// String implements fmt.Stringer with the paper's series labels.
+func (s Sub) String() string {
+	switch s {
+	case SubElementary:
+		return "Elementary Topology"
+	case SubUO1:
+		return "Same-component (UO1)"
+	case SubUO2:
+		return "Distant-component (UO2)"
+	case SubPortSelect:
+		return "Port Selection"
+	case SubPortConnect:
+		return "Port Connection"
+	default:
+		return "unknown"
+	}
+}
+
+// Metrics is one round's snapshot of per-sub-procedure accuracy, each in
+// [0, 1] where 1 means fully converged.
+type Metrics struct {
+	Round    int
+	Fraction map[Sub]float64
+}
+
+// Converged reports whether the given sub-procedure is at 1.0.
+func (m Metrics) Converged(s Sub) bool { return m.Fraction[s] >= 1.0 }
+
+// AllConverged reports whether every sub-procedure is at 1.0.
+func (m Metrics) AllConverged() bool {
+	for _, s := range Subs() {
+		if !m.Converged(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// Oracle measures ground-truth convergence of every layer. It has global
+// knowledge (it is evaluation instrumentation, not part of the protocols):
+// it recomputes target adjacencies, election winners and link endpoints
+// from the current alive population, exactly like a PeerSim observer.
+type Oracle struct {
+	sys *System
+}
+
+// compMembers returns the alive, current-epoch members of every component,
+// sorted by (Index, ID) — the dense-rank order shapes are defined over.
+func (o *Oracle) compMembers() [][]*sim.Node {
+	s := o.sys
+	members := make([][]*sim.Node, s.alloc.Components())
+	epoch := s.alloc.Epoch()
+	for _, slot := range s.eng.AliveSlots() {
+		n := s.eng.Node(slot)
+		if n.Profile.Epoch != epoch || n.Profile.Comp < 0 ||
+			int(n.Profile.Comp) >= len(members) {
+			continue
+		}
+		members[n.Profile.Comp] = append(members[n.Profile.Comp], n)
+	}
+	for _, ms := range members {
+		sort.Slice(ms, func(i, j int) bool {
+			if ms[i].Profile.Index != ms[j].Profile.Index {
+				return ms[i].Profile.Index < ms[j].Profile.Index
+			}
+			return ms[i].ID < ms[j].ID
+		})
+	}
+	return members
+}
+
+// Winner returns the ground-truth manager of the given port: the alive
+// member with the minimal election score (ties by node ID). ok is false
+// for an empty component.
+func (o *Oracle) Winner(members []*sim.Node, comp view.ComponentID, port int32) (*sim.Node, bool) {
+	var best *sim.Node
+	var bestRec PortRecord
+	for _, n := range members {
+		rec := PortRecord{
+			Score: electionScore(comp, port, n.Profile.Epoch, n.ID),
+			ID:    n.ID,
+		}
+		if best == nil || rec.Better(bestRec) {
+			best, bestRec = n, rec
+		}
+	}
+	return best, best != nil
+}
+
+// Measure computes the five accuracy fractions for the current round.
+func (o *Oracle) Measure() Metrics {
+	members := o.compMembers()
+	m := Metrics{
+		Round:    o.sys.eng.Round(),
+		Fraction: make(map[Sub]float64, 5),
+	}
+	m.Fraction[SubElementary] = o.elementary(members)
+	m.Fraction[SubUO1] = o.uo1(members)
+	m.Fraction[SubUO2] = o.uo2(members)
+	m.Fraction[SubPortSelect] = o.portSelect(members)
+	m.Fraction[SubPortConnect] = o.portConnect(members)
+	return m
+}
+
+// elementary is the fraction of target shape edges realized in the union
+// of the endpoints' intra-component overlays (core protocol and UO1) — the
+// paper defines the realized system as "the union of these different
+// overlays", and for a component both layers connect its members.
+func (o *Oracle) elementary(members [][]*sim.Node) float64 {
+	s := o.sys
+	total, ok := 0, 0
+	for c, ms := range members {
+		if len(ms) < 2 {
+			continue
+		}
+		shape := s.alloc.Shape(view.ComponentID(c))
+		for _, e := range shapes.TargetEdges(shape, len(ms)) {
+			u, v := ms[e[0]], ms[e[1]]
+			total++
+			if s.core.View(u.Slot).Contains(v.ID) || s.core.View(v.Slot).Contains(u.ID) ||
+				s.uo1.View(u.Slot).Contains(v.ID) || s.uo1.View(v.Slot).Contains(u.ID) {
+				ok++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(ok) / float64(total)
+}
+
+// uo1 is the fraction of nodes that have gathered a full same-component
+// view: at least min(capacity, component size - 1) fellow members. Views
+// of nodes in components smaller than the capacity legitimately keep
+// foreign entries in the spare slots (the finite foreign penalty keeps
+// gossip flowing during bootstrap), so purity beyond the quota is not
+// required.
+func (o *Oracle) uo1(members [][]*sim.Node) float64 {
+	s := o.sys
+	total, ok := 0, 0
+	for _, ms := range members {
+		want := s.cfg.UO1Capacity
+		if len(ms)-1 < want {
+			want = len(ms) - 1
+		}
+		for _, n := range ms {
+			total++
+			v := s.uo1.View(n.Slot)
+			same := 0
+			for i := 0; i < v.Len(); i++ {
+				d := v.At(i)
+				if d.Profile.Comp == n.Profile.Comp && d.Profile.Epoch == n.Profile.Epoch {
+					same++
+				}
+			}
+			if same >= want {
+				ok++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(ok) / float64(total)
+}
+
+// uo2 is the fraction of nodes whose distant-component table covers every
+// other populated component. With UO2 disabled (ablation) it reports 1 so
+// the remaining metrics stay comparable.
+func (o *Oracle) uo2(members [][]*sim.Node) float64 {
+	s := o.sys
+	if s.uo2 == nil {
+		return 1
+	}
+	populated := 0
+	for _, ms := range members {
+		if len(ms) > 0 {
+			populated++
+		}
+	}
+	total, ok := 0, 0
+	for c, ms := range members {
+		want := populated - 1
+		_ = c
+		for _, n := range ms {
+			total++
+			if s.uo2.Coverage(n.Slot) >= want {
+				ok++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(ok) / float64(total)
+}
+
+// portSelect is the fraction of (member, port) pairs whose local belief
+// names the ground-truth winner.
+func (o *Oracle) portSelect(members [][]*sim.Node) float64 {
+	s := o.sys
+	total, ok := 0, 0
+	for c, ms := range members {
+		comp := view.ComponentID(c)
+		nports := s.alloc.Ports(comp)
+		if nports == 0 || len(ms) == 0 {
+			continue
+		}
+		for port := int32(0); port < nports; port++ {
+			winner, _ := o.Winner(ms, comp, port)
+			for _, n := range ms {
+				total++
+				if s.ports.Belief(n.Slot, port).ID == winner.ID {
+					ok++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(ok) / float64(total)
+}
+
+// portConnect is the fraction of links whose two ground-truth managers
+// know each other.
+func (o *Oracle) portConnect(members [][]*sim.Node) float64 {
+	s := o.sys
+	sides := s.alloc.Sides()
+	total, ok := 0, 0
+	for si := 0; si+1 < len(sides); si += 2 {
+		a, b := sides[si], sides[si+1]
+		if len(members[a.Comp]) == 0 || len(members[b.Comp]) == 0 {
+			continue // unpopulated endpoint: link not measurable
+		}
+		total++
+		ma, _ := o.Winner(members[a.Comp], a.Comp, a.Port)
+		mb, _ := o.Winner(members[b.Comp], b.Comp, b.Port)
+		if s.conns.Remote(ma.Slot, si).ID == mb.ID &&
+			s.conns.Remote(mb.Slot, si+1).ID == ma.ID {
+			ok++
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(ok) / float64(total)
+}
+
+// RealizedGraph builds the realized system topology: the union of every
+// component's core overlay plus the established inter-component links —
+// "the union of these different overlays" in the paper's words.
+func (o *Oracle) RealizedGraph() *graph.Graph {
+	s := o.sys
+	g := graph.New(s.eng.Size())
+	for _, slot := range s.eng.AliveSlots() {
+		v := s.core.View(slot)
+		for i := 0; i < v.Len(); i++ {
+			if peer := s.eng.Lookup(v.At(i).ID); peer != nil && peer.Alive {
+				g.AddEdge(slot, peer.Slot)
+			}
+		}
+	}
+	members := o.compMembers()
+	sides := s.alloc.Sides()
+	for si := 0; si+1 < len(sides); si += 2 {
+		a, b := sides[si], sides[si+1]
+		if len(members[a.Comp]) == 0 || len(members[b.Comp]) == 0 {
+			continue
+		}
+		ma, _ := o.Winner(members[a.Comp], a.Comp, a.Port)
+		mb, _ := o.Winner(members[b.Comp], b.Comp, b.Port)
+		if s.conns.Remote(ma.Slot, si).ID == mb.ID {
+			g.AddEdge(ma.Slot, mb.Slot)
+		}
+	}
+	return g
+}
+
+// Tracker observes a run, recording per-round metrics and the first round
+// at which each sub-procedure converged. With StopWhenDone it halts the
+// engine once every sub-procedure has converged.
+type Tracker struct {
+	Oracle       *Oracle
+	StopWhenDone bool
+	History      []Metrics
+	FirstDone    map[Sub]int
+}
+
+var _ sim.Observer = (*Tracker)(nil)
+
+// NewTracker attaches a fresh tracker to the system's engine.
+func NewTracker(s *System, stopWhenDone bool) *Tracker {
+	t := &Tracker{
+		Oracle:       s.Oracle(),
+		StopWhenDone: stopWhenDone,
+		FirstDone:    make(map[Sub]int),
+	}
+	s.Engine().Observe(t)
+	return t
+}
+
+// AfterRound implements sim.Observer.
+func (t *Tracker) AfterRound(e *sim.Engine) bool {
+	m := t.Oracle.Measure()
+	t.History = append(t.History, m)
+	for _, s := range Subs() {
+		if _, done := t.FirstDone[s]; !done && m.Converged(s) {
+			t.FirstDone[s] = m.Round
+		}
+	}
+	return t.StopWhenDone && m.AllConverged()
+}
+
+// ConvergenceRound returns the first round the sub-procedure converged,
+// or -1 if it never did.
+func (t *Tracker) ConvergenceRound(s Sub) int {
+	if r, ok := t.FirstDone[s]; ok {
+		return r
+	}
+	return -1
+}
+
+// Reset clears history and convergence marks (used around mid-run events
+// such as reconfigurations, to measure re-convergence).
+func (t *Tracker) Reset() {
+	t.History = nil
+	t.FirstDone = make(map[Sub]int)
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"sosf/internal/peersampling"
+	"sosf/internal/sim"
+	"sosf/internal/view"
+)
+
+// PortConnect is the port-connection sub-procedure: for every link declared
+// in the topology, the manager of each end must discover the manager of the
+// other end, yielding a concrete node-level connection between the two
+// components.
+//
+// A manager resolves the far end by querying a contact inside the remote
+// component — normally its UO2 contact, or locally when the link joins two
+// ports of the same component, with a peer-sampling fallback during
+// bootstrap. The queried node answers with its current port-selection
+// belief, which the manager adopts (best claim wins, freshest stamp on
+// ties). Answers about a dead manager stop being refreshed, so the belief
+// expires and manager failover propagates to the link layer automatically.
+type PortConnect struct {
+	alloc *Allocator
+	ports *PortSelect
+	uo2   *UO2
+	rps   *peersampling.Protocol
+	ttl   int
+	meter int
+
+	states []*connState
+}
+
+type connState struct {
+	epoch   uint32
+	comp    view.ComponentID
+	remotes []PortRecord // indexed by position in alloc.SidesOf(comp)
+}
+
+var (
+	_ sim.Protocol   = (*PortConnect)(nil)
+	_ sim.MeterAware = (*PortConnect)(nil)
+)
+
+// NewPortConnect creates the port-connection protocol. uo2 may be nil (the
+// ablation experiment disables it; resolution then falls back to the
+// peer-sampling service and gets much slower — which is the point of the
+// ablation). ttl defaults to 20 when <= 0.
+func NewPortConnect(alloc *Allocator, ports *PortSelect, uo2 *UO2, rps *peersampling.Protocol, ttl int) *PortConnect {
+	if ttl <= 0 {
+		ttl = 20
+	}
+	return &PortConnect{alloc: alloc, ports: ports, uo2: uo2, rps: rps, ttl: ttl, meter: -1}
+}
+
+// Name implements sim.Protocol.
+func (p *PortConnect) Name() string { return "portconnect" }
+
+// SetMeterIndex implements sim.MeterAware.
+func (p *PortConnect) SetMeterIndex(i int) { p.meter = i }
+
+// InitNode implements sim.Protocol.
+func (p *PortConnect) InitNode(e *sim.Engine, slot int) {
+	for len(p.states) <= slot {
+		p.states = append(p.states, nil)
+	}
+	p.states[slot] = &connState{epoch: ^uint32(0)}
+}
+
+// Remote returns the node's belief about the far-end manager of the given
+// link side (an index into Allocator.Sides).
+func (p *PortConnect) Remote(slot int, side int) PortRecord {
+	st := p.states[slot]
+	if st == nil {
+		return invalidRecord()
+	}
+	for pos, si := range p.alloc.SidesOf(st.comp) {
+		if si == side && pos < len(st.remotes) {
+			return st.remotes[pos]
+		}
+	}
+	return invalidRecord()
+}
+
+func (p *PortConnect) reset(n *sim.Node, st *connState) {
+	st.epoch = n.Profile.Epoch
+	st.comp = n.Profile.Comp
+	st.remotes = make([]PortRecord, len(p.alloc.SidesOf(n.Profile.Comp)))
+	for i := range st.remotes {
+		st.remotes[i] = invalidRecord()
+	}
+}
+
+// Step implements sim.Protocol: for every link side this node currently
+// manages, query one contact in the remote component for the far-end
+// manager.
+func (p *PortConnect) Step(e *sim.Engine, slot int) {
+	self := e.Node(slot)
+	st := p.states[slot]
+	if st.epoch != self.Profile.Epoch || st.comp != self.Profile.Comp {
+		p.reset(self, st)
+	}
+	sides := p.alloc.SidesOf(self.Profile.Comp)
+	if len(sides) == 0 {
+		return
+	}
+	now := e.Round()
+	for pos, si := range sides {
+		side := p.alloc.Sides()[si]
+		// Only the (believed) manager of the local port drives the link.
+		belief := p.ports.Belief(slot, side.Port)
+		if belief.ID != self.ID {
+			st.remotes[pos] = invalidRecord()
+			continue
+		}
+		r := &st.remotes[pos]
+		if r.Valid() && now-r.Stamp > p.ttl {
+			*r = invalidRecord()
+		}
+		p.resolve(e, slot, self, side, r)
+	}
+}
+
+// resolve performs one lookup round-trip for a link side.
+func (p *PortConnect) resolve(e *sim.Engine, slot int, self *sim.Node, side LinkSide, r *PortRecord) {
+	if side.RemoteComp == self.Profile.Comp {
+		// A link between two ports of the same component: port selection
+		// already gossips every port of the component to every member, so
+		// the answer is local and free.
+		if answer := p.ports.Belief(slot, side.RemotePort); answer.Valid() {
+			adoptBelief(r, answer)
+		}
+		return
+	}
+	contact, ok := p.contactIn(e, slot, self, side.RemoteComp)
+	if !ok {
+		return
+	}
+	p.count(e, sim.PortQueryPayload())
+	target := e.Lookup(contact.ID)
+	if target == nil || !target.Alive || !e.DeliverExchange() {
+		return
+	}
+	// The contact answers with its current belief for the remote port —
+	// provided it is (still) a member of the remote component.
+	if target.Profile.Comp != side.RemoteComp || target.Profile.Epoch != self.Profile.Epoch {
+		return
+	}
+	answer := p.ports.Belief(target.Slot, side.RemotePort)
+	if !answer.Valid() || e.Round()-answer.Stamp > p.ttl {
+		return
+	}
+	p.count(e, sim.PortRecordPayload(1))
+	adoptBelief(r, answer)
+}
+
+// adoptBelief folds an answer into a remote-manager belief: better claims
+// win, equal claims keep the freshest stamp.
+func adoptBelief(r *PortRecord, answer PortRecord) {
+	switch {
+	case answer.Better(*r):
+		*r = answer
+	case answer.ID == r.ID && answer.Stamp > r.Stamp:
+		r.Stamp = answer.Stamp
+	}
+}
+
+// contactIn finds a contact inside the given (distant) component: normally
+// the UO2 contact; the peer-sampling view serves as a last-resort bootstrap
+// (and as the only path in the UO2-disabled ablation).
+func (p *PortConnect) contactIn(e *sim.Engine, slot int, self *sim.Node, comp view.ComponentID) (view.Descriptor, bool) {
+	if p.uo2 != nil {
+		if d, ok := p.uo2.Contact(slot, comp); ok {
+			return d, true
+		}
+	}
+	// Fallback: scan the sampling view for a member of the component.
+	v := p.rps.View(slot)
+	matches := make([]view.Descriptor, 0, v.Len())
+	for i := 0; i < v.Len(); i++ {
+		if d := v.At(i); d.Profile.Comp == comp && d.Profile.Epoch == self.Profile.Epoch {
+			matches = append(matches, d)
+		}
+	}
+	if len(matches) > 0 {
+		return matches[e.Rand().Intn(len(matches))], true
+	}
+	return view.Descriptor{}, false
+}
+
+func (p *PortConnect) count(e *sim.Engine, bytes int) {
+	if p.meter >= 0 {
+		e.Meter().Count(p.meter, bytes)
+	}
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"sosf/internal/sim"
+	"sosf/internal/vicinity"
+	"sosf/internal/view"
+)
+
+// PortRecord is one port-election entry: the best-known candidate for a
+// port, its election score, and the round of the candidate's most recent
+// heartbeat. The manager refreshes its own records every round; when it
+// dies its stamp freezes, the record expires everywhere within the TTL,
+// and the next-best candidate takes over.
+//
+// Freshness is an absolute stamp rather than a relative age on purpose:
+// relative ages that are min-merged between nodes at different points of a
+// round can circulate forever without growing (two nodes can keep handing
+// each other the "young" copy), whereas a frozen stamp is monotone — the
+// wire equivalent in a deployed system is an incarnation/sequence number.
+type PortRecord struct {
+	Score uint64
+	ID    view.NodeID
+	Stamp int
+}
+
+// Valid reports whether the record holds a candidate.
+func (r PortRecord) Valid() bool { return r.ID != view.InvalidNode }
+
+// Better reports whether r is a strictly better election claim than other:
+// lower score wins, ties broken by lower node ID.
+func (r PortRecord) Better(other PortRecord) bool {
+	if !other.Valid() {
+		return r.Valid()
+	}
+	if !r.Valid() {
+		return false
+	}
+	if r.Score != other.Score {
+		return r.Score < other.Score
+	}
+	return r.ID < other.ID
+}
+
+// invalidRecord is the empty election slot.
+func invalidRecord() PortRecord { return PortRecord{ID: view.InvalidNode} }
+
+// PortSelect is the port-selection sub-procedure: a gossip min-election
+// run inside each component. Every member is a candidate for every port of
+// its component with a deterministic hash score; members gossip their
+// per-port best-known records over same-component contacts (from the core
+// overlay and UO1), so all members converge on the alive member with the
+// minimum score — the port's manager.
+type PortSelect struct {
+	alloc *Allocator
+	uo1   *vicinity.Protocol
+	core  *vicinity.Protocol
+	ttl   int
+	meter int
+
+	states []*portState
+}
+
+type portState struct {
+	epoch   uint32
+	comp    view.ComponentID
+	records []PortRecord // indexed by port
+}
+
+var (
+	_ sim.Protocol   = (*PortSelect)(nil)
+	_ sim.MeterAware = (*PortSelect)(nil)
+)
+
+// NewPortSelect creates the port-selection protocol. ttl bounds manager
+// failover latency (default 20 rounds when <= 0).
+func NewPortSelect(alloc *Allocator, uo1, core *vicinity.Protocol, ttl int) *PortSelect {
+	if ttl <= 0 {
+		ttl = 20
+	}
+	return &PortSelect{alloc: alloc, uo1: uo1, core: core, ttl: ttl, meter: -1}
+}
+
+// Name implements sim.Protocol.
+func (p *PortSelect) Name() string { return "portselect" }
+
+// SetMeterIndex implements sim.MeterAware.
+func (p *PortSelect) SetMeterIndex(i int) { p.meter = i }
+
+// InitNode implements sim.Protocol.
+func (p *PortSelect) InitNode(e *sim.Engine, slot int) {
+	for len(p.states) <= slot {
+		p.states = append(p.states, nil)
+	}
+	p.states[slot] = &portState{epoch: ^uint32(0)}
+}
+
+// Belief returns the node's current best-known record for the given port
+// of its own component.
+func (p *PortSelect) Belief(slot int, port int32) PortRecord {
+	st := p.states[slot]
+	if st == nil || int(port) >= len(st.records) {
+		return invalidRecord()
+	}
+	return st.records[port]
+}
+
+// reset re-syncs the node's election state with its current profile
+// (fresh join, reconfiguration, or component move).
+func (p *PortSelect) reset(n *sim.Node, st *portState) {
+	st.epoch = n.Profile.Epoch
+	st.comp = n.Profile.Comp
+	nports := int(p.alloc.Ports(n.Profile.Comp))
+	st.records = make([]PortRecord, nports)
+	for i := range st.records {
+		st.records[i] = invalidRecord()
+	}
+}
+
+// Step implements sim.Protocol.
+func (p *PortSelect) Step(e *sim.Engine, slot int) {
+	self := e.Node(slot)
+	st := p.states[slot]
+	if st.epoch != self.Profile.Epoch || st.comp != self.Profile.Comp {
+		p.reset(self, st)
+	}
+	if len(st.records) == 0 {
+		return
+	}
+	now := e.Round()
+
+	// Expire records whose candidate stopped heartbeating, claim any port
+	// we score better on, and heartbeat ports we currently hold.
+	for i := range st.records {
+		r := &st.records[i]
+		if r.Valid() && now-r.Stamp > p.ttl {
+			*r = invalidRecord()
+		}
+		mine := PortRecord{
+			Score: electionScore(self.Profile.Comp, int32(i), self.Profile.Epoch, self.ID),
+			ID:    self.ID,
+			Stamp: now,
+		}
+		switch {
+		case mine.Better(*r):
+			*r = mine
+		case r.ID == self.ID:
+			r.Stamp = now
+		}
+	}
+
+	// Gossip over UO1 first: UO1's pairwise-randomized ranking makes it an
+	// expander-like graph inside the component, so election records and
+	// heartbeat stamps diffuse in O(log n) rounds. The core view is only a
+	// fallback — shapes like rings or lines have diameter O(n), and
+	// freshness crawling around a cycle would blow every TTL.
+	partner, ok := sameCompContact(e, slot, self, p.uo1, p.core)
+	if !ok {
+		return
+	}
+	p.count(e, sim.PortRecordPayload(len(st.records)))
+	target := e.Lookup(partner.ID)
+	if target == nil || !target.Alive || !e.DeliverExchange() {
+		return
+	}
+	tst := p.states[target.Slot]
+	if tst.epoch != target.Profile.Epoch || tst.comp != target.Profile.Comp {
+		p.reset(target, tst)
+	}
+	if target.Profile.Comp != self.Profile.Comp || target.Profile.Epoch != self.Profile.Epoch {
+		return // raced with a reconfiguration; nothing to merge
+	}
+	p.count(e, sim.PortRecordPayload(len(tst.records)))
+	mergeRecords(tst.records, st.records, now, p.ttl)
+	mergeRecords(st.records, tst.records, now, p.ttl)
+}
+
+// mergeRecords folds src into dst: better claims win; equal claims keep
+// the freshest stamp. Records that are already expired are never adopted —
+// otherwise an obsolete claim can keep circulating as a wave, each holder
+// expiring it locally while re-infecting peers that already had.
+func mergeRecords(dst, src []PortRecord, now, ttl int) {
+	for i := range dst {
+		if i >= len(src) || !src[i].Valid() || now-src[i].Stamp > ttl {
+			continue
+		}
+		switch {
+		case src[i].Better(dst[i]):
+			dst[i] = src[i]
+		case src[i].ID == dst[i].ID && src[i].Stamp > dst[i].Stamp:
+			dst[i].Stamp = src[i].Stamp
+		}
+	}
+}
+
+func (p *PortSelect) count(e *sim.Engine, bytes int) {
+	if p.meter >= 0 {
+		e.Meter().Count(p.meter, bytes)
+	}
+}
+
+// sameCompContact picks a random same-component, same-epoch contact from
+// the node's core view, falling back to UO1.
+func sameCompContact(e *sim.Engine, slot int, self *sim.Node, sources ...*vicinity.Protocol) (view.Descriptor, bool) {
+	for _, src := range sources {
+		if src == nil {
+			continue
+		}
+		v := src.View(slot)
+		same := make([]view.Descriptor, 0, v.Len())
+		for i := 0; i < v.Len(); i++ {
+			d := v.At(i)
+			if d.Profile.Comp == self.Profile.Comp && d.Profile.Epoch == self.Profile.Epoch {
+				same = append(same, d)
+			}
+		}
+		if len(same) > 0 {
+			return same[e.Rand().Intn(len(same))], true
+		}
+	}
+	return view.Descriptor{}, false
+}

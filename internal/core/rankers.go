@@ -1,0 +1,65 @@
+package core
+
+import (
+	"sosf/internal/vicinity"
+	"sosf/internal/view"
+)
+
+// foreignPenalty is the rank offset applied to other-component candidates
+// in UO1: foreign entries are kept while nothing better is known (so views
+// fill and gossip keeps flowing during bootstrap) but any same-component
+// candidate immediately outranks them.
+const foreignPenalty = 1 << 20
+
+// uo1Ranker drives the same-component overlay: same-component candidates
+// rank in a deterministic pseudo-random order (pairwise key mixing keeps
+// the overlay diverse instead of everyone converging on the same k peers);
+// foreign candidates are strictly worse; stale epochs are rejected.
+type uo1Ranker struct {
+	alloc    *Allocator
+	capacity int
+}
+
+var _ vicinity.Ranker = uo1Ranker{}
+
+// Rank implements vicinity.Ranker.
+func (r uo1Ranker) Rank(owner, cand view.Profile) float64 {
+	if cand.Epoch != r.alloc.Epoch() || owner.Epoch != r.alloc.Epoch() {
+		return view.RankInf
+	}
+	if cand.Comp == owner.Comp {
+		return mix01(owner.Key, cand.Key)
+	}
+	return foreignPenalty + mix01(owner.Key, cand.Key)
+}
+
+// Capacity implements vicinity.Ranker.
+func (r uo1Ranker) Capacity(view.Profile) int { return r.capacity }
+
+// coreRanker drives every component's core protocol with a single Vicinity
+// instance: it dispatches ranking and capacity to the owner's component
+// shape. Cross-component and stale-epoch candidates are rejected outright,
+// so a component's core view only ever contains current members of the
+// same component.
+type coreRanker struct {
+	alloc *Allocator
+}
+
+var _ vicinity.Ranker = coreRanker{}
+
+// Rank implements vicinity.Ranker.
+func (r coreRanker) Rank(owner, cand view.Profile) float64 {
+	if owner.Comp < 0 || cand.Comp != owner.Comp ||
+		cand.Epoch != r.alloc.Epoch() || owner.Epoch != r.alloc.Epoch() {
+		return view.RankInf
+	}
+	return r.alloc.Shape(owner.Comp).Rank(owner, cand)
+}
+
+// Capacity implements vicinity.Ranker.
+func (r coreRanker) Capacity(p view.Profile) int {
+	if p.Comp < 0 || int(p.Comp) >= r.alloc.Components() {
+		return 1
+	}
+	return r.alloc.Shape(p.Comp).Capacity(p)
+}

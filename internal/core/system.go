@@ -1,0 +1,267 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"sosf/internal/peersampling"
+	"sosf/internal/sim"
+	"sosf/internal/spec"
+	"sosf/internal/vicinity"
+)
+
+// Config configures a System. Topology is required; zero values elsewhere
+// take defaults chosen to match the paper's evaluation setup.
+type Config struct {
+	// Topology is the compiled target topology (required, validated).
+	Topology *spec.Topology
+	// Nodes is the population size. Defaults to the topology's "nodes"
+	// option; it is an error if neither is set.
+	Nodes int
+	// Seed drives all randomness of the run.
+	Seed int64
+
+	// RPS configures the peer-sampling layer.
+	RPS peersampling.Options
+	// UO1Capacity is the same-component view size (default 8).
+	UO1Capacity int
+	// OverlayGossip is the per-exchange descriptor budget of the Vicinity
+	// instances (default 5).
+	OverlayGossip int
+	// OverlayMaxAge bounds descriptor staleness in overlay views. The
+	// default is 30: large enough that entries of dense shapes (whose
+	// refresh gaps stretch with component size) do not flicker out, small
+	// enough that dead nodes — which additionally accumulate
+	// failed-contact penalties — purge quickly.
+	OverlayMaxAge int
+	// UO2MaxAge bounds staleness of distant-component contacts
+	// (default 20 rounds).
+	UO2MaxAge int
+	// PortTTL bounds port-manager failover latency. It must comfortably
+	// exceed the gossip staleness tail (a record's stamp is only as fresh
+	// as the exchange chain that delivered it), so the default is 20.
+	PortTTL int
+	// LossRate is the probability that any exchange is lost in transit.
+	LossRate float64
+
+	// DisableUO2 removes the distant-component overlay (ablation): port
+	// connection then falls back to scanning the peer-sampling view.
+	DisableUO2 bool
+	// PureGreedy removes the random candidate feed from the overlays
+	// (ablation): pure T-Man-style greedy gossip.
+	PureGreedy bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.UO1Capacity <= 0 {
+		c.UO1Capacity = 8
+	}
+	if c.OverlayGossip <= 0 {
+		c.OverlayGossip = 5
+	}
+	if c.OverlayMaxAge <= 0 {
+		c.OverlayMaxAge = 30
+	}
+	if c.UO2MaxAge <= 0 {
+		c.UO2MaxAge = 20
+	}
+	if c.PortTTL <= 0 {
+		c.PortTTL = 20
+	}
+	return c
+}
+
+// System wires the full runtime stack of the paper's Figure 1 into a
+// simulation engine: peer sampling at the bottom, then UO1 and UO2, the
+// per-component core protocol, and the port selection / port connection
+// sub-procedures on top.
+type System struct {
+	cfg    Config
+	eng    *sim.Engine
+	alloc  *Allocator
+	rps    *peersampling.Protocol
+	uo1    *vicinity.Protocol
+	uo2    *UO2
+	core   *vicinity.Protocol
+	ports  *PortSelect
+	conns  *PortConnect
+	oracle *Oracle
+
+	baselineMeters []int
+	overheadMeters []int
+}
+
+// ErrNoPopulation is returned when neither Config.Nodes nor the topology's
+// "nodes" option provides a population size.
+var ErrNoPopulation = errors.New("core: population size not set (Config.Nodes or topology option \"nodes\")")
+
+// NewSystem builds and initializes a system: engine, protocol stack, node
+// population, and role allocation. The system is ready to Run.
+func NewSystem(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Topology == nil {
+		return nil, errors.New("core: Config.Topology is required")
+	}
+	alloc, err := NewAllocator(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = int(cfg.Topology.Option("nodes", 0))
+	}
+	if cfg.Nodes <= 0 {
+		return nil, ErrNoPopulation
+	}
+	if cfg.Nodes < len(cfg.Topology.Components) {
+		return nil, fmt.Errorf("core: %d nodes cannot populate %d components",
+			cfg.Nodes, len(cfg.Topology.Components))
+	}
+
+	s := &System{cfg: cfg, alloc: alloc}
+	s.eng = sim.New(cfg.Seed)
+	s.eng.SetLossRate(cfg.LossRate)
+
+	overlayOpts := vicinity.Options{
+		Gossip:       cfg.OverlayGossip,
+		MaxAge:       cfg.OverlayMaxAge,
+		NoRandomFeed: cfg.PureGreedy,
+	}
+	s.rps = peersampling.New(cfg.RPS)
+	s.uo1 = vicinity.New("uo1", uo1Ranker{alloc: alloc, capacity: cfg.UO1Capacity}, s.rps, overlayOpts)
+	if !cfg.DisableUO2 {
+		s.uo2 = NewUO2(alloc, s.rps, cfg.UO2MaxAge)
+	}
+	// The core protocol feeds off UO1: same-component candidates flow in
+	// for free, which is exactly why the runtime builds UO1 at all.
+	s.core = vicinity.New("core", coreRanker{alloc: alloc}, s.rps, overlayOpts, s.uo1)
+	s.ports = NewPortSelect(alloc, s.uo1, s.core, cfg.PortTTL)
+	s.conns = NewPortConnect(alloc, s.ports, s.uo2, s.rps, cfg.PortTTL)
+
+	baseline := []sim.Protocol{s.rps, s.core}
+	overhead := []sim.Protocol{s.uo1, s.ports, s.conns}
+	if s.uo2 != nil {
+		overhead = append(overhead, s.uo2)
+	}
+	// Registration order is the per-round step order: bottom of the stack
+	// first, exactly like a PeerSim cycle-driven protocol stack.
+	order := []sim.Protocol{s.rps, s.uo1}
+	if s.uo2 != nil {
+		order = append(order, s.uo2)
+	}
+	order = append(order, s.core, s.ports, s.conns)
+	index := make(map[sim.Protocol]int, len(order))
+	for _, p := range order {
+		index[p] = s.eng.Register(p)
+	}
+	for _, p := range baseline {
+		s.baselineMeters = append(s.baselineMeters, index[p])
+	}
+	for _, p := range overhead {
+		s.overheadMeters = append(s.overheadMeters, index[p])
+	}
+
+	slots := s.eng.AddNodes(cfg.Nodes)
+	for _, slot := range slots {
+		s.eng.Node(slot).Profile.Key = s.eng.Rand().Uint64()
+	}
+	s.alloc.AssignAll(s.eng)
+	for _, slot := range slots {
+		s.eng.InitNode(slot)
+	}
+	s.oracle = &Oracle{sys: s}
+	return s, nil
+}
+
+// Engine exposes the simulation engine.
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// Allocator exposes the role allocator.
+func (s *System) Allocator() *Allocator { return s.alloc }
+
+// Oracle exposes the convergence oracle.
+func (s *System) Oracle() *Oracle { return s.oracle }
+
+// RPS exposes the peer-sampling layer.
+func (s *System) RPS() *peersampling.Protocol { return s.rps }
+
+// UO1 exposes the same-component overlay.
+func (s *System) UO1() *vicinity.Protocol { return s.uo1 }
+
+// UO2 exposes the distant-component overlay (nil when disabled).
+func (s *System) UO2() *UO2 { return s.uo2 }
+
+// CoreOverlay exposes the per-component shape overlay.
+func (s *System) CoreOverlay() *vicinity.Protocol { return s.core }
+
+// Ports exposes the port-selection protocol.
+func (s *System) Ports() *PortSelect { return s.ports }
+
+// Conns exposes the port-connection protocol.
+func (s *System) Conns() *PortConnect { return s.conns }
+
+// Config returns the effective (defaulted) configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Run executes up to maxRounds rounds (stopping early if an observer asks).
+func (s *System) Run(maxRounds int) (int, error) { return s.eng.Run(maxRounds) }
+
+// Reconfigure swaps in a new target topology mid-run: the epoch is bumped,
+// every alive node gets a fresh role, and all layers re-converge while
+// evicting stale-epoch state on contact — the paper's experiment (iii).
+func (s *System) Reconfigure(topo *spec.Topology) error {
+	return s.alloc.Reconfigure(s.eng, topo)
+}
+
+// AddNodes grows the population by n joining nodes (key, role, protocol
+// bootstrap), returning their slots.
+func (s *System) AddNodes(n int) []int {
+	slots := s.eng.AddNodes(n)
+	for _, slot := range slots {
+		s.initJoin(slot)
+	}
+	return slots
+}
+
+func (s *System) initJoin(slot int) {
+	node := s.eng.Node(slot)
+	node.Profile.Key = s.eng.Rand().Uint64()
+	s.alloc.AssignJoin(node)
+	s.eng.InitNode(slot)
+}
+
+// Kill fails ceil(f × alive) random nodes, keeping the allocator's size
+// estimates in sync. Returns the failed slots.
+func (s *System) Kill(f float64) []int {
+	killed := s.eng.KillFraction(f)
+	for _, slot := range killed {
+		s.alloc.NoteLeave(s.eng.Node(slot))
+	}
+	return killed
+}
+
+// ChurnObserver returns an observer that, after every round in
+// [from, until] (until = 0 means forever), replaces rate × population with
+// fresh joins, wired through the allocator.
+func (s *System) ChurnObserver(rate float64, from, until int) sim.Observer {
+	return sim.ObserverFunc(func(e *sim.Engine) bool {
+		round := e.Round() - 1
+		if round < from || (until > 0 && round > until) {
+			return false
+		}
+		killed := s.Kill(rate)
+		if len(killed) > 0 {
+			s.AddNodes(len(killed))
+		}
+		return false
+	})
+}
+
+// BandwidthByClass returns the bytes spent in the given round by the
+// baseline class (peer sampling + the core shape protocol — the cost of
+// running the elementary topologies alone) and by the runtime-overhead
+// class (UO1, UO2, port selection, port connection), matching the two
+// series of the paper's Figure 4.
+func (s *System) BandwidthByClass(round int) (baseline, overhead int64) {
+	m := s.eng.Meter()
+	return m.RoundSum(round, s.baselineMeters...), m.RoundSum(round, s.overheadMeters...)
+}

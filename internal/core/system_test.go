@@ -1,0 +1,342 @@
+package core
+
+import (
+	"testing"
+
+	"sosf/internal/spec"
+	"sosf/internal/view"
+)
+
+// newRingOfRings builds a small converged-ready system.
+func newRingOfRings(t *testing.T, rings, nodes int, seed int64) *System {
+	t.Helper()
+	s, err := NewSystem(Config{Topology: ringsTopo(rings), Nodes: nodes, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(Config{}); err == nil {
+		t.Fatal("missing topology should fail")
+	}
+	if _, err := NewSystem(Config{Topology: ringsTopo(3)}); err != ErrNoPopulation {
+		t.Fatalf("missing population: err = %v", err)
+	}
+	if _, err := NewSystem(Config{Topology: ringsTopo(5), Nodes: 3}); err == nil {
+		t.Fatal("too few nodes should fail")
+	}
+	// Population via topology option.
+	topo := ringsTopo(2)
+	topo.SetOption("nodes", 50)
+	s, err := NewSystem(Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Engine().AliveCount() != 50 {
+		t.Fatalf("alive = %d, want 50", s.Engine().AliveCount())
+	}
+}
+
+func TestRingOfRingsConverges(t *testing.T) {
+	s := newRingOfRings(t, 3, 240, 1)
+	tr := NewTracker(s, true)
+	rounds, err := s.Run(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := tr.History[len(tr.History)-1]
+	if !final.AllConverged() {
+		t.Fatalf("not converged after %d rounds: %+v", rounds, final.Fraction)
+	}
+	for _, sub := range Subs() {
+		r := tr.ConvergenceRound(sub)
+		if r < 1 || r > rounds {
+			t.Fatalf("%s converged at %d", sub, r)
+		}
+	}
+	// The realized system graph must be one connected piece: rings glued
+	// by their links.
+	g := s.Oracle().RealizedGraph()
+	alive := s.Engine().AliveSlots()
+	if !g.ConnectedOver(alive) {
+		t.Fatal("realized ring-of-rings is not connected")
+	}
+}
+
+func TestMetricsMonotoneEnough(t *testing.T) {
+	// Accuracy curves are stochastic but must rise from ~0 to 1.
+	s := newRingOfRings(t, 3, 150, 2)
+	tr := NewTracker(s, true)
+	if _, err := s.Run(80); err != nil {
+		t.Fatal(err)
+	}
+	first := tr.History[0]
+	last := tr.History[len(tr.History)-1]
+	if first.Fraction[SubElementary] >= 1.0 {
+		t.Fatal("round 1 should not already be fully converged")
+	}
+	if first.Fraction[SubElementary] > last.Fraction[SubElementary] {
+		t.Fatalf("elementary accuracy decreased: %f -> %f",
+			first.Fraction[SubElementary], last.Fraction[SubElementary])
+	}
+	if !last.AllConverged() {
+		t.Fatalf("final metrics not converged: %+v", last.Fraction)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() []Metrics {
+		s := newRingOfRings(t, 3, 120, 99)
+		tr := NewTracker(s, false)
+		if _, err := s.Run(15); err != nil {
+			t.Fatal(err)
+		}
+		return tr.History
+	}
+	a, b := run(), run()
+	for i := range a {
+		for _, sub := range Subs() {
+			if a[i].Fraction[sub] != b[i].Fraction[sub] {
+				t.Fatalf("round %d %s: %f != %f", i, sub, a[i].Fraction[sub], b[i].Fraction[sub])
+			}
+		}
+	}
+}
+
+func TestPortManagersAgree(t *testing.T) {
+	s := newRingOfRings(t, 4, 200, 3)
+	NewTracker(s, true)
+	if _, err := s.Run(80); err != nil {
+		t.Fatal(err)
+	}
+	members := s.Oracle().compMembers()
+	for c, ms := range members {
+		comp := view.ComponentID(c)
+		for port := int32(0); port < s.Allocator().Ports(comp); port++ {
+			winner, ok := s.Oracle().Winner(ms, comp, port)
+			if !ok {
+				t.Fatalf("component %d has no members", c)
+			}
+			for _, n := range ms {
+				if got := s.Ports().Belief(n.Slot, port).ID; got != winner.ID {
+					t.Fatalf("comp %d port %d: node %d believes %d, winner %d",
+						c, port, n.ID, got, winner.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestManagerFailover(t *testing.T) {
+	s := newRingOfRings(t, 2, 100, 4)
+	NewTracker(s, true)
+	if _, err := s.Run(80); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the manager of component 0, port 0.
+	members := s.Oracle().compMembers()
+	mgr, _ := s.Oracle().Winner(members[0], 0, 0)
+	s.Engine().Kill(mgr.Slot)
+	s.Allocator().NoteLeave(mgr)
+
+	tr2 := NewTracker(s, false)
+	if _, err := s.Run(3 * s.Config().PortTTL); err != nil {
+		t.Fatal(err)
+	}
+	final := tr2.History[len(tr2.History)-1]
+	if !final.Converged(SubPortSelect) {
+		t.Fatalf("port selection did not re-elect after manager death: %f",
+			final.Fraction[SubPortSelect])
+	}
+	if !final.Converged(SubPortConnect) {
+		t.Fatalf("links did not re-establish after manager death: %f",
+			final.Fraction[SubPortConnect])
+	}
+	newMembers := s.Oracle().compMembers()
+	newMgr, _ := s.Oracle().Winner(newMembers[0], 0, 0)
+	if newMgr.ID == mgr.ID {
+		t.Fatal("oracle winner should change after manager death")
+	}
+}
+
+func TestReconfigureRingCountReconverges(t *testing.T) {
+	s := newRingOfRings(t, 3, 240, 5)
+	NewTracker(s, true)
+	if _, err := s.Run(80); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reconfigure(ringsTopo(4)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Allocator().Epoch() != 1 {
+		t.Fatalf("epoch = %d, want 1", s.Allocator().Epoch())
+	}
+	tr := NewTracker(s, true)
+	rounds, err := s.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.History[len(tr.History)-1].AllConverged() {
+		t.Fatalf("did not re-converge within %d rounds after reconfiguration", rounds)
+	}
+}
+
+func TestReconfigureRejectsInvalid(t *testing.T) {
+	s := newRingOfRings(t, 2, 60, 6)
+	if err := s.Reconfigure(&spec.Topology{}); err == nil {
+		t.Fatal("invalid topology must be rejected")
+	}
+	if s.Allocator().Epoch() != 0 {
+		t.Fatal("failed reconfigure must not bump the epoch")
+	}
+}
+
+func TestChurnSteadyState(t *testing.T) {
+	s := newRingOfRings(t, 2, 200, 7)
+	s.Engine().Observe(s.ChurnObserver(0.01, 0, 0))
+	tr := NewTracker(s, false)
+	if _, err := s.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	// Under 1%/round churn, shape and UO1 accuracy stay high continuously.
+	// Port managers, however, are *single nodes*: churn kills one every
+	// ~100/port rounds and beliefs stay dark for up to the TTL, so port
+	// selection is assessed over a window — it must recover to (near-)
+	// perfect between blackouts and keep a reasonable average.
+	window := tr.History[len(tr.History)-30:]
+	meanPS, maxPS, meanEl, minUO1 := 0.0, 0.0, 0.0, 1.0
+	for _, m := range window {
+		meanPS += m.Fraction[SubPortSelect]
+		if m.Fraction[SubPortSelect] > maxPS {
+			maxPS = m.Fraction[SubPortSelect]
+		}
+		meanEl += m.Fraction[SubElementary]
+		if m.Fraction[SubUO1] < minUO1 {
+			minUO1 = m.Fraction[SubUO1]
+		}
+	}
+	meanPS /= float64(len(window))
+	meanEl /= float64(len(window))
+	if meanEl < 0.85 {
+		t.Fatalf("mean elementary accuracy %.2f under churn, want >= 0.85", meanEl)
+	}
+	if minUO1 < 0.70 {
+		t.Fatalf("UO1 accuracy dipped to %.2f under churn, want >= 0.70", minUO1)
+	}
+	if meanPS < 0.5 {
+		t.Fatalf("mean port-selection accuracy %.2f under churn, want >= 0.5", meanPS)
+	}
+	if maxPS < 0.9 {
+		t.Fatalf("port selection never recovered within the window: max %.2f", maxPS)
+	}
+	if s.Engine().AliveCount() != 200 {
+		t.Fatalf("population drifted to %d", s.Engine().AliveCount())
+	}
+}
+
+func TestCatastrophicFailureRecovery(t *testing.T) {
+	s := newRingOfRings(t, 2, 200, 8)
+	NewTracker(s, true)
+	if _, err := s.Run(80); err != nil {
+		t.Fatal(err)
+	}
+	killed := s.Kill(0.5)
+	if len(killed) != 100 {
+		t.Fatalf("killed %d, want 100", len(killed))
+	}
+	// Phase 1 — self-healing without any coordination: survivors re-close
+	// the rings around the holes (ring gradients tolerate index gaps).
+	// Greedy k-nearest can leave the odd cross-hole edge unrealized, so
+	// this phase demands near-perfect, not perfect, accuracy.
+	tr := NewTracker(s, true)
+	if _, err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	final := tr.History[len(tr.History)-1]
+	for _, sub := range []Sub{SubPortSelect, SubPortConnect} {
+		if !final.Converged(sub) {
+			t.Fatalf("%s did not recover after catastrophe: %f", sub, final.Fraction[sub])
+		}
+	}
+	if final.Fraction[SubElementary] < 0.95 {
+		t.Fatalf("elementary recovery %.3f, want >= 0.95", final.Fraction[SubElementary])
+	}
+	// Phase 2 — the runtime's documented healing path: re-running role
+	// allocation (a reconfiguration epoch) re-densifies the index space
+	// and restores the exact target shape.
+	if err := s.Reconfigure(ringsTopo(2)); err != nil {
+		t.Fatal(err)
+	}
+	tr2 := NewTracker(s, true)
+	if _, err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if !tr2.History[len(tr2.History)-1].AllConverged() {
+		t.Fatalf("full recovery after re-allocation failed: %+v",
+			tr2.History[len(tr2.History)-1].Fraction)
+	}
+}
+
+func TestBandwidthClasses(t *testing.T) {
+	s := newRingOfRings(t, 3, 150, 9)
+	if _, err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 10; r++ {
+		base, over := s.BandwidthByClass(r)
+		if base <= 0 || over <= 0 {
+			t.Fatalf("round %d: baseline %d overhead %d", r, base, over)
+		}
+	}
+}
+
+func TestDisableUO2Ablation(t *testing.T) {
+	s, err := NewSystem(Config{Topology: ringsTopo(3), Nodes: 150, Seed: 10, DisableUO2: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.UO2() != nil {
+		t.Fatal("UO2 should be nil when disabled")
+	}
+	tr := NewTracker(s, true)
+	if _, err := s.Run(120); err != nil {
+		t.Fatal(err)
+	}
+	// Port connection must still work through the RPS fallback (slower).
+	final := tr.History[len(tr.History)-1]
+	if !final.Converged(SubPortConnect) {
+		t.Fatalf("port connection never converged without UO2: %f",
+			final.Fraction[SubPortConnect])
+	}
+}
+
+func TestTrackerReset(t *testing.T) {
+	s := newRingOfRings(t, 2, 80, 11)
+	tr := NewTracker(s, false)
+	if _, err := s.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.History) != 5 {
+		t.Fatalf("history = %d, want 5", len(tr.History))
+	}
+	tr.Reset()
+	if len(tr.History) != 0 || tr.ConvergenceRound(SubUO1) != -1 {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+func TestMessageLossStillConverges(t *testing.T) {
+	s, err := NewSystem(Config{Topology: ringsTopo(2), Nodes: 120, Seed: 12, LossRate: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracker(s, true)
+	if _, err := s.Run(150); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.History[len(tr.History)-1].AllConverged() {
+		t.Fatal("system should converge under 20% message loss")
+	}
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"sort"
+
+	"sosf/internal/peersampling"
+	"sosf/internal/sim"
+	"sosf/internal/view"
+)
+
+// UO2 is the distant-component overlay: every node maintains at most one
+// fresh contact inside each *other* component. These long-distance links
+// are what port connection routes through, and they give the assembled
+// system a small inter-component diameter.
+//
+// The table is gossiped whole (component count is small — the paper
+// evaluates up to 20), merged freshest-wins per component, and fed by the
+// peer-sampling service so newly appeared components are discovered
+// without any coordination.
+//
+// Freshness is tracked as an absolute birth round (the wire format still
+// carries a relative age; it is normalized against the local clock at
+// receipt). Relative ages merged fresher-wins between nodes at different
+// points of a round can ping-pong forever without growing, keeping dead
+// contacts immortal; a birth round is monotone.
+type UO2 struct {
+	alloc  *Allocator
+	rps    *peersampling.Protocol
+	maxAge int
+	meter  int
+	states []map[view.ComponentID]uo2Entry
+}
+
+type uo2Entry struct {
+	d    view.Descriptor
+	born int // engine round the descriptor was (age-adjusted) created
+}
+
+var (
+	_ sim.Protocol   = (*UO2)(nil)
+	_ sim.MeterAware = (*UO2)(nil)
+)
+
+// NewUO2 creates the distant-component overlay. maxAge bounds how long a
+// dead contact can linger (default 20 when <= 0).
+func NewUO2(alloc *Allocator, rps *peersampling.Protocol, maxAge int) *UO2 {
+	if maxAge <= 0 {
+		maxAge = 20
+	}
+	return &UO2{alloc: alloc, rps: rps, maxAge: maxAge, meter: -1}
+}
+
+// Name implements sim.Protocol.
+func (u *UO2) Name() string { return "uo2" }
+
+// SetMeterIndex implements sim.MeterAware.
+func (u *UO2) SetMeterIndex(i int) { u.meter = i }
+
+// InitNode implements sim.Protocol.
+func (u *UO2) InitNode(e *sim.Engine, slot int) {
+	for len(u.states) <= slot {
+		u.states = append(u.states, nil)
+	}
+	u.states[slot] = make(map[view.ComponentID]uo2Entry)
+}
+
+// Contacts returns the node's current foreign-component contact table as a
+// deterministic (component-sorted) slice.
+func (u *UO2) Contacts(slot int) []view.Descriptor {
+	t := u.states[slot]
+	out := make([]view.Descriptor, 0, len(t))
+	for _, c := range sortedComps(t) {
+		out = append(out, t[c].d)
+	}
+	return out
+}
+
+// Contact returns the node's contact inside the given component, if any.
+func (u *UO2) Contact(slot int, comp view.ComponentID) (view.Descriptor, bool) {
+	entry, ok := u.states[slot][comp]
+	return entry.d, ok
+}
+
+// Coverage returns how many distinct foreign components the node currently
+// has a contact in.
+func (u *UO2) Coverage(slot int) int { return len(u.states[slot]) }
+
+// Step implements sim.Protocol: prune the table, ingest free candidates
+// from peer sampling, then swap tables with one partner.
+func (u *UO2) Step(e *sim.Engine, slot int) {
+	self := e.Node(slot)
+	t := u.states[slot]
+	now := e.Round()
+
+	u.prune(self, t, now)
+
+	// Free candidates from the sampling layer.
+	for _, d := range u.rps.View(slot).Entries() {
+		u.offer(self, t, d, now)
+	}
+
+	partner, ok := u.pickPartner(e, slot, t)
+	if !ok {
+		return
+	}
+	send := u.tableToSend(self, t, now)
+	u.count(e, sim.DescriptorPayload(len(send)))
+
+	target := e.Lookup(partner.ID)
+	if target == nil || !target.Alive || !e.DeliverExchange() {
+		// Suspect the contact: push its birth into the past so dead
+		// contacts expire quickly while contacts behind a lossy link
+		// survive (a fresher descriptor restores them).
+		if entry, ok := t[partner.Profile.Comp]; ok && entry.d.ID == partner.ID {
+			entry.born -= u.maxAge/4 + 1
+			t[partner.Profile.Comp] = entry
+		}
+		return
+	}
+
+	// Passive side replies with its own table and merges ours.
+	tt := u.states[target.Slot]
+	reply := u.tableToSend(target, tt, now)
+	u.count(e, sim.DescriptorPayload(len(reply)))
+	for _, d := range send {
+		u.offer(target, tt, d, now)
+	}
+	for _, d := range reply {
+		u.offer(self, t, d, now)
+	}
+}
+
+// prune drops expired or stale entries.
+func (u *UO2) prune(self *sim.Node, t map[view.ComponentID]uo2Entry, now int) {
+	epoch := u.alloc.Epoch()
+	for c, entry := range t {
+		if now-entry.born > u.maxAge || entry.d.Profile.Epoch != epoch ||
+			entry.d.Profile.Comp != c || int(c) >= u.alloc.Components() ||
+			c == self.Profile.Comp {
+			delete(t, c)
+		}
+	}
+}
+
+// offer proposes a descriptor for the table: foreign, current-epoch,
+// unexpired entries are adopted when the slot for their component is empty
+// or holds an older birth.
+func (u *UO2) offer(self *sim.Node, t map[view.ComponentID]uo2Entry, d view.Descriptor, now int) {
+	born := now - int(d.Age)
+	if d.ID == self.ID || d.Profile.Comp == self.Profile.Comp ||
+		d.Profile.Comp < 0 || int(d.Profile.Comp) >= u.alloc.Components() ||
+		d.Profile.Epoch != u.alloc.Epoch() || now-born > u.maxAge {
+		return
+	}
+	cur, ok := t[d.Profile.Comp]
+	if !ok || born > cur.born ||
+		(d.ID == cur.d.ID && d.Profile.Epoch > cur.d.Profile.Epoch) {
+		t[d.Profile.Comp] = uo2Entry{d: d, born: born}
+	}
+}
+
+// tableToSend serializes the node's table plus its own fresh descriptor,
+// normalizing births back to wire ages.
+func (u *UO2) tableToSend(n *sim.Node, t map[view.ComponentID]uo2Entry, now int) []view.Descriptor {
+	out := make([]view.Descriptor, 0, len(t)+1)
+	out = append(out, n.Descriptor())
+	for _, c := range sortedComps(t) {
+		entry := t[c]
+		d := entry.d
+		if age := now - entry.born; age > 0 {
+			if age > int(^uint16(0)) {
+				age = int(^uint16(0))
+			}
+			d.Age = uint16(age)
+		} else {
+			d.Age = 0
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// pickPartner gossips with a random table entry, falling back to a random
+// sampled peer when the table is empty (bootstrap).
+func (u *UO2) pickPartner(e *sim.Engine, slot int, t map[view.ComponentID]uo2Entry) (view.Descriptor, bool) {
+	// Half the time talk to a random peer: UO2 benefits from global
+	// mixing because fresh entries for *any* component can come from
+	// anywhere.
+	if len(t) == 0 || e.Rand().Float64() < 0.5 {
+		if d, ok := u.rps.View(slot).Random(e.Rand()); ok {
+			return d, true
+		}
+	}
+	if len(t) == 0 {
+		return view.Descriptor{}, false
+	}
+	comps := sortedComps(t)
+	pick := comps[e.Rand().Intn(len(comps))]
+	return t[pick].d, true
+}
+
+func (u *UO2) count(e *sim.Engine, bytes int) {
+	if u.meter >= 0 {
+		e.Meter().Count(u.meter, bytes)
+	}
+}
+
+// sortedComps returns the table's component IDs in ascending order, so all
+// iteration is deterministic.
+func sortedComps(t map[view.ComponentID]uo2Entry) []view.ComponentID {
+	comps := make([]view.ComponentID, 0, len(t))
+	for c := range t {
+		comps = append(comps, c)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i] < comps[j] })
+	return comps
+}

@@ -1,0 +1,162 @@
+package dsl
+
+// File is a parsed DSL file: one `topology <name> { ... }` block.
+type File struct {
+	Pos  Pos
+	Name string
+	Body []Stmt
+}
+
+// Stmt is a topology-level statement.
+type Stmt interface {
+	At() Pos
+	stmt()
+}
+
+// LetStmt binds a constant: `let n = 8`.
+type LetStmt struct {
+	Pos   Pos
+	Name  string
+	Value Expr
+}
+
+// NodesStmt sets the default population size: `nodes 3200`.
+type NodesStmt struct {
+	Pos   Pos
+	Value Expr
+}
+
+// OptionStmt records a named integer option: `option rounds 120`.
+type OptionStmt struct {
+	Pos   Pos
+	Key   string
+	Value Expr
+}
+
+// RepeatStmt executes its body for each value of Var in [From, To]
+// (inclusive; an empty range executes zero times): `repeat i 0 7 { ... }`.
+type RepeatStmt struct {
+	Pos      Pos
+	Var      string
+	From, To Expr
+	Body     []Stmt
+}
+
+// ComponentStmt declares a component: `component seg[i] ring { ... }`.
+type ComponentStmt struct {
+	Pos   Pos
+	Name  NameRef
+	Shape string
+	Body  []CompStmt
+}
+
+// LinkStmt declares a link between two ports:
+// `link a.head b.tail`.
+type LinkStmt struct {
+	Pos  Pos
+	A, B PortRefExpr
+}
+
+func (s *LetStmt) At() Pos       { return s.Pos }
+func (s *NodesStmt) At() Pos     { return s.Pos }
+func (s *OptionStmt) At() Pos    { return s.Pos }
+func (s *RepeatStmt) At() Pos    { return s.Pos }
+func (s *ComponentStmt) At() Pos { return s.Pos }
+func (s *LinkStmt) At() Pos      { return s.Pos }
+
+func (*LetStmt) stmt()       {}
+func (*NodesStmt) stmt()     {}
+func (*OptionStmt) stmt()    {}
+func (*RepeatStmt) stmt()    {}
+func (*ComponentStmt) stmt() {}
+func (*LinkStmt) stmt()      {}
+
+// CompStmt is a statement inside a component block.
+type CompStmt interface {
+	At() Pos
+	compStmt()
+}
+
+// WeightStmt sets the component's node-assignment weight: `weight 2`.
+type WeightStmt struct {
+	Pos   Pos
+	Value Expr
+}
+
+// PortStmt declares a port: `port head`.
+type PortStmt struct {
+	Pos  Pos
+	Name string
+}
+
+// ParamStmt sets a shape parameter: `param width 4`.
+type ParamStmt struct {
+	Pos   Pos
+	Key   string
+	Value Expr
+}
+
+func (s *WeightStmt) At() Pos { return s.Pos }
+func (s *PortStmt) At() Pos   { return s.Pos }
+func (s *ParamStmt) At() Pos  { return s.Pos }
+
+func (*WeightStmt) compStmt() {}
+func (*PortStmt) compStmt()   {}
+func (*ParamStmt) compStmt()  {}
+
+// NameRef is a possibly-indexed component name: `seg` or `seg[(i+1)%n]`.
+// The compiler canonicalizes indexed names to "seg[3]".
+type NameRef struct {
+	Pos   Pos
+	Base  string
+	Index Expr // nil when unindexed
+}
+
+// PortRefExpr references a port of a (possibly indexed) component.
+type PortRefExpr struct {
+	Pos  Pos
+	Name NameRef
+	Port string
+}
+
+// Expr is an integer constant expression.
+type Expr interface {
+	At() Pos
+	expr()
+}
+
+// NumberLit is an integer literal.
+type NumberLit struct {
+	Pos   Pos
+	Value int64
+}
+
+// VarRef references a `let` binding or a `repeat` variable.
+type VarRef struct {
+	Pos  Pos
+	Name string
+}
+
+// UnaryExpr is unary negation.
+type UnaryExpr struct {
+	Pos Pos
+	Op  Kind // TokMinus
+	X   Expr
+}
+
+// BinaryExpr is a binary arithmetic operation (+ - * / %).
+type BinaryExpr struct {
+	Pos  Pos
+	Op   Kind
+	X, Y Expr
+}
+
+func (e *NumberLit) At() Pos  { return e.Pos }
+func (e *VarRef) At() Pos     { return e.Pos }
+func (e *UnaryExpr) At() Pos  { return e.Pos }
+func (e *BinaryExpr) At() Pos { return e.Pos }
+
+func (*NumberLit) expr()  {}
+func (*VarRef) expr()     {}
+func (*UnaryExpr) expr()  {}
+func (*BinaryExpr) expr() {}

@@ -1,0 +1,358 @@
+package dsl
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const ringOfRings = `
+# A ring of n rings, the paper's flagship composite topology.
+topology ring_of_rings {
+    let n = 4
+    repeat i 0 n-1 {
+        component seg[i] ring {
+            weight 1
+            port head
+            port tail
+        }
+    }
+    repeat i 0 n-1 {
+        link seg[i].head seg[(i+1)%n].tail
+    }
+    option rounds 120
+    nodes 800
+}
+`
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex(`foo 12 "bar" { } [ ] ( ) . = + - * / % # comment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]Kind, len(toks))
+	for i, tok := range toks {
+		kinds[i] = tok.Kind
+	}
+	want := []Kind{
+		TokIdent, TokNumber, TokString, TokLBrace, TokRBrace, TokLBracket,
+		TokRBracket, TokLParen, TokRParen, TokDot, TokAssign, TokPlus,
+		TokMinus, TokStar, TokSlash, TokPercent, TokEOF,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(kinds), len(want))
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d = %s, want %s", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := lex("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Fatalf("first token at %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Fatalf("second token at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := lex(`"a\"b\n\t\\"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "a\"b\n\t\\" {
+		t.Fatalf("string = %q", toks[0].Text)
+	}
+}
+
+func TestLexNumberUnderscores(t *testing.T) {
+	toks, err := lex("25_600")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "25600" {
+		t.Fatalf("number text = %q", toks[0].Text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, "@", `"bad \x escape"`} {
+		if _, err := lex(src); err == nil {
+			t.Fatalf("lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseRingOfRings(t *testing.T) {
+	file, err := Parse(ringOfRings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if file.Name != "ring_of_rings" {
+		t.Fatalf("name = %q", file.Name)
+	}
+	if len(file.Body) != 5 {
+		t.Fatalf("body has %d statements, want 5", len(file.Body))
+	}
+	if _, ok := file.Body[1].(*RepeatStmt); !ok {
+		t.Fatalf("statement 1 is %T, want *RepeatStmt", file.Body[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{``, `expected "topology"`},
+		{`topology {`, "expected topology name"},
+		{`topology t { component }`, "expected"},
+		{`topology t { bogus 3 }`, "unknown statement"},
+		{`topology t { component c ring { bogus 1 } }`, "unknown component statement"},
+		{`topology t { link a.p }`, "expected"},
+		{`topology t { link a b.q }`, "'.'"},
+		{`topology t { let x = }`, "expected expression"},
+		{`topology t { let x = (1 + 2 }`, "')'"},
+		{`topology t { let x = 1 `, "missing '}'"},
+		{`topology t { } trailing`, "unexpected"},
+		{`topology t { component c[1 ring }`, "']'"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Fatalf("Parse(%q) should fail", tc.src)
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Fatalf("Parse(%q) error %q does not contain %q", tc.src, err, tc.wantSub)
+		}
+	}
+}
+
+func TestCompileRingOfRings(t *testing.T) {
+	topo, err := ParseTopology(ringOfRings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Components) != 4 {
+		t.Fatalf("components = %d, want 4", len(topo.Components))
+	}
+	if topo.Components[2].Name != "seg[2]" {
+		t.Fatalf("component 2 name = %q", topo.Components[2].Name)
+	}
+	if len(topo.Links) != 4 {
+		t.Fatalf("links = %d, want 4", len(topo.Links))
+	}
+	// The wraparound link: seg[3].head -> seg[0].tail.
+	last := topo.Links[3]
+	if last.A.Component != "seg[3]" || last.B.Component != "seg[0]" {
+		t.Fatalf("wraparound link = %s", last)
+	}
+	if topo.Option("rounds", 0) != 120 || topo.Option("nodes", 0) != 800 {
+		t.Fatalf("options = %v", topo.Options)
+	}
+}
+
+func TestCompileShapesAndParams(t *testing.T) {
+	topo, err := ParseTopology(`
+topology shards {
+    component router star {
+        param hubs 3
+        weight 2
+        port query
+    }
+    component grid0 grid {
+        param width 4
+        port corner
+    }
+    link router.query grid0.corner
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := topo.Component("router")
+	if r.Params["hubs"] != 3 || r.Weight != 2 {
+		t.Fatalf("router = %+v", r)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{`topology t { component c ring component c ring }`, "already defined"},
+		{`topology t { let x = y }`, "undefined variable"},
+		{`topology t { let x = 1/0 }`, "division by zero"},
+		{`topology t { let x = 1%0 }`, "modulo by zero"},
+		{`topology t { nodes 0 }`, "nodes must be >= 1"},
+		{`topology t { component c ring { weight 0 } }`, "weight must be >= 1"},
+		{`topology t { component c ring { port p port p } }`, "duplicate port"},
+		{`topology t { component c ring { param a 1 param a 2 } }`, "duplicate param"},
+		{`topology t { component c blob }`, "unknown shape"},
+		{`topology t { component c ring link c.p c.q }`, "no port"},
+		{`topology t { repeat i 0 9999999 { component c[i] ring } }`, "topology too large"},
+	}
+	for _, tc := range cases {
+		_, err := ParseTopology(tc.src)
+		if err == nil {
+			t.Fatalf("ParseTopology(%q) should fail", tc.src)
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Fatalf("error %q does not contain %q", err, tc.wantSub)
+		}
+	}
+}
+
+func TestErrorsCarryPositions(t *testing.T) {
+	_, err := ParseTopology("topology t {\n  let x = y\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.HasPrefix(err.Error(), "2:") {
+		t.Fatalf("error %q should start with line 2", err)
+	}
+}
+
+func TestRepeatShadowingAndRestore(t *testing.T) {
+	topo, err := ParseTopology(`
+topology t {
+    let i = 100
+    repeat i 0 1 {
+        component a[i] ring
+    }
+    component b[i] ring
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Component("b[100]") == nil {
+		t.Fatalf("outer binding not restored: %v", topo.Components)
+	}
+}
+
+func TestNestedRepeat(t *testing.T) {
+	topo, err := ParseTopology(`
+topology t {
+    repeat i 0 2 {
+        repeat j 0 1 {
+            component c[i*10+j] ring
+        }
+    }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Components) != 6 {
+		t.Fatalf("components = %d, want 6", len(topo.Components))
+	}
+	if topo.Component("c[21]") == nil {
+		t.Fatal("c[21] missing")
+	}
+}
+
+func TestEmptyRepeatRange(t *testing.T) {
+	topo, err := ParseTopology(`
+topology t {
+    repeat i 5 4 { component c[i] ring }
+    component base ring
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Components) != 1 {
+		t.Fatalf("components = %d, want 1 (empty range)", len(topo.Components))
+	}
+}
+
+func TestExpressionArithmetic(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"1+2*3", 7},
+		{"(1+2)*3", 9},
+		{"-4+10", 6},
+		{"7/2", 3},
+		{"-7/2", -3},
+		{"10%3", 1},
+		{"-1%5", 4}, // Euclidean: wraps for ring arithmetic
+		{"0-1+5*2", 9},
+		{"2*-3", -6},
+	}
+	for _, tc := range cases {
+		src := fmt.Sprintf("topology t { option x %s component c ring }", tc.expr)
+		topo, err := ParseTopology(src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.expr, err)
+		}
+		if got := topo.Option("x", -999); got != tc.want {
+			t.Fatalf("%s = %d, want %d", tc.expr, got, tc.want)
+		}
+	}
+}
+
+// Property: the DSL evaluator agrees with a direct Go computation for
+// (a + b*i) % m style ring expressions over random operands.
+func TestEvalMatchesReference(t *testing.T) {
+	f := func(a, b int8, iRaw, mRaw uint8) bool {
+		i := int64(iRaw % 20)
+		m := int64(mRaw%9) + 1
+		src := fmt.Sprintf(
+			"topology t { let i = %d option x (%d + %d*i) %% %d component c ring }",
+			i, a, b, m)
+		topo, err := ParseTopology(src)
+		if err != nil {
+			return false
+		}
+		ref := (int64(a) + int64(b)*i) % m
+		if ref < 0 {
+			ref += m
+		}
+		return topo.Option("x", -12345) == ref
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a repeat of k components always yields exactly k components.
+func TestRepeatCountProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		k := int(raw%50) + 1
+		src := fmt.Sprintf("topology t { repeat i 0 %d { component c[i] ring } }", k-1)
+		topo, err := ParseTopology(src)
+		return err == nil && len(topo.Components) == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringTopologyName(t *testing.T) {
+	topo, err := ParseTopology(`topology "my topology" { component c ring }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Name != "my topology" {
+		t.Fatalf("name = %q", topo.Name)
+	}
+}
+
+func TestComponentWithoutBlock(t *testing.T) {
+	topo, err := ParseTopology(`topology t { component solo clique }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := topo.Component("solo")
+	if c == nil || c.Weight != 1 || len(c.Ports) != 0 {
+		t.Fatalf("solo = %+v", c)
+	}
+}

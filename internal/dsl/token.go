@@ -1,0 +1,123 @@
+// Package dsl implements the framework's domain-specific language for
+// describing target topologies. A DSL file declares, per the paper: the
+// list of components (elementary shapes) with node-assignment weights, the
+// ports of each component, and the links between ports. A small
+// constant-expression language with `let` bindings and `repeat` loops makes
+// regular families of components ("a ring of 8 rings") concise.
+//
+// The pipeline is Parse (source → AST) followed by Compile (AST →
+// spec.Topology); ParseTopology composes both and validates the result.
+//
+// Example:
+//
+//	topology ring_of_rings {
+//	    let n = 8
+//	    repeat i 0 n-1 {
+//	        component seg[i] ring {
+//	            weight 1
+//	            port head
+//	            port tail
+//	        }
+//	    }
+//	    repeat i 0 n-1 {
+//	        link seg[i].head seg[(i+1)%n].tail
+//	    }
+//	    option rounds 120
+//	}
+package dsl
+
+import "fmt"
+
+// Kind classifies tokens.
+type Kind int
+
+// Token kinds.
+const (
+	TokEOF Kind = iota + 1
+	TokIdent
+	TokNumber
+	TokString
+	TokLBrace   // {
+	TokRBrace   // }
+	TokLBracket // [
+	TokRBracket // ]
+	TokLParen   // (
+	TokRParen   // )
+	TokDot      // .
+	TokAssign   // =
+	TokPlus     // +
+	TokMinus    // -
+	TokStar     // *
+	TokSlash    // /
+	TokPercent  // %
+)
+
+// String names the kind for error messages.
+func (k Kind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of file"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokLBrace:
+		return "'{'"
+	case TokRBrace:
+		return "'}'"
+	case TokLBracket:
+		return "'['"
+	case TokRBracket:
+		return "']'"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokDot:
+		return "'.'"
+	case TokAssign:
+		return "'='"
+	case TokPlus:
+		return "'+'"
+	case TokMinus:
+		return "'-'"
+	case TokStar:
+		return "'*'"
+	case TokSlash:
+		return "'/'"
+	case TokPercent:
+		return "'%'"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Pos is a 1-based source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical unit.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+// Error is a positioned DSL error (lexing, parsing, or compilation).
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,190 @@
+package eval
+
+import (
+	"fmt"
+
+	"sosf/internal/core"
+	"sosf/internal/metrics"
+)
+
+// AblationUO2 compares port-connection convergence with and without the
+// distant-component overlay: without UO2, managers can only find remote
+// components through chance encounters in the peer-sampling view, which
+// degrades as components multiply — the design reason UO2 exists.
+func AblationUO2(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	nodes := 1000
+	if o.Full {
+		nodes = 4800
+	}
+	compSweep := []int{2, 5, 10, 15, 20}
+
+	with := &metrics.Series{Name: "with UO2"}
+	without := &metrics.Series{Name: "without UO2 (ablated)"}
+	for pi, comps := range compSweep {
+		topo := MustTopology(RingOfRingsDSL(comps))
+		for variant, series := range map[int]*metrics.Series{0: with, 1: without} {
+			var acc metrics.Accumulator
+			for run := 0; run < o.Runs; run++ {
+				res, err := RunOnce(core.Config{
+					Topology:   topo,
+					Nodes:      nodes,
+					Seed:       seedFor(o.Seed, 800+pi, run),
+					DisableUO2: variant == 1,
+				}, o.MaxRounds, true)
+				if err != nil {
+					return nil, fmt.Errorf("ablation-uo2 comps=%d: %w", comps, err)
+				}
+				acc.Add(convergedOrCap(res, core.SubPortConnect, o.MaxRounds))
+			}
+			series.Append(float64(comps), metrics.Summarize(&acc))
+		}
+	}
+	return &Figure{
+		ID:     "ablation-uo2",
+		Title:  "Ablation: port connection with vs. without UO2",
+		XLabel: "# of Components",
+		YLabel: "rounds until all links established",
+		Series: []*metrics.Series{with, without},
+		Notes: []string{
+			describeScale(o, "%d nodes; ring-of-rings", nodes),
+			fmt.Sprintf("runs that never converge are capped at %d rounds", o.MaxRounds),
+		},
+	}, nil
+}
+
+// AblationRandomness compares the full protocol against the pure-greedy
+// variant (no random candidate feed, no random contacts): Vicinity's
+// "pinch of randomness" is what guarantees progress out of local minima.
+func AblationRandomness(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	nodesSweep := []int{100, 200, 400, 800}
+	if o.Full {
+		nodesSweep = append(nodesSweep, 1600, 3200)
+	}
+	const comps = 4
+	topo := MustTopology(RingOfRingsDSL(comps))
+
+	randomized := &metrics.Series{Name: "with random feed"}
+	greedy := &metrics.Series{Name: "pure greedy (ablated)"}
+	for pi, n := range nodesSweep {
+		for variant, series := range map[int]*metrics.Series{0: randomized, 1: greedy} {
+			var acc metrics.Accumulator
+			for run := 0; run < o.Runs; run++ {
+				res, err := RunOnce(core.Config{
+					Topology:   topo,
+					Nodes:      n,
+					Seed:       seedFor(o.Seed, 900+pi, run),
+					PureGreedy: variant == 1,
+				}, o.MaxRounds, true)
+				if err != nil {
+					return nil, fmt.Errorf("ablation-randomness n=%d: %w", n, err)
+				}
+				acc.Add(convergedOrCap(res, core.SubElementary, o.MaxRounds))
+			}
+			series.Append(float64(n), metrics.Summarize(&acc))
+		}
+	}
+	return &Figure{
+		ID:     "ablation-randomness",
+		Title:  "Ablation: elementary-shape convergence with vs. without randomness",
+		XLabel: "# of Nodes",
+		YLabel: "rounds until shapes converge",
+		LogX:   true,
+		Series: []*metrics.Series{randomized, greedy},
+		Notes: []string{
+			describeScale(o, "ring-of-rings, %d components", comps),
+			fmt.Sprintf("runs that never converge are capped at %d rounds", o.MaxRounds),
+		},
+	}, nil
+}
+
+// AblationGossip sweeps the per-exchange descriptor budget: bigger gossip
+// messages buy faster convergence at proportional bandwidth cost — the
+// central tuning knob of every T-Man-family protocol.
+func AblationGossip(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	nodes, comps := 800, 4
+	if o.Full {
+		nodes = 3200
+	}
+	topo := MustTopology(RingOfRingsDSL(comps))
+	sweep := []int{2, 3, 5, 8, 12}
+
+	rounds := &metrics.Series{Name: "rounds to converge"}
+	bandwidth := &metrics.Series{Name: "bytes/node/round (x100)"}
+	for pi, g := range sweep {
+		var accR, accB metrics.Accumulator
+		for run := 0; run < o.Runs; run++ {
+			res, err := RunOnce(core.Config{
+				Topology:      topo,
+				Nodes:         nodes,
+				Seed:          seedFor(o.Seed, 1000+pi, run),
+				OverlayGossip: g,
+			}, o.MaxRounds, true)
+			if err != nil {
+				return nil, fmt.Errorf("ablation-gossip g=%d: %w", g, err)
+			}
+			accR.Add(convergedOrCap(res, core.SubElementary, o.MaxRounds))
+			var sum float64
+			for r := range res.BaselinePerNode {
+				sum += res.BaselinePerNode[r] + res.OverheadPerNode[r]
+			}
+			if n := len(res.BaselinePerNode); n > 0 {
+				accB.Add(sum / float64(n) / 100)
+			}
+		}
+		rounds.Append(float64(g), metrics.Summarize(&accR))
+		bandwidth.Append(float64(g), metrics.Summarize(&accB))
+	}
+	return &Figure{
+		ID:     "ablation-gossip",
+		Title:  "Ablation: gossip message size vs. convergence and bandwidth",
+		XLabel: "descriptors per exchange",
+		YLabel: "rounds / (bytes per node per round x 0.01)",
+		Series: []*metrics.Series{rounds, bandwidth},
+		Notes:  []string{describeScale(o, "ring-of-rings, %d nodes, %d components", nodes, comps)},
+	}, nil
+}
+
+// AblationViewSize sweeps the UO1 view capacity: the same-component
+// overlay must be large enough to keep each component's gossip substrate
+// connected, but extra capacity mostly costs bandwidth.
+func AblationViewSize(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	nodes, comps := 800, 4
+	if o.Full {
+		nodes = 3200
+	}
+	topo := MustTopology(RingOfRingsDSL(comps))
+	sweep := []int{3, 5, 8, 12, 16}
+
+	elem := &metrics.Series{Name: "Elementary Topology"}
+	ports := &metrics.Series{Name: "Port Selection"}
+	for pi, k := range sweep {
+		var accE, accP metrics.Accumulator
+		for run := 0; run < o.Runs; run++ {
+			res, err := RunOnce(core.Config{
+				Topology:    topo,
+				Nodes:       nodes,
+				Seed:        seedFor(o.Seed, 1100+pi, run),
+				UO1Capacity: k,
+			}, o.MaxRounds, true)
+			if err != nil {
+				return nil, fmt.Errorf("ablation-viewsize k=%d: %w", k, err)
+			}
+			accE.Add(convergedOrCap(res, core.SubElementary, o.MaxRounds))
+			accP.Add(convergedOrCap(res, core.SubPortSelect, o.MaxRounds))
+		}
+		elem.Append(float64(k), metrics.Summarize(&accE))
+		ports.Append(float64(k), metrics.Summarize(&accP))
+	}
+	return &Figure{
+		ID:     "ablation-viewsize",
+		Title:  "Ablation: UO1 view capacity vs. convergence",
+		XLabel: "UO1 view capacity",
+		YLabel: "rounds to converge",
+		Series: []*metrics.Series{elem, ports},
+		Notes:  []string{describeScale(o, "ring-of-rings, %d nodes, %d components", nodes, comps)},
+	}, nil
+}

@@ -1,0 +1,20 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBaselineSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("baseline comparison is slow")
+	}
+	res, err := Baseline(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Tables[0].Table.String()
+	if !strings.Contains(out, "composed") || !strings.Contains(out, "monolithic") {
+		t.Fatalf("baseline table:\n%s", out)
+	}
+}

@@ -1,0 +1,178 @@
+package eval
+
+import (
+	"fmt"
+
+	"sosf/internal/core"
+	"sosf/internal/metrics"
+)
+
+// Options scale the experiment harness.
+type Options struct {
+	// Runs is the number of independent repetitions per data point
+	// (default 5; the paper uses 25, enabled by Full).
+	Runs int
+	// Seed is the base seed; run r of a driver uses Seed + r (and sweeps
+	// fold their point index in).
+	Seed int64
+	// Full switches every driver to the paper's exact scales (25 600
+	// nodes, 25 runs). Without it, drivers use laptop-friendly scales
+	// that preserve every trend.
+	Full bool
+	// MaxRounds caps each run (default 150).
+	MaxRounds int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Runs <= 0 {
+		if o.Full {
+			o.Runs = 25
+		} else {
+			o.Runs = 5
+		}
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 150
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Figure is one reproduced figure: titled series over a shared x-axis,
+// with rendering hints and free-form notes.
+type Figure struct {
+	ID     string // "fig2", "fig4", "ablation-uo2", ...
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	Series []*metrics.Series
+	Notes  []string
+}
+
+// Table renders the figure's series as an aligned text table.
+func (f *Figure) Table() *metrics.Table {
+	return metrics.SeriesTable(f.XLabel, f.Series...)
+}
+
+// TableResult is a table-shaped experiment output.
+type TableResult struct {
+	ID    string
+	Title string
+	Table *metrics.Table
+	Notes []string
+}
+
+// Result bundles everything a driver produced.
+type Result struct {
+	Figures []*Figure
+	Tables  []*TableResult
+}
+
+// RunResult captures one simulation run for the harness.
+type RunResult struct {
+	// Rounds executed.
+	Rounds int
+	// ConvergedAt maps each sub-procedure to the first round it reached
+	// accuracy 1.0, or -1 if it never did.
+	ConvergedAt map[core.Sub]int
+	// Curves holds the per-round accuracy of each sub-procedure.
+	Curves map[core.Sub][]float64
+	// BaselinePerNode and OverheadPerNode are bytes per node per round
+	// for the two bandwidth classes of Figure 4.
+	BaselinePerNode []float64
+	OverheadPerNode []float64
+	// Final is the last measured metrics snapshot.
+	Final core.Metrics
+}
+
+// RunOnce builds a system from cfg and runs it for at most maxRounds,
+// stopping early (if stopWhenDone) once every sub-procedure converged.
+func RunOnce(cfg core.Config, maxRounds int, stopWhenDone bool) (*RunResult, error) {
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tracker := core.NewTracker(sys, stopWhenDone)
+	rounds, err := sys.Run(maxRounds)
+	if err != nil {
+		return nil, err
+	}
+	return collect(sys, tracker, rounds), nil
+}
+
+// collect assembles a RunResult from a finished (or mid-flight) system.
+func collect(sys *core.System, tracker *core.Tracker, rounds int) *RunResult {
+	res := &RunResult{
+		Rounds:      rounds,
+		ConvergedAt: make(map[core.Sub]int, 5),
+		Curves:      make(map[core.Sub][]float64, 5),
+	}
+	for _, sub := range core.Subs() {
+		res.ConvergedAt[sub] = tracker.ConvergenceRound(sub)
+		curve := make([]float64, 0, len(tracker.History))
+		for _, m := range tracker.History {
+			curve = append(curve, m.Fraction[sub])
+		}
+		res.Curves[sub] = curve
+	}
+	if len(tracker.History) > 0 {
+		res.Final = tracker.History[len(tracker.History)-1]
+	}
+	n := float64(sys.Engine().AliveCount())
+	if n == 0 {
+		n = 1
+	}
+	meterRounds := sys.Engine().Meter().Rounds()
+	for r := 0; r < meterRounds; r++ {
+		base, over := sys.BandwidthByClass(r)
+		res.BaselinePerNode = append(res.BaselinePerNode, float64(base)/n)
+		res.OverheadPerNode = append(res.OverheadPerNode, float64(over)/n)
+	}
+	return res
+}
+
+// convergedOrCap returns the convergence round, or the cap when the run
+// never converged (so aggregates stay defined; the cap is also recorded in
+// figure notes by the drivers).
+func convergedOrCap(r *RunResult, sub core.Sub, cap int) float64 {
+	if c := r.ConvergedAt[sub]; c >= 0 {
+		return float64(c)
+	}
+	return float64(cap)
+}
+
+// subSeries allocates one empty series per sub-procedure, keyed in
+// presentation order.
+func subSeries() map[core.Sub]*metrics.Series {
+	out := make(map[core.Sub]*metrics.Series, 5)
+	for _, sub := range core.Subs() {
+		out[sub] = &metrics.Series{Name: sub.String()}
+	}
+	return out
+}
+
+// orderedSeries flattens a sub-series map into presentation order.
+func orderedSeries(m map[core.Sub]*metrics.Series) []*metrics.Series {
+	out := make([]*metrics.Series, 0, len(m))
+	for _, sub := range core.Subs() {
+		out = append(out, m[sub])
+	}
+	return out
+}
+
+// seedFor derives a deterministic per-(point, run) seed.
+func seedFor(base int64, point, run int) int64 {
+	return base + int64(point)*1_000_003 + int64(run)*7919
+}
+
+// describeScale renders a scale note for figure annotations.
+func describeScale(o Options, format string, args ...any) string {
+	mode := "reduced scale"
+	if o.Full {
+		mode = "paper scale"
+	}
+	return fmt.Sprintf("%s; %d runs per point (%s)", fmt.Sprintf(format, args...), o.Runs, mode)
+}

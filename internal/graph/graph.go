@@ -1,0 +1,242 @@
+// Package graph provides lightweight undirected-graph analysis used by the
+// experiment harness and the test suite to characterize realized overlay
+// topologies: connectivity, path lengths, degrees, and clustering.
+//
+// Graphs are built over dense vertex indices (the engine's node slots).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected graph over vertices 0..N-1 backed by adjacency
+// sets. The zero value is unusable; create graphs with New.
+type Graph struct {
+	adj []map[int]struct{}
+}
+
+// New returns an empty graph with n vertices.
+func New(n int) *Graph {
+	adj := make([]map[int]struct{}, n)
+	for i := range adj {
+		adj[i] = make(map[int]struct{})
+	}
+	return &Graph{adj: adj}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// AddEdge inserts the undirected edge (u, v). Self-loops are ignored.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	g.adj[u][v] = struct{}{}
+	g.adj[v][u] = struct{}{}
+}
+
+// HasEdge reports whether the undirected edge (u, v) exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// Degree returns the degree of vertex u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Neighbors returns the sorted neighbor list of u.
+func (g *Graph) Neighbors(u int) []int {
+	out := make([]int, 0, len(g.adj[u]))
+	for v := range g.adj[u] {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// EdgeCount returns the number of undirected edges.
+func (g *Graph) EdgeCount() int {
+	total := 0
+	for _, s := range g.adj {
+		total += len(s)
+	}
+	return total / 2
+}
+
+// ConnectedOver reports whether the sub-graph induced by the given vertices
+// is connected (an empty or singleton set is connected).
+func (g *Graph) ConnectedOver(vertices []int) bool {
+	if len(vertices) <= 1 {
+		return true
+	}
+	in := make(map[int]bool, len(vertices))
+	for _, v := range vertices {
+		in[v] = true
+	}
+	seen := map[int]bool{vertices[0]: true}
+	queue := []int{vertices[0]}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for v := range g.adj[u] {
+			if in[v] && !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return len(seen) == len(vertices)
+}
+
+// Connected reports whether the whole graph is connected.
+func (g *Graph) Connected() bool {
+	all := make([]int, len(g.adj))
+	for i := range all {
+		all[i] = i
+	}
+	return g.ConnectedOver(all)
+}
+
+// Components returns the connected components as sorted vertex lists,
+// ordered by smallest contained vertex.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, len(g.adj))
+	var comps [][]int
+	for start := range g.adj {
+		if seen[start] {
+			continue
+		}
+		var comp []int
+		queue := []int{start}
+		seen[start] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			comp = append(comp, u)
+			for v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// BFSDepths returns the shortest-path distance (in hops) from src to every
+// vertex; unreachable vertices get -1.
+func (g *Graph) BFSDepths(src int) []int {
+	dist := make([]int, len(g.adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Diameter returns the longest shortest path in the graph; -1 if the graph
+// is disconnected or empty. O(V·E) — intended for small test graphs.
+func (g *Graph) Diameter() int {
+	if len(g.adj) == 0 {
+		return -1
+	}
+	max := 0
+	for u := range g.adj {
+		for _, d := range g.BFSDepths(u) {
+			if d < 0 {
+				return -1
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// AvgPathLength returns the mean shortest-path length over all ordered
+// reachable pairs, or 0 if there are none.
+func (g *Graph) AvgPathLength() float64 {
+	var sum, count int64
+	for u := range g.adj {
+		for v, d := range g.BFSDepths(u) {
+			if v != u && d > 0 {
+				sum += int64(d)
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return float64(sum) / float64(count)
+}
+
+// ClusteringCoefficient returns the mean local clustering coefficient over
+// vertices with degree >= 2.
+func (g *Graph) ClusteringCoefficient() float64 {
+	var sum float64
+	count := 0
+	for u := range g.adj {
+		deg := len(g.adj[u])
+		if deg < 2 {
+			continue
+		}
+		links := 0
+		neigh := g.Neighbors(u)
+		for i := 0; i < len(neigh); i++ {
+			for j := i + 1; j < len(neigh); j++ {
+				if g.HasEdge(neigh[i], neigh[j]) {
+					links++
+				}
+			}
+		}
+		sum += 2 * float64(links) / float64(deg*(deg-1))
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// DegreeStats returns min, max and mean vertex degree.
+func (g *Graph) DegreeStats() (min, max int, mean float64) {
+	if len(g.adj) == 0 {
+		return 0, 0, 0
+	}
+	min = len(g.adj[0])
+	var sum int
+	for _, s := range g.adj {
+		d := len(s)
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+		sum += d
+	}
+	return min, max, float64(sum) / float64(len(g.adj))
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph.Graph{v=%d e=%d}", g.N(), g.EdgeCount())
+}

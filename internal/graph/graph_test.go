@@ -1,0 +1,163 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// ringGraph builds a cycle of n vertices.
+func ringGraph(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+func TestAddEdgeIgnoresSelfLoop(t *testing.T) {
+	g := New(3)
+	g.AddEdge(1, 1)
+	if g.EdgeCount() != 0 {
+		t.Fatalf("EdgeCount = %d, want 0", g.EdgeCount())
+	}
+}
+
+func TestEdgeSymmetry(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 2)
+	if !g.HasEdge(0, 2) || !g.HasEdge(2, 0) {
+		t.Fatal("edges must be undirected")
+	}
+	if g.EdgeCount() != 1 {
+		t.Fatalf("EdgeCount = %d, want 1", g.EdgeCount())
+	}
+}
+
+func TestRingProperties(t *testing.T) {
+	g := ringGraph(10)
+	if !g.Connected() {
+		t.Fatal("ring must be connected")
+	}
+	if d := g.Diameter(); d != 5 {
+		t.Fatalf("ring-10 diameter = %d, want 5", d)
+	}
+	min, max, mean := g.DegreeStats()
+	if min != 2 || max != 2 || mean != 2 {
+		t.Fatalf("ring degrees = (%d, %d, %f), want all 2", min, max, mean)
+	}
+	if c := g.ClusteringCoefficient(); c != 0 {
+		t.Fatalf("ring clustering = %f, want 0", c)
+	}
+}
+
+func TestCliqueProperties(t *testing.T) {
+	n := 6
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	if d := g.Diameter(); d != 1 {
+		t.Fatalf("clique diameter = %d, want 1", d)
+	}
+	if c := g.ClusteringCoefficient(); c != 1 {
+		t.Fatalf("clique clustering = %f, want 1", c)
+	}
+	if apl := g.AvgPathLength(); apl != 1 {
+		t.Fatalf("clique avg path = %f, want 1", apl)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	if g.Connected() {
+		t.Fatal("graph with two components is not connected")
+	}
+	if d := g.Diameter(); d != -1 {
+		t.Fatalf("disconnected diameter = %d, want -1", d)
+	}
+	comps := g.Components()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	if comps[0][0] != 0 || comps[1][0] != 2 {
+		t.Fatalf("components order unexpected: %v", comps)
+	}
+}
+
+func TestConnectedOverSubgraph(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	if !g.ConnectedOver([]int{0, 1, 2}) {
+		t.Fatal("{0,1,2} should be connected")
+	}
+	if g.ConnectedOver([]int{0, 1, 3}) {
+		t.Fatal("{0,1,3} should not be connected")
+	}
+	if !g.ConnectedOver(nil) || !g.ConnectedOver([]int{2}) {
+		t.Fatal("empty and singleton sets are trivially connected")
+	}
+}
+
+func TestBFSDepths(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	d := g.BFSDepths(0)
+	want := []int{0, 1, 2, -1}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("depths = %v, want %v", d, want)
+		}
+	}
+}
+
+// Property: any ring of n >= 3 vertices has diameter floor(n/2) and is
+// connected.
+func TestRingDiameterProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := int(raw%30) + 3
+		g := ringGraph(n)
+		return g.Connected() && g.Diameter() == n/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: edge count equals the handshake sum of degrees / 2.
+func TestHandshakeProperty(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		g := New(32)
+		for _, p := range pairs {
+			g.AddEdge(int(p%32), int((p>>5)%32))
+		}
+		sum := 0
+		for v := 0; v < g.N(); v++ {
+			sum += g.Degree(v)
+		}
+		return sum == 2*g.EdgeCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New(5)
+	g.AddEdge(2, 4)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+	n := g.Neighbors(2)
+	want := []int{0, 3, 4}
+	for i := range want {
+		if n[i] != want[i] {
+			t.Fatalf("Neighbors(2) = %v, want %v", n, want)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package metrics implements the statistics used by the experiment harness:
+// multi-run aggregation with means and Student-t confidence intervals
+// (the paper averages every measurement over 25 runs and computes 90%
+// confidence intervals), plus series containers and plain-text tables.
+package metrics
+
+import "math"
+
+// Accumulator computes running mean and variance with Welford's algorithm.
+// The zero value is ready to use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the unbiased sample variance (0 with < 2 observations).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (a *Accumulator) StdErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// CI90 returns the half-width of the two-sided 90% confidence interval for
+// the mean, using the Student-t distribution.
+func (a *Accumulator) CI90() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return tQuantile90(a.n-1) * a.StdErr()
+}
+
+// tQuantile90 returns the two-sided 90% Student-t quantile (i.e. the 0.95
+// one-sided quantile) for the given degrees of freedom. Exact tabulated
+// values up to 30 df, then the normal approximation — the same convention
+// as statistical tables.
+func tQuantile90(df int) float64 {
+	// t_{0.95, df} for df = 1..30.
+	table := [...]float64{
+		6.3138, 2.9200, 2.3534, 2.1318, 2.0150,
+		1.9432, 1.8946, 1.8595, 1.8331, 1.8125,
+		1.7959, 1.7823, 1.7709, 1.7613, 1.7531,
+		1.7459, 1.7396, 1.7341, 1.7291, 1.7247,
+		1.7207, 1.7171, 1.7139, 1.7109, 1.7081,
+		1.7056, 1.7033, 1.7011, 1.6991, 1.6973,
+	}
+	switch {
+	case df <= 0:
+		return 0
+	case df <= len(table):
+		return table[df-1]
+	default:
+		return 1.6449 // z_{0.95}
+	}
+}
+
+// Summary is a frozen view of an accumulator.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	CI90   float64
+}
+
+// Summarize freezes the accumulator into a Summary.
+func Summarize(a *Accumulator) Summary {
+	return Summary{N: a.N(), Mean: a.Mean(), StdDev: a.StdDev(), CI90: a.CI90()}
+}
+
+// AggregateRuns folds per-run sample vectors (runs × points) into per-point
+// summaries. All runs must have the same length; shorter runs are padded
+// conceptually by skipping missing points (points beyond a run's length get
+// fewer observations).
+func AggregateRuns(runs [][]float64) []Summary {
+	points := 0
+	for _, r := range runs {
+		if len(r) > points {
+			points = len(r)
+		}
+	}
+	out := make([]Summary, points)
+	for p := 0; p < points; p++ {
+		var acc Accumulator
+		for _, r := range runs {
+			if p < len(r) {
+				acc.Add(r[p])
+			}
+		}
+		out[p] = Summarize(&acc)
+	}
+	return out
+}

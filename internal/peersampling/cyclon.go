@@ -1,0 +1,176 @@
+// Package peersampling implements a gossip-based peer-sampling service in
+// the style of Cyclon / the Jelasity et al. framework — the "global peer
+// sampling" layer at the bottom of the paper's runtime (Figure 1).
+//
+// Every node maintains a small partial view of random other nodes. Each
+// round a node swaps a few entries (including a fresh descriptor of itself)
+// with the oldest peer in its view. The resulting overlay is a continuously
+// reshuffled random graph: connected with overwhelming probability, with
+// in-degrees concentrated around the view size, and self-healing under
+// churn because descriptors of dead nodes age out through the swaps.
+//
+// Upper layers (UO1, UO2, the shape overlays) use the service both as a
+// stream of uniform random candidates and as the source of the "pinch of
+// randomness" Vicinity needs to escape local minima.
+package peersampling
+
+import (
+	"sosf/internal/sim"
+	"sosf/internal/view"
+)
+
+// Options configure the protocol. Zero fields take defaults.
+type Options struct {
+	// ViewSize is the partial-view capacity (default 16).
+	ViewSize int
+	// Gossip is the shuffle length: how many descriptors each side sends
+	// (default 8, clamped to ViewSize).
+	Gossip int
+	// Bootstrap is how many random existing nodes a joining node learns
+	// from the (simulated) bootstrap service (default 5).
+	Bootstrap int
+}
+
+func (o Options) withDefaults() Options {
+	if o.ViewSize <= 0 {
+		o.ViewSize = 16
+	}
+	if o.Gossip <= 0 {
+		o.Gossip = 8
+	}
+	if o.Gossip > o.ViewSize {
+		o.Gossip = o.ViewSize
+	}
+	if o.Bootstrap <= 0 {
+		o.Bootstrap = 5
+	}
+	return o
+}
+
+// Protocol is the peer-sampling service. Create it with New, register it
+// with the engine before any other layer, then treat it as the candidate
+// source for the upper layers.
+type Protocol struct {
+	opts   Options
+	meter  int
+	states []*view.View // per engine slot
+}
+
+var (
+	_ sim.Protocol   = (*Protocol)(nil)
+	_ sim.MeterAware = (*Protocol)(nil)
+)
+
+// New creates a peer-sampling protocol with the given options.
+func New(opts Options) *Protocol {
+	return &Protocol{opts: opts.withDefaults(), meter: -1}
+}
+
+// Name implements sim.Protocol.
+func (p *Protocol) Name() string { return "rps" }
+
+// SetMeterIndex implements sim.MeterAware.
+func (p *Protocol) SetMeterIndex(i int) { p.meter = i }
+
+// View returns the partial view of the node at slot. The returned view is
+// live protocol state: callers must treat it as read-only.
+func (p *Protocol) View(slot int) *view.View { return p.states[slot] }
+
+// InitNode implements sim.Protocol: it allocates the node's view and seeds
+// it from the simulated bootstrap service (a few uniformly random alive
+// nodes), which is how a fresh node would join a deployed system.
+func (p *Protocol) InitNode(e *sim.Engine, slot int) {
+	for len(p.states) <= slot {
+		p.states = append(p.states, nil)
+	}
+	v := view.New(p.opts.ViewSize)
+	p.states[slot] = v
+	for i := 0; i < p.opts.Bootstrap; i++ {
+		n := e.RandomAlive(slot)
+		if n == nil {
+			break
+		}
+		v.Add(n.Descriptor())
+	}
+}
+
+// Step implements sim.Protocol: one active Cyclon shuffle.
+func (p *Protocol) Step(e *sim.Engine, slot int) {
+	self := e.Node(slot)
+	v := p.states[slot]
+	v.AgeAll()
+
+	partner, _, ok := v.Oldest()
+	if !ok {
+		// Isolated (e.g. mass failure took every contact): re-bootstrap.
+		if n := e.RandomAlive(slot); n != nil {
+			v.Add(n.Descriptor())
+		}
+		return
+	}
+	// The pointer to the partner is consumed by the swap (Cyclon): its
+	// slot will be refilled by the partner's fresh self-descriptor.
+	v.Remove(partner.ID)
+
+	sendBuf := make([]view.Descriptor, 0, p.opts.Gossip)
+	sendBuf = append(sendBuf, self.Descriptor())
+	for _, d := range v.RandomSample(e.Rand(), p.opts.Gossip-1) {
+		if d.ID != partner.ID {
+			sendBuf = append(sendBuf, d)
+		}
+	}
+	p.count(e, sim.DescriptorPayload(len(sendBuf)))
+
+	target := e.Lookup(partner.ID)
+	if target == nil || !target.Alive || !e.DeliverExchange() {
+		// Timeout: the request bytes are spent, the entry stays purged.
+		return
+	}
+
+	// Passive side: reply with a random sample, then merge what it got.
+	tv := p.states[target.Slot]
+	replyBuf := tv.RandomSample(e.Rand(), p.opts.Gossip)
+	p.count(e, sim.DescriptorPayload(len(replyBuf)))
+	mergeCyclon(tv, target.ID, sendBuf, replyBuf)
+
+	// Active side merges the reply, refilling the slots it emptied.
+	mergeCyclon(v, self.ID, replyBuf, sendBuf)
+}
+
+func (p *Protocol) count(e *sim.Engine, bytes int) {
+	if p.meter >= 0 {
+		e.Meter().Count(p.meter, bytes)
+	}
+}
+
+// mergeCyclon folds received descriptors into v following Cyclon's rules:
+// duplicates keep the freshest copy, empty slots are filled first, and when
+// the view is full, entries that were sent to the peer are overwritten.
+// Remaining received descriptors are discarded.
+func mergeCyclon(v *view.View, self view.NodeID, received, sent []view.Descriptor) {
+	replaceable := make([]view.NodeID, 0, len(sent))
+	for _, d := range sent {
+		if d.ID != self {
+			replaceable = append(replaceable, d.ID)
+		}
+	}
+	for _, d := range received {
+		if d.ID == self {
+			continue
+		}
+		if v.Add(d) || v.Contains(d.ID) {
+			continue
+		}
+		// View full: overwrite one of the entries sent away.
+		replaced := false
+		for len(replaceable) > 0 && !replaced {
+			id := replaceable[len(replaceable)-1]
+			replaceable = replaceable[:len(replaceable)-1]
+			if i := v.IndexOf(id); i >= 0 {
+				v.RemoveAt(i)
+				v.Add(d)
+				replaced = true
+			}
+		}
+	}
+}

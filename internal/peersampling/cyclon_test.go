@@ -1,0 +1,223 @@
+package peersampling
+
+import (
+	"testing"
+
+	"sosf/internal/graph"
+	"sosf/internal/sim"
+	"sosf/internal/view"
+)
+
+func buildNetwork(t *testing.T, seed int64, n int, opts Options) (*sim.Engine, *Protocol) {
+	t.Helper()
+	e := sim.New(seed)
+	p := New(opts)
+	e.Register(p)
+	for _, s := range e.AddNodes(n) {
+		e.InitNode(s)
+	}
+	return e, p
+}
+
+func overlayGraph(e *sim.Engine, p *Protocol) *graph.Graph {
+	g := graph.New(e.Size())
+	for slot := 0; slot < e.Size(); slot++ {
+		if !e.Node(slot).Alive {
+			continue
+		}
+		for _, id := range p.View(slot).IDs() {
+			if peer := e.Lookup(id); peer != nil {
+				g.AddEdge(slot, peer.Slot)
+			}
+		}
+	}
+	return g
+}
+
+func TestViewsFillAndStayBounded(t *testing.T) {
+	e, p := buildNetwork(t, 1, 200, Options{ViewSize: 8, Gossip: 4})
+	if _, err := e.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	for slot := 0; slot < e.Size(); slot++ {
+		v := p.View(slot)
+		if v.Len() > 8 {
+			t.Fatalf("slot %d view size %d exceeds capacity", slot, v.Len())
+		}
+		if v.Len() < 6 {
+			t.Fatalf("slot %d view only has %d entries after 30 rounds", slot, v.Len())
+		}
+		if v.Contains(e.Node(slot).ID) {
+			t.Fatalf("slot %d contains itself", slot)
+		}
+	}
+}
+
+func TestOverlayStaysConnected(t *testing.T) {
+	e, p := buildNetwork(t, 2, 300, Options{})
+	if _, err := e.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	if !overlayGraph(e, p).Connected() {
+		t.Fatal("peer-sampling overlay should be connected after 40 rounds")
+	}
+}
+
+func TestInDegreeBalanced(t *testing.T) {
+	e, p := buildNetwork(t, 3, 400, Options{ViewSize: 12, Gossip: 6})
+	if _, err := e.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	indeg := make([]int, e.Size())
+	for slot := 0; slot < e.Size(); slot++ {
+		for _, id := range p.View(slot).IDs() {
+			indeg[e.Lookup(id).Slot]++
+		}
+	}
+	max, zero := 0, 0
+	for _, d := range indeg {
+		if d > max {
+			max = d
+		}
+		if d == 0 {
+			zero++
+		}
+	}
+	// A healthy Cyclon network concentrates in-degrees around ViewSize;
+	// nobody should be orphaned, nobody should be a hotspot.
+	if zero > 0 {
+		t.Fatalf("%d nodes have in-degree 0", zero)
+	}
+	if max > 12*5 {
+		t.Fatalf("in-degree hotspot: max %d, view size 12", max)
+	}
+}
+
+func TestChurnPurgesDeadNodes(t *testing.T) {
+	e, p := buildNetwork(t, 4, 200, Options{ViewSize: 8, Gossip: 4})
+	if _, err := e.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	killed := e.KillFraction(0.2)
+	dead := map[view.NodeID]bool{}
+	for _, s := range killed {
+		dead[e.Node(s).ID] = true
+	}
+	if _, err := e.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	stale, total := 0, 0
+	for slot := 0; slot < e.Size(); slot++ {
+		if !e.Node(slot).Alive {
+			continue
+		}
+		for _, id := range p.View(slot).IDs() {
+			total++
+			if dead[id] {
+				stale++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no view entries at all")
+	}
+	if frac := float64(stale) / float64(total); frac > 0.05 {
+		t.Fatalf("%.1f%% of view entries point to dead nodes after 40 rounds", frac*100)
+	}
+}
+
+func TestRejoinAfterIsolation(t *testing.T) {
+	e, p := buildNetwork(t, 5, 50, Options{ViewSize: 4, Gossip: 2})
+	if _, err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	// Forcefully isolate node 0.
+	p.View(0).Clear()
+	if _, err := e.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if p.View(0).Len() == 0 {
+		t.Fatal("isolated node failed to re-bootstrap")
+	}
+}
+
+func TestSelfDescriptorsPropagateFreshProfiles(t *testing.T) {
+	e, p := buildNetwork(t, 6, 100, Options{})
+	if _, err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	// Change node 0's profile (as a reconfiguration would) and check the
+	// new epoch wins over stale copies in other views.
+	n := e.Node(0)
+	n.Profile.Epoch = 7
+	if _, err := e.Run(15); err != nil {
+		t.Fatal(err)
+	}
+	seen, fresh := 0, 0
+	for slot := 1; slot < e.Size(); slot++ {
+		v := p.View(slot)
+		if i := v.IndexOf(n.ID); i >= 0 {
+			seen++
+			if v.At(i).Profile.Epoch == 7 {
+				fresh++
+			}
+		}
+	}
+	if seen == 0 {
+		t.Fatal("node 0 should appear in some views")
+	}
+	if fresh*2 < seen {
+		t.Fatalf("only %d/%d copies carry the new epoch", fresh, seen)
+	}
+}
+
+func TestBandwidthMetered(t *testing.T) {
+	e, p := buildNetwork(t, 7, 100, Options{ViewSize: 8, Gossip: 4})
+	if _, err := e.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	m := e.Meter()
+	if m.Rounds() != 5 {
+		t.Fatalf("meter rounds = %d, want 5", m.Rounds())
+	}
+	// Every exchange is at most (header + 4 descriptors) twice.
+	perRound := sim.DescriptorPayload(4) * 2 * 100
+	for r := 0; r < 5; r++ {
+		got := m.RoundTotal(r, 0)
+		if got <= 0 || got > int64(perRound) {
+			t.Fatalf("round %d bandwidth %d outside (0, %d]", r, got, perRound)
+		}
+	}
+	_ = p
+}
+
+func TestMessageLossDoesNotBreakOverlay(t *testing.T) {
+	e, p := buildNetwork(t, 8, 200, Options{})
+	e.SetLossRate(0.3)
+	if _, err := e.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	empty := 0
+	for slot := 0; slot < e.Size(); slot++ {
+		if p.View(slot).Len() == 0 {
+			empty++
+		}
+	}
+	if empty > 0 {
+		t.Fatalf("%d nodes isolated under 30%% loss", empty)
+	}
+	if !overlayGraph(e, p).Connected() {
+		t.Fatal("overlay should survive 30% message loss")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.ViewSize != 16 || o.Gossip != 8 || o.Bootstrap != 5 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	o = Options{ViewSize: 4, Gossip: 100}.withDefaults()
+	if o.Gossip != 4 {
+		t.Fatalf("gossip should clamp to view size, got %d", o.Gossip)
+	}
+}

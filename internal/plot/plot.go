@@ -1,0 +1,155 @@
+// Package plot renders experiment results in three formats: gnuplot-style
+// .dat files (the format the paper's figures were produced from), quick
+// ASCII charts for terminals, and self-contained SVG line charts — all
+// stdlib only.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sosf/internal/metrics"
+)
+
+// DAT renders series sharing an x-axis as a gnuplot-compatible data file:
+// a comment header, then one row per x value with mean and 90% CI columns
+// per series. Missing points render as "?" (gnuplot's missing datum).
+func DAT(xLabel string, series ...*metrics.Series) string {
+	var b strings.Builder
+	b.WriteString("# " + xLabel)
+	for _, s := range series {
+		fmt.Fprintf(&b, "\t%s\tci90", strings.ReplaceAll(s.Name, " ", "_"))
+	}
+	b.WriteString("\n")
+
+	xs := unionX(series)
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range series {
+			if p, ok := pointAt(s, x); ok {
+				fmt.Fprintf(&b, "\t%.4f\t%.4f", p.Mean, p.CI90)
+			} else {
+				b.WriteString("\t?\t?")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func unionX(series []*metrics.Series) []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sortFloats(xs)
+	return xs
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func pointAt(s *metrics.Series, x float64) (metrics.Summary, bool) {
+	for i, sx := range s.X {
+		if sx == x {
+			return s.Points[i], true
+		}
+	}
+	return metrics.Summary{}, false
+}
+
+// ASCII renders series as a fixed-size terminal chart with one glyph per
+// series, a y-axis scale, and a legend. logX plots x positions on a log
+// scale (the paper's Figure 2 style).
+func ASCII(title, xLabel string, logX bool, series ...*metrics.Series) string {
+	const width, height = 64, 16
+	glyphs := []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+	xs := unionX(series)
+	if len(xs) == 0 {
+		return title + "\n(no data)\n"
+	}
+	xMin, xMax := xs[0], xs[len(xs)-1]
+	yMax := 0.0
+	for _, s := range series {
+		if m := s.YMax(); m > yMax {
+			yMax = m
+		}
+	}
+	if yMax == 0 {
+		yMax = 1
+	}
+	xPos := func(x float64) int {
+		if xMax == xMin {
+			return 0
+		}
+		f := 0.0
+		if logX && xMin > 0 {
+			f = (math.Log(x) - math.Log(xMin)) / (math.Log(xMax) - math.Log(xMin))
+		} else {
+			f = (x - xMin) / (xMax - xMin)
+		}
+		col := int(f * float64(width-1))
+		if col < 0 {
+			col = 0
+		}
+		if col >= width {
+			col = width - 1
+		}
+		return col
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i, x := range s.X {
+			row := height - 1 - int(s.Points[i].Mean/yMax*float64(height-1)+0.5)
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][xPos(x)] = g
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	for r, row := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.1f ", yMax)
+		case height - 1:
+			label = fmt.Sprintf("%7.1f ", 0.0)
+		}
+		b.WriteString(label + "|" + string(row) + "\n")
+	}
+	b.WriteString("        +" + strings.Repeat("-", width) + "\n")
+	b.WriteString(fmt.Sprintf("         %-10g%*s\n", xMin, width-8, fmt.Sprintf("%g", xMax)))
+	b.WriteString("         x: " + xLabel)
+	if logX {
+		b.WriteString(" (log scale)")
+	}
+	b.WriteString("\n")
+	for si, s := range series {
+		fmt.Fprintf(&b, "         %c %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"sosf/internal/metrics"
+)
+
+func sampleSeries() (*metrics.Series, *metrics.Series) {
+	a := &metrics.Series{Name: "Elementary Topology"}
+	a.Append(100, metrics.Summary{Mean: 8, CI90: 0.5})
+	a.Append(1000, metrics.Summary{Mean: 15, CI90: 0.8})
+	a.Append(10000, metrics.Summary{Mean: 24, CI90: 1.1})
+	b := &metrics.Series{Name: "Port Selection"}
+	b.Append(100, metrics.Summary{Mean: 5, CI90: 0.2})
+	b.Append(10000, metrics.Summary{Mean: 12, CI90: 0.7})
+	return a, b
+}
+
+func TestDAT(t *testing.T) {
+	a, b := sampleSeries()
+	out := DAT("nodes", a, b)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want header + 3 rows", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "# nodes") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[0], "Elementary_Topology") {
+		t.Fatalf("header lacks underscored series name: %q", lines[0])
+	}
+	// Row for x=1000 must mark the missing b-point with ?.
+	if !strings.Contains(lines[2], "?") {
+		t.Fatalf("missing point not marked: %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[1], "100\t8.0000\t0.5000") {
+		t.Fatalf("first row = %q", lines[1])
+	}
+}
+
+func TestASCII(t *testing.T) {
+	a, b := sampleSeries()
+	out := ASCII("Fig 2", "nodes", true, a, b)
+	if !strings.Contains(out, "Fig 2") || !strings.Contains(out, "(log scale)") {
+		t.Fatalf("chart missing title or scale note:\n%s", out)
+	}
+	if !strings.Contains(out, "* Elementary Topology") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatal("series glyphs missing")
+	}
+}
+
+func TestASCIIEmpty(t *testing.T) {
+	out := ASCII("empty", "x", false)
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty chart = %q", out)
+	}
+}
+
+func TestSVG(t *testing.T) {
+	a, b := sampleSeries()
+	out := SVG("Figure 2", "# of Nodes", "# of rounds to converge", true, a, b)
+	for _, want := range []string{
+		"<svg", "</svg>", "Figure 2", "# of Nodes",
+		"Elementary Topology", "Port Selection", "<path", "<circle",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// CI error bars: at least one vertical line per point with ci > 0.
+	if strings.Count(out, "<line") < 10 {
+		t.Fatal("expected axis ticks and error bars")
+	}
+}
+
+func TestSVGEscapes(t *testing.T) {
+	s := &metrics.Series{Name: "a<b & c"}
+	s.Append(1, metrics.Summary{Mean: 1})
+	out := SVG(`t"`, "x", "y", false, s)
+	if strings.Contains(out, "a<b") {
+		t.Fatal("series name not escaped")
+	}
+	if !strings.Contains(out, "a&lt;b &amp; c") {
+		t.Fatal("expected escaped name")
+	}
+}
+
+func TestSVGEmpty(t *testing.T) {
+	out := SVG("t", "x", "y", false)
+	if !strings.HasPrefix(out, "<svg") {
+		t.Fatalf("empty SVG = %q", out)
+	}
+}
+
+func TestUnionXSorted(t *testing.T) {
+	a := &metrics.Series{Name: "a"}
+	a.Append(5, metrics.Summary{})
+	a.Append(1, metrics.Summary{})
+	b := &metrics.Series{Name: "b"}
+	b.Append(3, metrics.Summary{})
+	b.Append(1, metrics.Summary{})
+	xs := unionX([]*metrics.Series{a, b})
+	want := []float64{1, 3, 5}
+	if len(xs) != 3 {
+		t.Fatalf("xs = %v", xs)
+	}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Fatalf("xs = %v, want %v", xs, want)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sosf/internal/metrics"
+)
+
+// svgPalette is a color-blind-friendly line palette.
+var svgPalette = []string{
+	"#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00", "#56b4e9", "#f0e442", "#000000",
+}
+
+// SVG renders series as a self-contained SVG line chart with axes, ticks,
+// error bars (90% CI) and a legend. logX switches the x-axis to log scale.
+func SVG(title, xLabel, yLabel string, logX bool, series ...*metrics.Series) string {
+	const (
+		w, h                     = 640, 420
+		padL, padR, padT, padB   = 70, 20, 40, 60
+		plotW, plotH             = w - padL - padR, h - padT - padB
+		tickLen                  = 5
+		legendLineH, legendPad   = 18, 8
+		titleSize, labelFontSize = 16, 12
+	)
+
+	xs := unionX(series)
+	if len(xs) == 0 {
+		return `<svg xmlns="http://www.w3.org/2000/svg"/>`
+	}
+	xMin, xMax := xs[0], xs[len(xs)-1]
+	yMax := 0.0
+	for _, s := range series {
+		for _, p := range s.Points {
+			if v := p.Mean + p.CI90; v > yMax {
+				yMax = v
+			}
+		}
+	}
+	if yMax <= 0 {
+		yMax = 1
+	}
+	yMax *= 1.05
+
+	xPix := func(x float64) float64 {
+		var f float64
+		if xMax == xMin {
+			f = 0.5
+		} else if logX && xMin > 0 {
+			f = (math.Log(x) - math.Log(xMin)) / (math.Log(xMax) - math.Log(xMin))
+		} else {
+			f = (x - xMin) / (xMax - xMin)
+		}
+		return padL + f*float64(plotW)
+	}
+	yPix := func(y float64) float64 {
+		return padT + (1-y/yMax)*float64(plotH)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="%d" font-family="sans-serif" text-anchor="middle">%s</text>`,
+		w/2, padT-16, titleSize, escape(title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`, padL, padT, padL, padT+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`, padL, padT+plotH, padL+plotW, padT+plotH)
+
+	// Y ticks (5 divisions).
+	for i := 0; i <= 5; i++ {
+		y := yMax * float64(i) / 5
+		py := yPix(y)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`, padL-tickLen, py, padL, py)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="%d" font-family="sans-serif" text-anchor="end">%s</text>`,
+			padL-tickLen-3, py+4, labelFontSize, trimTick(y))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`, padL, py, padL+plotW, py)
+	}
+	// X ticks at data points (thinned to at most 10).
+	step := 1
+	if len(xs) > 10 {
+		step = (len(xs) + 9) / 10
+	}
+	for i := 0; i < len(xs); i += step {
+		px := xPix(xs[i])
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`,
+			px, padT+plotH, px, padT+plotH+tickLen)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="%d" font-family="sans-serif" text-anchor="middle">%s</text>`,
+			px, padT+plotH+tickLen+14, labelFontSize, trimTick(xs[i]))
+	}
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="%d" font-family="sans-serif" text-anchor="middle">%s</text>`,
+		padL+plotW/2, h-24, labelFontSize+1, escape(xLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-size="%d" font-family="sans-serif" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`,
+		padT+plotH/2, labelFontSize+1, padT+plotH/2, escape(yLabel))
+
+	// Series.
+	for si, s := range series {
+		color := svgPalette[si%len(svgPalette)]
+		var path strings.Builder
+		for i, x := range s.X {
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, xPix(x), yPix(s.Points[i].Mean))
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.8"/>`, strings.TrimSpace(path.String()), color)
+		for i, x := range s.X {
+			px, py := xPix(x), yPix(s.Points[i].Mean)
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.6" fill="%s"/>`, px, py, color)
+			if ci := s.Points[i].CI90; ci > 0 {
+				fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`,
+					px, yPix(s.Points[i].Mean-ci), px, yPix(s.Points[i].Mean+ci), color)
+			}
+		}
+		// Legend entry.
+		ly := padT + legendPad + si*legendLineH
+		lx := padL + 12
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`,
+			lx, ly, lx+22, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="%d" font-family="sans-serif">%s</text>`,
+			lx+28, ly+4, labelFontSize, escape(s.Name))
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+func trimTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.2g", v)
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,180 @@
+package shapes
+
+import "sosf/internal/view"
+
+// Grid arranges members on a Width-column lattice: member i sits at cell
+// (i mod Width, i div Width) and links to its 4-neighborhood. When n is not
+// a multiple of Width the last row is simply shorter (a "ragged" grid),
+// which keeps the target well-defined for any component size — component
+// sizes fluctuate under churn and proportional node assignment.
+type Grid struct {
+	// Width is the number of columns (>= 1).
+	Width int32
+}
+
+var _ Shape = Grid{}
+
+// Name implements Shape.
+func (Grid) Name() string { return "grid" }
+
+// Neighbors implements Shape.
+func (g Grid) Neighbors(i, n int) []int {
+	w := int(g.Width)
+	if w < 1 {
+		w = 1
+	}
+	x, y := i%w, i/w
+	var out []int
+	if x > 0 {
+		out = append(out, i-1)
+	}
+	if x+1 < w && i+1 < n {
+		out = append(out, i+1)
+	}
+	if y > 0 {
+		out = append(out, i-w)
+	}
+	if i+w < n {
+		out = append(out, i+w)
+	}
+	return out
+}
+
+// Rank implements Shape: Manhattan distance between lattice cells.
+func (g Grid) Rank(o, c view.Profile) float64 {
+	w := g.Width
+	if w < 1 {
+		w = 1
+	}
+	return float64(absDiff(o.Index%w, c.Index%w) + absDiff(o.Index/w, c.Index/w))
+}
+
+// Capacity implements Shape.
+func (Grid) Capacity(view.Profile) int { return 4 + slack }
+
+// Torus is a Grid whose rows and columns wrap around, so every member has
+// a full 4-neighborhood (for components of at least 3 rows and columns).
+// Ragged last rows wrap to the nearest cell of the destination row.
+type Torus struct {
+	// Width is the number of columns (>= 1).
+	Width int32
+}
+
+var _ Shape = Torus{}
+
+// Name implements Shape.
+func (Torus) Name() string { return "torus" }
+
+// rows returns the number of (possibly ragged) rows for n members.
+func (t Torus) rows(n int) int {
+	w := int(t.Width)
+	if w < 1 {
+		w = 1
+	}
+	return (n + w - 1) / w
+}
+
+// rowLen returns the length of row r.
+func (t Torus) rowLen(r, n int) int {
+	w := int(t.Width)
+	if w < 1 {
+		w = 1
+	}
+	l := n - r*w
+	if l > w {
+		l = w
+	}
+	return l
+}
+
+// Neighbors implements Shape.
+func (t Torus) Neighbors(i, n int) []int {
+	w := int(t.Width)
+	if w < 1 {
+		w = 1
+	}
+	x, y := i%w, i/w
+	rows := t.rows(n)
+	var out []int
+	if l := t.rowLen(y, n); l > 1 {
+		out = append(out, y*w+(x+1)%l, y*w+(x+l-1)%l)
+	}
+	if rows > 1 {
+		down := (y + 1) % rows
+		up := (y + rows - 1) % rows
+		clamp := func(r int) int {
+			xx := x
+			if l := t.rowLen(r, n); xx >= l {
+				xx = l - 1
+			}
+			return r*w + xx
+		}
+		out = append(out, clamp(down), clamp(up))
+	}
+	// Deduplicate (tiny components can make up == down etc.).
+	seen := make(map[int]struct{}, len(out))
+	uniq := out[:0]
+	for _, j := range out {
+		if j == i {
+			continue
+		}
+		if _, ok := seen[j]; ok {
+			continue
+		}
+		seen[j] = struct{}{}
+		uniq = append(uniq, j)
+	}
+	return uniq
+}
+
+// Rank implements Shape: Manhattan distance with wraparound on both axes.
+func (t Torus) Rank(o, c view.Profile) float64 {
+	w := t.Width
+	if w < 1 {
+		w = 1
+	}
+	rows := int32(t.rows(int(o.Size)))
+	dx := cyclicDist(o.Index%w, c.Index%w, w)
+	dy := cyclicDist(o.Index/w, c.Index/w, rows)
+	return float64(dx + dy)
+}
+
+// Capacity implements Shape.
+func (Torus) Capacity(view.Profile) int { return 4 + slack }
+
+// Hypercube arranges members on a binary hypercube: member i links to every
+// index obtained by flipping one bit of i (when that index is a member).
+type Hypercube struct{}
+
+var _ Shape = Hypercube{}
+
+// Name implements Shape.
+func (Hypercube) Name() string { return "hypercube" }
+
+// Neighbors implements Shape.
+func (Hypercube) Neighbors(i, n int) []int {
+	var out []int
+	for b := 0; b < bitsFor(n); b++ {
+		j := i ^ (1 << b)
+		if j < n {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Rank implements Shape: Hamming distance between indices.
+func (Hypercube) Rank(o, c view.Profile) float64 {
+	x := uint32(o.Index) ^ uint32(c.Index)
+	count := 0
+	for x != 0 {
+		x &= x - 1
+		count++
+	}
+	return float64(count)
+}
+
+// Capacity implements Shape.
+func (h Hypercube) Capacity(p view.Profile) int {
+	return bitsFor(int(p.Size)) + slack
+}

@@ -1,0 +1,35 @@
+package sim
+
+// Churn continuously replaces a fraction of the population each round:
+// after every round it kills `Rate × alive` random nodes and adds the same
+// number of fresh ones, keeping the population size stable — the standard
+// churn model in gossip-overlay evaluations.
+//
+// Join is invoked with the slots of the freshly added nodes so the runtime
+// can assign profiles and bootstrap their protocol state; it must call
+// Engine.InitNode for each slot.
+type Churn struct {
+	Rate  float64
+	From  int // first round at which churn applies
+	Until int // last round (inclusive); 0 means "forever"
+	Join  func(e *Engine, slots []int)
+}
+
+var _ Observer = (*Churn)(nil)
+
+// AfterRound implements Observer.
+func (c *Churn) AfterRound(e *Engine) bool {
+	round := e.Round() - 1 // the round that just completed
+	if round < c.From || (c.Until > 0 && round > c.Until) {
+		return false
+	}
+	killed := e.KillFraction(c.Rate)
+	if len(killed) == 0 {
+		return false
+	}
+	slots := e.AddNodes(len(killed))
+	if c.Join != nil {
+		c.Join(e, slots)
+	}
+	return false
+}

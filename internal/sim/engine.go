@@ -1,0 +1,328 @@
+// Package sim implements a deterministic, cycle-driven peer-to-peer
+// simulation engine in the style of PeerSim's cycle-driven mode, which is
+// the substrate the paper's evaluation runs on.
+//
+// The engine owns a population of nodes, a stack of protocols, a round
+// scheduler, churn and failure injection, per-protocol bandwidth metering,
+// and per-round observers. Everything is driven from a single seeded random
+// source, so a (seed, configuration) pair fully determines a run — this is
+// what makes the paper's "averaged over 25 runs" methodology reproducible.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"sosf/internal/view"
+)
+
+// Protocol is one layer of the per-node gossip stack. The engine calls
+// InitNode when a node joins (or re-joins after a reconfiguration) and Step
+// once per node per round, in registration order, mirroring a PeerSim
+// cycle-driven protocol stack.
+//
+// Protocols store their per-node state in their own slot-indexed storage;
+// the engine guarantees slots are dense and stable for the lifetime of a
+// run (dead nodes keep their slot).
+type Protocol interface {
+	// Name identifies the protocol in bandwidth reports and traces.
+	Name() string
+	// InitNode prepares per-node state for the node occupying slot.
+	InitNode(e *Engine, slot int)
+	// Step runs one active cycle for the node occupying slot. The node is
+	// guaranteed alive when Step is invoked.
+	Step(e *Engine, slot int)
+}
+
+// Observer is invoked after every completed round; returning stop=true ends
+// the run early (used by convergence-driven experiments).
+type Observer interface {
+	AfterRound(e *Engine) (stop bool)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(e *Engine) bool
+
+// AfterRound implements Observer.
+func (f ObserverFunc) AfterRound(e *Engine) bool { return f(e) }
+
+// Node is one simulated process. Slot is its dense index in the engine;
+// ID is its globally unique, never-reused identity. Profile is assigned by
+// the runtime's role allocator and carried inside gossip descriptors.
+type Node struct {
+	Slot    int
+	ID      view.NodeID
+	Alive   bool
+	Joined  int // round at which the node (last) joined
+	Profile view.Profile
+}
+
+// Descriptor returns a fresh (age-0) descriptor advertising this node.
+func (n *Node) Descriptor() view.Descriptor {
+	return view.Descriptor{ID: n.ID, Age: 0, Profile: n.Profile}
+}
+
+// Engine is the simulation kernel.
+type Engine struct {
+	rng       *rand.Rand
+	nodes     []*Node
+	slotByID  map[view.NodeID]int
+	protocols []Protocol
+	observers []Observer
+	meter     *Meter
+	round     int
+	nextID    view.NodeID
+	lossRate  float64
+	stepOrder []int // scratch buffer reused every round
+}
+
+// ErrNoProtocols is returned by Run when the engine has no protocol stack.
+var ErrNoProtocols = errors.New("sim: engine has no registered protocols")
+
+// New creates an engine seeded with the given seed.
+func New(seed int64) *Engine {
+	return &Engine{
+		rng:      rand.New(rand.NewSource(seed)),
+		slotByID: make(map[view.NodeID]int),
+		meter:    NewMeter(),
+	}
+}
+
+// Rand exposes the engine's random source. All randomness in a simulation
+// must flow from here to preserve determinism.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Round returns the index of the round currently executing (or, between
+// rounds, the number of completed rounds).
+func (e *Engine) Round() int { return e.round }
+
+// Meter returns the bandwidth meter.
+func (e *Engine) Meter() *Meter { return e.meter }
+
+// SetLossRate configures the probability that any single gossip exchange
+// fails in transit (request lost). Used by failure-injection tests.
+func (e *Engine) SetLossRate(p float64) { e.lossRate = p }
+
+// LossRate returns the configured message loss probability.
+func (e *Engine) LossRate() float64 { return e.lossRate }
+
+// MeterAware is implemented by protocols that meter their own bandwidth;
+// Register hands them their meter index.
+type MeterAware interface {
+	SetMeterIndex(int)
+}
+
+// Register appends a protocol to the stack. Protocols step in registration
+// order within each node's turn. Register must be called before AddNodes.
+func (e *Engine) Register(p Protocol) int {
+	e.protocols = append(e.protocols, p)
+	idx := e.meter.AddProtocol(p.Name())
+	if ma, ok := p.(MeterAware); ok {
+		ma.SetMeterIndex(idx)
+	}
+	return len(e.protocols) - 1
+}
+
+// Protocols returns the registered protocol stack.
+func (e *Engine) Protocols() []Protocol {
+	out := make([]Protocol, len(e.protocols))
+	copy(out, e.protocols)
+	return out
+}
+
+// Observe appends a per-round observer.
+func (e *Engine) Observe(o Observer) { e.observers = append(e.observers, o) }
+
+// AddNodes creates n fresh nodes, returning their slots. The caller is
+// expected to assign profiles (via the allocator) before initializing
+// protocols with InitNode or Bootstrap.
+func (e *Engine) AddNodes(n int) []int {
+	slots := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		node := &Node{
+			Slot:   len(e.nodes),
+			ID:     e.nextID,
+			Alive:  true,
+			Joined: e.round,
+		}
+		e.nextID++
+		e.slotByID[node.ID] = node.Slot
+		e.nodes = append(e.nodes, node)
+		slots = append(slots, node.Slot)
+	}
+	return slots
+}
+
+// InitNode runs every protocol's InitNode for the given slot. Call after
+// the node's profile is assigned.
+func (e *Engine) InitNode(slot int) {
+	for _, p := range e.protocols {
+		p.InitNode(e, slot)
+	}
+}
+
+// Node returns the node occupying slot.
+func (e *Engine) Node(slot int) *Node { return e.nodes[slot] }
+
+// Size returns the total number of slots ever allocated (alive + dead).
+func (e *Engine) Size() int { return len(e.nodes) }
+
+// Lookup resolves a node ID to its node, or nil if unknown.
+func (e *Engine) Lookup(id view.NodeID) *Node {
+	slot, ok := e.slotByID[id]
+	if !ok {
+		return nil
+	}
+	return e.nodes[slot]
+}
+
+// IsAlive reports whether the node with the given ID exists and is alive.
+func (e *Engine) IsAlive(id view.NodeID) bool {
+	n := e.Lookup(id)
+	return n != nil && n.Alive
+}
+
+// AliveSlots returns the slots of all alive nodes in slot order.
+func (e *Engine) AliveSlots() []int {
+	out := make([]int, 0, len(e.nodes))
+	for _, n := range e.nodes {
+		if n.Alive {
+			out = append(out, n.Slot)
+		}
+	}
+	return out
+}
+
+// AliveCount returns the number of alive nodes.
+func (e *Engine) AliveCount() int {
+	c := 0
+	for _, n := range e.nodes {
+		if n.Alive {
+			c++
+		}
+	}
+	return c
+}
+
+// RandomAlive returns a uniformly random alive node other than exclude
+// (pass a negative slot to exclude nothing), or nil if none exists. It is
+// O(1) in the common case and falls back to a scan when the population is
+// mostly dead.
+func (e *Engine) RandomAlive(exclude int) *Node {
+	if len(e.nodes) == 0 {
+		return nil
+	}
+	for tries := 0; tries < 16; tries++ {
+		n := e.nodes[e.rng.Intn(len(e.nodes))]
+		if n.Alive && n.Slot != exclude {
+			return n
+		}
+	}
+	alive := e.AliveSlots()
+	candidates := alive[:0]
+	for _, s := range alive {
+		if s != exclude {
+			candidates = append(candidates, s)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	return e.nodes[candidates[e.rng.Intn(len(candidates))]]
+}
+
+// Kill marks the node at slot dead. Dead nodes stop stepping and refuse
+// exchanges; their descriptors decay out of peers' views.
+func (e *Engine) Kill(slot int) {
+	e.nodes[slot].Alive = false
+}
+
+// Revive brings a dead node back (fresh join semantics: the caller must
+// re-assign a profile and re-run InitNode).
+func (e *Engine) Revive(slot int) {
+	n := e.nodes[slot]
+	n.Alive = true
+	n.Joined = e.round
+}
+
+// KillFraction kills ceil(f × alive) uniformly random alive nodes and
+// returns their slots. Used for catastrophic-failure experiments.
+func (e *Engine) KillFraction(f float64) []int {
+	alive := e.AliveSlots()
+	n := int(f*float64(len(alive)) + 0.5)
+	if n <= 0 {
+		return nil
+	}
+	if n > len(alive) {
+		n = len(alive)
+	}
+	e.rng.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
+	killed := alive[:n]
+	for _, s := range killed {
+		e.Kill(s)
+	}
+	return killed
+}
+
+// DeliverExchange applies the configured loss rate to one request/response
+// exchange, returning false if the exchange is lost in transit.
+func (e *Engine) DeliverExchange() bool {
+	if e.lossRate <= 0 {
+		return true
+	}
+	return e.rng.Float64() >= e.lossRate
+}
+
+// RunRound executes one full round: every alive node, in a freshly
+// shuffled order, steps each protocol in stack order; then observers run.
+// It reports whether any observer requested a stop.
+func (e *Engine) RunRound() (stop bool) {
+	e.stepOrder = e.stepOrder[:0]
+	for _, n := range e.nodes {
+		if n.Alive {
+			e.stepOrder = append(e.stepOrder, n.Slot)
+		}
+	}
+	e.rng.Shuffle(len(e.stepOrder), func(i, j int) {
+		e.stepOrder[i], e.stepOrder[j] = e.stepOrder[j], e.stepOrder[i]
+	})
+	for _, slot := range e.stepOrder {
+		// A node can die mid-round (not in the base model, but hooks may
+		// kill it); re-check before stepping.
+		if !e.nodes[slot].Alive {
+			continue
+		}
+		for _, p := range e.protocols {
+			p.Step(e, slot)
+		}
+	}
+	e.meter.EndRound()
+	e.round++
+	for _, o := range e.observers {
+		if o.AfterRound(e) {
+			stop = true
+		}
+	}
+	return stop
+}
+
+// Run executes up to maxRounds rounds, stopping early if an observer asks
+// to. It returns the number of rounds executed in this call.
+func (e *Engine) Run(maxRounds int) (int, error) {
+	if len(e.protocols) == 0 {
+		return 0, ErrNoProtocols
+	}
+	for i := 0; i < maxRounds; i++ {
+		if e.RunRound() {
+			return i + 1, nil
+		}
+	}
+	return maxRounds, nil
+}
+
+// String summarizes the engine state.
+func (e *Engine) String() string {
+	return fmt.Sprintf("sim.Engine{round=%d nodes=%d alive=%d protocols=%d}",
+		e.round, len(e.nodes), e.AliveCount(), len(e.protocols))
+}

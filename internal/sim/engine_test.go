@@ -1,0 +1,275 @@
+package sim
+
+import (
+	"testing"
+
+	"sosf/internal/view"
+)
+
+// countingProtocol records how many times each slot stepped.
+type countingProtocol struct {
+	name  string
+	inits []int
+	steps []int
+}
+
+func (c *countingProtocol) Name() string { return c.name }
+
+func (c *countingProtocol) InitNode(e *Engine, slot int) {
+	for len(c.inits) <= slot {
+		c.inits = append(c.inits, 0)
+	}
+	c.inits[slot]++
+}
+
+func (c *countingProtocol) Step(e *Engine, slot int) {
+	for len(c.steps) <= slot {
+		c.steps = append(c.steps, 0)
+	}
+	c.steps[slot]++
+}
+
+func newTestEngine(t *testing.T, n int) (*Engine, *countingProtocol) {
+	t.Helper()
+	e := New(42)
+	p := &countingProtocol{name: "count"}
+	e.Register(p)
+	slots := e.AddNodes(n)
+	for _, s := range slots {
+		e.InitNode(s)
+	}
+	return e, p
+}
+
+func TestRunStepsEveryAliveNode(t *testing.T) {
+	e, p := newTestEngine(t, 10)
+	rounds, err := e.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 3 {
+		t.Fatalf("rounds = %d, want 3", rounds)
+	}
+	for slot, n := range p.steps {
+		if n != 3 {
+			t.Fatalf("slot %d stepped %d times, want 3", slot, n)
+		}
+	}
+}
+
+func TestRunWithoutProtocolsFails(t *testing.T) {
+	e := New(1)
+	if _, err := e.Run(1); err == nil {
+		t.Fatal("Run on an empty stack should fail")
+	}
+}
+
+func TestDeadNodesDoNotStep(t *testing.T) {
+	e, p := newTestEngine(t, 4)
+	e.Kill(2)
+	if _, err := e.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if p.steps[2] != 0 {
+		t.Fatalf("dead slot stepped %d times, want 0", p.steps[2])
+	}
+	if e.AliveCount() != 3 {
+		t.Fatalf("AliveCount = %d, want 3", e.AliveCount())
+	}
+}
+
+func TestObserverStopsRun(t *testing.T) {
+	e, _ := newTestEngine(t, 4)
+	e.Observe(ObserverFunc(func(e *Engine) bool { return e.Round() >= 2 }))
+	rounds, err := e.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 2 {
+		t.Fatalf("rounds = %d, want early stop after 2", rounds)
+	}
+}
+
+func TestNodeIDsNeverReused(t *testing.T) {
+	e, _ := newTestEngine(t, 3)
+	e.Kill(0)
+	slots := e.AddNodes(2)
+	ids := map[view.NodeID]bool{}
+	for _, n := range []int{0, 1, 2, slots[0], slots[1]} {
+		id := e.Node(n).ID
+		if ids[id] {
+			t.Fatalf("node ID %d reused", id)
+		}
+		ids[id] = true
+	}
+}
+
+func TestLookup(t *testing.T) {
+	e, _ := newTestEngine(t, 2)
+	id := e.Node(1).ID
+	if n := e.Lookup(id); n == nil || n.Slot != 1 {
+		t.Fatalf("Lookup(%d) = %v, want slot 1", id, n)
+	}
+	if e.Lookup(view.NodeID(999)) != nil {
+		t.Fatal("Lookup of unknown ID should return nil")
+	}
+	if !e.IsAlive(id) {
+		t.Fatal("node 1 should be alive")
+	}
+	e.Kill(1)
+	if e.IsAlive(id) {
+		t.Fatal("killed node should not be alive")
+	}
+}
+
+func TestKillFraction(t *testing.T) {
+	e, _ := newTestEngine(t, 100)
+	killed := e.KillFraction(0.3)
+	if len(killed) != 30 {
+		t.Fatalf("killed %d nodes, want 30", len(killed))
+	}
+	if e.AliveCount() != 70 {
+		t.Fatalf("AliveCount = %d, want 70", e.AliveCount())
+	}
+	if got := e.KillFraction(0); got != nil {
+		t.Fatalf("KillFraction(0) = %v, want nil", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	trace := func(seed int64) []int {
+		e := New(seed)
+		p := &countingProtocol{name: "count"}
+		e.Register(p)
+		for _, s := range e.AddNodes(50) {
+			e.InitNode(s)
+		}
+		var order []int
+		e.Observe(ObserverFunc(func(e *Engine) bool {
+			order = append(order, e.KillFraction(0.02)...)
+			return false
+		}))
+		if _, err := e.Run(20); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	a, b := trace(7), trace(7)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := trace(8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same && len(a) > 0 {
+		t.Fatal("different seeds should (overwhelmingly) produce different traces")
+	}
+}
+
+func TestMeterHistory(t *testing.T) {
+	m := NewMeter()
+	a := m.AddProtocol("a")
+	b := m.AddProtocol("b")
+	m.Count(a, 10)
+	m.Count(b, 5)
+	m.Count(a, 1)
+	m.EndRound()
+	m.Count(b, 7)
+	m.EndRound()
+	if m.Rounds() != 2 {
+		t.Fatalf("Rounds = %d, want 2", m.Rounds())
+	}
+	if got := m.RoundTotal(0, a); got != 11 {
+		t.Fatalf("round 0 proto a = %d, want 11", got)
+	}
+	if got := m.RoundSum(0); got != 16 {
+		t.Fatalf("round 0 sum = %d, want 16", got)
+	}
+	if got := m.RoundSum(1, a); got != 0 {
+		t.Fatalf("round 1 proto a = %d, want 0", got)
+	}
+	if got := m.Total(b); got != 12 {
+		t.Fatalf("total proto b = %d, want 12", got)
+	}
+}
+
+func TestChurnReplacesNodes(t *testing.T) {
+	e, _ := newTestEngine(t, 100)
+	joined := 0
+	e.Observe(&Churn{
+		Rate: 0.1,
+		Join: func(e *Engine, slots []int) {
+			joined += len(slots)
+			for _, s := range slots {
+				e.InitNode(s)
+			}
+		},
+	})
+	if _, err := e.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if e.AliveCount() != 100 {
+		t.Fatalf("population drifted: alive = %d, want 100", e.AliveCount())
+	}
+	if joined != 50 {
+		t.Fatalf("joined = %d, want 50 (10%% of 100 over 5 rounds)", joined)
+	}
+}
+
+func TestChurnWindow(t *testing.T) {
+	e, _ := newTestEngine(t, 50)
+	e.Observe(&Churn{
+		Rate: 0.1, From: 2, Until: 3,
+		Join: func(e *Engine, slots []int) {
+			for _, s := range slots {
+				e.InitNode(s)
+			}
+		},
+	})
+	if _, err := e.Run(6); err != nil {
+		t.Fatal(err)
+	}
+	// Churn only in rounds 2 and 3: 2 × 5 nodes replaced.
+	if e.Size() != 60 {
+		t.Fatalf("total slots = %d, want 60", e.Size())
+	}
+}
+
+func TestWireSizes(t *testing.T) {
+	if got := DescriptorPayload(0); got != HeaderBytes {
+		t.Fatalf("empty payload = %d, want header only (%d)", got, HeaderBytes)
+	}
+	if got := DescriptorPayload(3); got != HeaderBytes+3*DescriptorBytes {
+		t.Fatalf("DescriptorPayload(3) = %d", got)
+	}
+	if got := PortRecordPayload(2); got != HeaderBytes+2*PortRecordBytes {
+		t.Fatalf("PortRecordPayload(2) = %d", got)
+	}
+	if got := PortQueryPayload(); got != HeaderBytes+PortQueryBytes {
+		t.Fatalf("PortQueryPayload() = %d", got)
+	}
+}
+
+func TestDeliverExchangeLoss(t *testing.T) {
+	e := New(3)
+	e.SetLossRate(1.0)
+	if e.DeliverExchange() {
+		t.Fatal("loss rate 1.0 must drop every exchange")
+	}
+	e.SetLossRate(0)
+	if !e.DeliverExchange() {
+		t.Fatal("loss rate 0 must deliver every exchange")
+	}
+}

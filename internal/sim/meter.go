@@ -1,0 +1,79 @@
+package sim
+
+// Meter accumulates per-protocol, per-round bandwidth. Protocols report the
+// serialized size of every message they put on the (simulated) wire; the
+// meter keeps a full per-round history so experiments can plot bandwidth
+// over time (the paper's Figure 4).
+type Meter struct {
+	names   []string
+	current []int64   // bytes this round, per protocol
+	history [][]int64 // history[round][protocol]
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter {
+	return &Meter{}
+}
+
+// AddProtocol registers a protocol name and returns its meter index.
+// Indices match engine protocol registration order.
+func (m *Meter) AddProtocol(name string) int {
+	m.names = append(m.names, name)
+	m.current = append(m.current, 0)
+	return len(m.names) - 1
+}
+
+// Names returns the registered protocol names.
+func (m *Meter) Names() []string {
+	out := make([]string, len(m.names))
+	copy(out, m.names)
+	return out
+}
+
+// Count adds bytes to the given protocol for the current round.
+func (m *Meter) Count(protocol int, bytes int) {
+	m.current[protocol] += int64(bytes)
+}
+
+// EndRound snapshots the current round's totals into the history and resets
+// the per-round counters.
+func (m *Meter) EndRound() {
+	row := make([]int64, len(m.current))
+	copy(row, m.current)
+	m.history = append(m.history, row)
+	for i := range m.current {
+		m.current[i] = 0
+	}
+}
+
+// Rounds returns the number of completed (snapshotted) rounds.
+func (m *Meter) Rounds() int { return len(m.history) }
+
+// RoundTotal returns the bytes protocol p spent in round r.
+func (m *Meter) RoundTotal(r, p int) int64 { return m.history[r][p] }
+
+// RoundSum returns the total bytes across the given protocols in round r.
+// With no protocols listed it sums all of them.
+func (m *Meter) RoundSum(r int, protocols ...int) int64 {
+	if len(protocols) == 0 {
+		var sum int64
+		for _, b := range m.history[r] {
+			sum += b
+		}
+		return sum
+	}
+	var sum int64
+	for _, p := range protocols {
+		sum += m.history[r][p]
+	}
+	return sum
+}
+
+// Total returns all bytes spent by protocol p across the whole run.
+func (m *Meter) Total(p int) int64 {
+	var sum int64
+	for _, row := range m.history {
+		sum += row[p]
+	}
+	return sum
+}

@@ -1,0 +1,39 @@
+package sim
+
+// Wire-size model.
+//
+// The paper's Figure 4 reports bandwidth in bytes. The simulation does not
+// serialize real packets, so message sizes are computed from a fixed model
+// of what a production implementation would put on the wire. The model is
+// deliberately simple and byte-accurate for the data structures the
+// protocols exchange:
+//
+//	descriptor  = node ID (8) + key (8) + component (4) + index (4) +
+//	              size (4) + epoch (4) + age (2)                  = 34 B
+//	port record = component (4) + port (4) + score (8) + node ID (8) +
+//	              age (2)                                         = 26 B
+//	header      = src (8) + dst (8) + protocol (2) + kind (1) +
+//	              length (2)                                      = 21 B
+const (
+	// DescriptorBytes is the serialized size of one view.Descriptor.
+	DescriptorBytes = 34
+	// PortRecordBytes is the serialized size of one port-election record.
+	PortRecordBytes = 26
+	// HeaderBytes is the fixed per-message envelope overhead.
+	HeaderBytes = 21
+	// PortQueryBytes is the payload of a port-connection lookup request
+	// (component ID + port ID).
+	PortQueryBytes = 8
+)
+
+// DescriptorPayload returns the wire size of a message carrying n
+// descriptors.
+func DescriptorPayload(n int) int { return HeaderBytes + n*DescriptorBytes }
+
+// PortRecordPayload returns the wire size of a message carrying n port
+// records.
+func PortRecordPayload(n int) int { return HeaderBytes + n*PortRecordBytes }
+
+// PortQueryPayload returns the wire size of a port-connection lookup
+// request.
+func PortQueryPayload() int { return HeaderBytes + PortQueryBytes }

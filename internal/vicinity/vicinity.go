@@ -1,0 +1,289 @@
+// Package vicinity implements a generic self-organizing overlay protocol in
+// the style of Vicinity and T-Man: each node greedily keeps the best-ranked
+// peers it has ever heard of, and gossip exchanges spread good candidates
+// along the gradient of the ranking function, so the overlay converges to
+// the target structure in a logarithmic number of rounds.
+//
+// The protocol is deliberately *not* monolithic: the ranking function, the
+// per-node view capacity and the candidate feed are all injected. The
+// paper's runtime instantiates it several times with different rankers —
+// one per component shape (the "core protocol"), once for the
+// same-component overlay (UO1) — while reusing a single peer-sampling layer
+// as the shared source of random candidates ("a pinch of randomness brings
+// out the structure").
+package vicinity
+
+import (
+	"sort"
+
+	"sosf/internal/peersampling"
+	"sosf/internal/sim"
+	"sosf/internal/view"
+)
+
+// Ranker orders candidate peers for a given owner. Lower ranks are better;
+// view.RankInf rejects the candidate outright (it will never be kept nor
+// forwarded to the owner).
+//
+// Capacity returns the owner's view capacity, enabling per-role
+// differentiation (a star hub keeps many more neighbors than a leaf).
+type Ranker interface {
+	Rank(owner, candidate view.Profile) float64
+	Capacity(owner view.Profile) int
+}
+
+// Options configure a vicinity instance. Zero fields take defaults.
+type Options struct {
+	// Gossip is how many descriptors each side contributes to an exchange
+	// (default 5).
+	Gossip int
+	// RandomContact is the probability of gossiping with a uniformly
+	// random peer (from the sampling service) instead of the oldest view
+	// entry — Vicinity's ingredient for escaping local minima and
+	// discovering far-away regions of the gradient (default 0.2).
+	RandomContact float64
+	// MaxAge evicts descriptors not refreshed for this many rounds,
+	// bounding how long dead nodes linger (default 20).
+	MaxAge int
+	// NoRandomFeed disables candidate injection from the peer-sampling
+	// layer (pure greedy T-Man). Exists for the ablation experiment; the
+	// overlay can then get stuck in local minima.
+	NoRandomFeed bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Gossip <= 0 {
+		o.Gossip = 5
+	}
+	if o.RandomContact <= 0 {
+		o.RandomContact = 0.2
+	}
+	if o.MaxAge <= 0 {
+		o.MaxAge = 20
+	}
+	return o
+}
+
+// CandidateSource supplies free local candidate descriptors for a node —
+// descriptors already present on the node in another layer's state, so
+// folding them in costs no bandwidth. The runtime stacks overlays this way:
+// the component core protocol feeds off the same-component overlay (UO1).
+type CandidateSource interface {
+	Candidates(slot int) []view.Descriptor
+}
+
+// Protocol is one self-organizing overlay instance.
+type Protocol struct {
+	name   string
+	ranker Ranker
+	opts   Options
+	rps    *peersampling.Protocol
+	feeds  []CandidateSource
+	meter  int
+	states []*view.View
+}
+
+var (
+	_ sim.Protocol    = (*Protocol)(nil)
+	_ sim.MeterAware  = (*Protocol)(nil)
+	_ CandidateSource = (*Protocol)(nil)
+)
+
+// New creates an overlay named name, ranked by ranker, drawing random
+// candidates from rps (may be nil only if opts.NoRandomFeed is set) and,
+// optionally, from additional local candidate feeds.
+func New(name string, ranker Ranker, rps *peersampling.Protocol, opts Options, feeds ...CandidateSource) *Protocol {
+	return &Protocol{
+		name:   name,
+		ranker: ranker,
+		opts:   opts.withDefaults(),
+		rps:    rps,
+		feeds:  feeds,
+		meter:  -1,
+	}
+}
+
+// Candidates implements CandidateSource, so overlays can feed each other.
+func (p *Protocol) Candidates(slot int) []view.Descriptor {
+	if slot >= len(p.states) || p.states[slot] == nil {
+		return nil
+	}
+	return p.states[slot].Entries()
+}
+
+// Name implements sim.Protocol.
+func (p *Protocol) Name() string { return p.name }
+
+// SetMeterIndex implements sim.MeterAware.
+func (p *Protocol) SetMeterIndex(i int) { p.meter = i }
+
+// View returns the overlay view of the node at slot (treat as read-only).
+func (p *Protocol) View(slot int) *view.View { return p.states[slot] }
+
+// InitNode implements sim.Protocol.
+func (p *Protocol) InitNode(e *sim.Engine, slot int) {
+	for len(p.states) <= slot {
+		p.states = append(p.states, nil)
+	}
+	capacity := p.ranker.Capacity(e.Node(slot).Profile)
+	p.states[slot] = view.New(capacity)
+}
+
+// Step implements sim.Protocol: one active gossip exchange plus local
+// candidate injection from the sampling service.
+func (p *Protocol) Step(e *sim.Engine, slot int) {
+	self := e.Node(slot)
+	v := p.states[slot]
+	// Capacity can change across reconfigurations (role differentiation).
+	v.SetCap(p.ranker.Capacity(self.Profile))
+	v.AgeAll()
+	p.purge(self.Profile, v)
+
+	// Free local injection: fold the sampling service's view and any
+	// stacked feeds into ours. No bandwidth — the candidates are already
+	// on this node.
+	if !p.opts.NoRandomFeed && p.rps != nil {
+		p.apply(self, v, p.rps.View(slot).Entries())
+	}
+	for _, f := range p.feeds {
+		p.apply(self, v, f.Candidates(slot))
+	}
+
+	partner, ok := p.pickPartner(e, slot, v)
+	if !ok {
+		return
+	}
+
+	sendBuf := p.selectFor(e, slot, partner.Profile, partner.ID)
+	p.count(e, sim.DescriptorPayload(len(sendBuf)))
+
+	target := e.Lookup(partner.ID)
+	if target == nil || !target.Alive || !e.DeliverExchange() {
+		// Timeout: suspect the contact rather than evicting it — message
+		// loss must not empty views, but dead peers accumulate penalties
+		// (they keep being selected as the oldest entry) and age out.
+		v.Penalize(partner.ID, uint16(p.opts.MaxAge/4+1))
+		return
+	}
+
+	// Passive side replies with its best candidates for us, then merges.
+	replyBuf := p.selectFor(e, target.Slot, self.Profile, self.ID)
+	p.count(e, sim.DescriptorPayload(len(replyBuf)))
+	p.apply(target, p.states[target.Slot], sendBuf)
+	p.apply(self, v, replyBuf)
+}
+
+// pickPartner chooses the exchange partner: usually the oldest view entry
+// (so every link is refreshed round-robin), sometimes a random peer.
+func (p *Protocol) pickPartner(e *sim.Engine, slot int, v *view.View) (view.Descriptor, bool) {
+	useRandom := false
+	if !p.opts.NoRandomFeed && p.rps != nil {
+		if v.Len() == 0 || e.Rand().Float64() < p.opts.RandomContact {
+			useRandom = true
+		}
+	}
+	if useRandom {
+		if d, ok := p.rps.View(slot).Random(e.Rand()); ok {
+			return d, true
+		}
+	}
+	if d, _, ok := v.Oldest(); ok {
+		return d, true
+	}
+	if p.rps != nil && !p.opts.NoRandomFeed {
+		if d, ok := p.rps.View(slot).Random(e.Rand()); ok {
+			return d, true
+		}
+	}
+	return view.Descriptor{}, false
+}
+
+// selectFor builds the gossip payload a node sends to a peer: its own fresh
+// descriptor plus the best candidates *from the peer's point of view* drawn
+// from the node's overlay view and sampling-service view.
+func (p *Protocol) selectFor(e *sim.Engine, slot int, owner view.Profile, ownerID view.NodeID) []view.Descriptor {
+	self := e.Node(slot)
+	pool := p.states[slot].Entries()
+	if !p.opts.NoRandomFeed && p.rps != nil {
+		pool = view.MergeBuffers(ownerID, pool, p.rps.View(slot).Entries())
+	}
+	for _, f := range p.feeds {
+		pool = view.MergeBuffers(ownerID, pool, f.Candidates(slot))
+	}
+	ranked := make([]view.Descriptor, 0, len(pool))
+	for _, d := range pool {
+		if d.ID == ownerID {
+			continue
+		}
+		if p.ranker.Rank(owner, d.Profile) < view.RankInf {
+			ranked = append(ranked, d)
+		}
+	}
+	sortByRank(p.ranker, owner, ranked)
+	out := make([]view.Descriptor, 0, p.opts.Gossip)
+	out = append(out, self.Descriptor())
+	for _, d := range ranked {
+		if len(out) >= p.opts.Gossip {
+			break
+		}
+		out = append(out, d)
+	}
+	// Payload diversity: once views saturate, every peer would keep
+	// sending the owner the same top-ranked candidates, and pairs outside
+	// that set could only meet through the sampling service — a long
+	// geometric tail for dense shapes like cliques. Reserving one slot
+	// for a uniformly random rankable candidate closes that tail.
+	if !p.opts.NoRandomFeed && len(ranked) >= len(out) {
+		spare := ranked[len(out)-1:]
+		out[len(out)-1] = spare[e.Rand().Intn(len(spare))]
+	}
+	return out
+}
+
+// apply folds incoming descriptors into the node's view, keeping the
+// best-ranked `capacity` entries.
+func (p *Protocol) apply(n *sim.Node, v *view.View, incoming []view.Descriptor) {
+	buf := view.MergeBuffers(n.ID, v.Entries(), incoming)
+	kept := buf[:0]
+	for _, d := range buf {
+		if int(d.Age) <= p.opts.MaxAge && p.ranker.Rank(n.Profile, d.Profile) < view.RankInf {
+			kept = append(kept, d)
+		}
+	}
+	sortByRank(p.ranker, n.Profile, kept)
+	if len(kept) > v.Cap() {
+		kept = kept[:v.Cap()]
+	}
+	v.Clear()
+	for _, d := range kept {
+		v.Add(d)
+	}
+}
+
+// purge drops entries that aged out or became unrankable (stale epoch,
+// foreign component after a reconfiguration).
+func (p *Protocol) purge(owner view.Profile, v *view.View) {
+	v.Filter(func(d view.Descriptor) bool {
+		return int(d.Age) <= p.opts.MaxAge && p.ranker.Rank(owner, d.Profile) < view.RankInf
+	})
+}
+
+func (p *Protocol) count(e *sim.Engine, bytes int) {
+	if p.meter >= 0 {
+		e.Meter().Count(p.meter, bytes)
+	}
+}
+
+// sortByRank orders descriptors by (rank, age, id) for determinism.
+func sortByRank(r Ranker, owner view.Profile, ds []view.Descriptor) {
+	sort.Slice(ds, func(i, j int) bool {
+		ri, rj := r.Rank(owner, ds[i].Profile), r.Rank(owner, ds[j].Profile)
+		if ri != rj {
+			return ri < rj
+		}
+		if ds[i].Age != ds[j].Age {
+			return ds[i].Age < ds[j].Age
+		}
+		return ds[i].ID < ds[j].ID
+	})
+}

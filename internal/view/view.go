@@ -1,0 +1,277 @@
+package view
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// View is a bounded partial view: an ordered collection of descriptors with
+// unique node IDs, bounded by a capacity. The zero value is unusable; create
+// views with New. Views are not safe for concurrent use — the simulation
+// engine is single-threaded by design (determinism).
+type View struct {
+	capacity int
+	entries  []Descriptor
+}
+
+// New returns an empty view bounded to the given capacity (min 1).
+func New(capacity int) *View {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &View{
+		capacity: capacity,
+		entries:  make([]Descriptor, 0, capacity),
+	}
+}
+
+// Len returns the number of descriptors currently held.
+func (v *View) Len() int { return len(v.entries) }
+
+// Cap returns the view capacity.
+func (v *View) Cap() int { return v.capacity }
+
+// SetCap changes the capacity. If the view holds more entries than the new
+// capacity, the tail entries are dropped.
+func (v *View) SetCap(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	v.capacity = capacity
+	if len(v.entries) > capacity {
+		v.entries = v.entries[:capacity]
+	}
+}
+
+// At returns the descriptor at position i. It panics if i is out of range,
+// mirroring slice semantics.
+func (v *View) At(i int) Descriptor { return v.entries[i] }
+
+// Entries returns a copy of the current descriptors.
+func (v *View) Entries() []Descriptor {
+	out := make([]Descriptor, len(v.entries))
+	copy(out, v.entries)
+	return out
+}
+
+// IDs returns the node IDs currently held, in view order.
+func (v *View) IDs() []NodeID {
+	out := make([]NodeID, len(v.entries))
+	for i, d := range v.entries {
+		out[i] = d.ID
+	}
+	return out
+}
+
+// IndexOf returns the position of id in the view, or -1.
+func (v *View) IndexOf(id NodeID) int {
+	for i, d := range v.entries {
+		if d.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports whether the view holds a descriptor for id.
+func (v *View) Contains(id NodeID) bool { return v.IndexOf(id) >= 0 }
+
+// Add inserts d if there is spare capacity and no descriptor for the same
+// node exists; if one exists, the fresher of the two is kept. It reports
+// whether the view changed.
+func (v *View) Add(d Descriptor) bool {
+	if i := v.IndexOf(d.ID); i >= 0 {
+		if d.Fresher(v.entries[i]) {
+			v.entries[i] = d
+			return true
+		}
+		return false
+	}
+	if len(v.entries) >= v.capacity {
+		return false
+	}
+	v.entries = append(v.entries, d)
+	return true
+}
+
+// ForceAdd inserts d, evicting the oldest entry if the view is full. A
+// descriptor for the same node is replaced by the fresher of the two.
+func (v *View) ForceAdd(d Descriptor) {
+	if i := v.IndexOf(d.ID); i >= 0 {
+		if d.Fresher(v.entries[i]) {
+			v.entries[i] = d
+		}
+		return
+	}
+	if len(v.entries) < v.capacity {
+		v.entries = append(v.entries, d)
+		return
+	}
+	v.entries[v.oldestIndex()] = d
+}
+
+// Remove deletes the descriptor for id, reporting whether it was present.
+func (v *View) Remove(id NodeID) bool {
+	i := v.IndexOf(id)
+	if i < 0 {
+		return false
+	}
+	v.RemoveAt(i)
+	return true
+}
+
+// RemoveAt deletes the descriptor at position i (order not preserved).
+func (v *View) RemoveAt(i int) {
+	last := len(v.entries) - 1
+	v.entries[i] = v.entries[last]
+	v.entries = v.entries[:last]
+}
+
+// Clear drops all entries, keeping capacity.
+func (v *View) Clear() { v.entries = v.entries[:0] }
+
+// AgeAll increments the age of every descriptor (saturating).
+func (v *View) AgeAll() {
+	for i := range v.entries {
+		if v.entries[i].Age < ^uint16(0) {
+			v.entries[i].Age++
+		}
+	}
+}
+
+// Penalize adds delta to the age of the descriptor for id (saturating),
+// reporting whether it was present. Failure detectors use this to mark a
+// peer as suspect after a failed exchange without evicting it outright —
+// a dead peer keeps accumulating penalties until it ages out, while a peer
+// behind a lossy link recovers when fresh descriptors arrive.
+func (v *View) Penalize(id NodeID, delta uint16) bool {
+	i := v.IndexOf(id)
+	if i < 0 {
+		return false
+	}
+	if age := uint32(v.entries[i].Age) + uint32(delta); age < uint32(^uint16(0)) {
+		v.entries[i].Age = uint16(age)
+	} else {
+		v.entries[i].Age = ^uint16(0)
+	}
+	return true
+}
+
+// Oldest returns the descriptor with the highest age (ties broken by the
+// lowest position) and its index. ok is false for an empty view.
+func (v *View) Oldest() (d Descriptor, idx int, ok bool) {
+	if len(v.entries) == 0 {
+		return Descriptor{}, -1, false
+	}
+	idx = v.oldestIndex()
+	return v.entries[idx], idx, true
+}
+
+func (v *View) oldestIndex() int {
+	best := 0
+	for i := 1; i < len(v.entries); i++ {
+		if v.entries[i].Age > v.entries[best].Age {
+			best = i
+		}
+	}
+	return best
+}
+
+// Random returns a uniformly random descriptor. ok is false for an empty
+// view.
+func (v *View) Random(rng *rand.Rand) (Descriptor, bool) {
+	if len(v.entries) == 0 {
+		return Descriptor{}, false
+	}
+	return v.entries[rng.Intn(len(v.entries))], true
+}
+
+// RandomSample returns up to n distinct descriptors chosen uniformly at
+// random, in random order.
+func (v *View) RandomSample(rng *rand.Rand, n int) []Descriptor {
+	if n >= len(v.entries) {
+		out := v.Entries()
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out
+	}
+	perm := rng.Perm(len(v.entries))
+	out := make([]Descriptor, 0, n)
+	for _, p := range perm[:n] {
+		out = append(out, v.entries[p])
+	}
+	return out
+}
+
+// Filter removes every descriptor for which keep returns false.
+func (v *View) Filter(keep func(Descriptor) bool) {
+	kept := v.entries[:0]
+	for _, d := range v.entries {
+		if keep(d) {
+			kept = append(kept, d)
+		}
+	}
+	// Zero the tail so dropped descriptors do not linger in the backing
+	// array (defensive; descriptors hold no pointers but stale data is
+	// confusing in debuggers).
+	for i := len(kept); i < len(v.entries); i++ {
+		v.entries[i] = Descriptor{}
+	}
+	v.entries = kept
+}
+
+// SortByAge orders entries from youngest to oldest (stable on input order
+// for equal ages is not guaranteed; ties broken by node ID for determinism).
+func (v *View) SortByAge() {
+	sort.Slice(v.entries, func(i, j int) bool {
+		if v.entries[i].Age != v.entries[j].Age {
+			return v.entries[i].Age < v.entries[j].Age
+		}
+		return v.entries[i].ID < v.entries[j].ID
+	})
+}
+
+// Merge folds the given descriptors into a deduplicated buffer together
+// with the current entries, then keeps the `capacity` freshest, preferring
+// existing entries on ties. self is excluded.
+func (v *View) Merge(self NodeID, incoming []Descriptor) {
+	buf := MergeBuffers(self, v.entries, incoming)
+	// Keep youngest first.
+	sort.Slice(buf, func(i, j int) bool {
+		if buf[i].Age != buf[j].Age {
+			return buf[i].Age < buf[j].Age
+		}
+		return buf[i].ID < buf[j].ID
+	})
+	if len(buf) > v.capacity {
+		buf = buf[:v.capacity]
+	}
+	v.entries = append(v.entries[:0], buf...)
+}
+
+// MergeBuffers combines descriptor slices, dropping self and keeping the
+// freshest descriptor per node ID. The result order is deterministic: it
+// follows first occurrence in the concatenated input.
+func MergeBuffers(self NodeID, buffers ...[]Descriptor) []Descriptor {
+	total := 0
+	for _, b := range buffers {
+		total += len(b)
+	}
+	out := make([]Descriptor, 0, total)
+	pos := make(map[NodeID]int, total)
+	for _, b := range buffers {
+		for _, d := range b {
+			if d.ID == self || d.ID == InvalidNode {
+				continue
+			}
+			if i, seen := pos[d.ID]; seen {
+				if d.Fresher(out[i]) {
+					out[i] = d
+				}
+				continue
+			}
+			pos[d.ID] = len(out)
+			out = append(out, d)
+		}
+	}
+	return out
+}

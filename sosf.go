@@ -1,0 +1,350 @@
+package sosf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sosf/internal/core"
+	"sosf/internal/dsl"
+	"sosf/internal/sim"
+	"sosf/internal/view"
+)
+
+// Options configure a run. Zero values take defaults.
+type Options struct {
+	// Nodes is the population size; falls back to the topology's
+	// `nodes` option (one of the two must be set).
+	Nodes int
+	// Rounds caps the simulation length (default 150).
+	Rounds int
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// RunToEnd keeps simulating even after every layer converged
+	// (by default runs stop at convergence).
+	RunToEnd bool
+	// LossRate drops each gossip exchange with this probability.
+	LossRate float64
+	// ChurnRate replaces this fraction of nodes with fresh joins after
+	// every round.
+	ChurnRate float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Rounds <= 0 {
+		o.Rounds = 150
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// SubReport is the outcome of one runtime sub-procedure.
+type SubReport struct {
+	// Name is the paper's series label ("Elementary Topology", ...).
+	Name string
+	// ConvergedAt is the first round the layer reached accuracy 1.0
+	// (-1 if it never did).
+	ConvergedAt int
+	// Final is the accuracy at the end of the run, in [0, 1].
+	Final float64
+}
+
+// Report summarizes a run.
+type Report struct {
+	// Topology is the name from the DSL source.
+	Topology string
+	// Components and Links count the assembled pieces; Nodes is the
+	// final alive population.
+	Components, Links, Nodes int
+	// Rounds is the number of simulated rounds.
+	Rounds int
+	// Converged reports whether every sub-procedure reached 1.0.
+	Converged bool
+	// Subs holds one entry per runtime sub-procedure, in the paper's
+	// presentation order.
+	Subs []SubReport
+	// BaselineBytes and OverheadBytes are mean bytes per node per round
+	// for the shape protocols (peer sampling + cores) and the runtime
+	// layers (UO1, UO2, port selection, port connection).
+	BaselineBytes, OverheadBytes float64
+}
+
+// String renders a compact human-readable report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "topology %q: %d components, %d links, %d nodes\n",
+		r.Topology, r.Components, r.Links, r.Nodes)
+	fmt.Fprintf(&b, "rounds: %d  converged: %v\n", r.Rounds, r.Converged)
+	for _, s := range r.Subs {
+		conv := "never"
+		if s.ConvergedAt >= 0 {
+			conv = fmt.Sprintf("round %d", s.ConvergedAt)
+		}
+		fmt.Fprintf(&b, "  %-26s converged: %-10s final accuracy: %.3f\n", s.Name, conv, s.Final)
+	}
+	fmt.Fprintf(&b, "bandwidth per node per round: baseline %.0f B, runtime overhead %.0f B\n",
+		r.BaselineBytes, r.OverheadBytes)
+	return b.String()
+}
+
+// Validate parses and validates DSL source without running anything.
+func Validate(src string) error {
+	_, err := dsl.ParseTopology(src)
+	return err
+}
+
+// Run builds the system described by the DSL source, simulates it, and
+// reports convergence — the one-call entry point.
+func Run(src string, opt Options) (*Report, error) {
+	sys, err := New(src, opt)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sys.Step(sys.opt.Rounds); err != nil {
+		return nil, err
+	}
+	return sys.Report(), nil
+}
+
+// System is a live simulated deployment that can be stepped, reconfigured,
+// and damaged interactively — what the examples build on.
+type System struct {
+	opt     Options
+	sys     *core.System
+	tracker *core.Tracker
+}
+
+// New compiles the DSL source and boots the full runtime stack over a
+// fresh node population.
+func New(src string, opt Options) (*System, error) {
+	opt = opt.withDefaults()
+	topo, err := dsl.ParseTopology(src)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewSystem(core.Config{
+		Topology: topo,
+		Nodes:    opt.Nodes,
+		Seed:     opt.Seed,
+		LossRate: opt.LossRate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if opt.ChurnRate > 0 {
+		sys.Engine().Observe(sys.ChurnObserver(opt.ChurnRate, 0, 0))
+	}
+	return &System{
+		opt:     opt,
+		sys:     sys,
+		tracker: core.NewTracker(sys, !opt.RunToEnd),
+	}, nil
+}
+
+// Step simulates up to n more rounds (stopping early at convergence unless
+// RunToEnd was set) and returns the rounds actually executed.
+func (s *System) Step(n int) (int, error) {
+	return s.sys.Run(n)
+}
+
+// ReconfigureSource swaps in a new target topology from DSL source. The
+// system keeps running; every layer re-converges to the new shape.
+func (s *System) ReconfigureSource(src string) error {
+	topo, err := dsl.ParseTopology(src)
+	if err != nil {
+		return err
+	}
+	if err := s.sys.Reconfigure(topo); err != nil {
+		return err
+	}
+	// Convergence marks restart: the interesting question after a
+	// reconfiguration is how fast the *new* shape assembles.
+	s.tracker.Reset()
+	return nil
+}
+
+// Kill fails a fraction of all nodes at once (catastrophic failure
+// injection), returning how many died.
+func (s *System) Kill(fraction float64) int {
+	return len(s.sys.Kill(fraction))
+}
+
+// KillComponent fails every current member of the named component
+// (targeted failure injection), returning how many died. Unknown names
+// kill nothing.
+func (s *System) KillComponent(name string) int {
+	topo := s.sys.Allocator().Topology()
+	ci := topo.ComponentIndex(name)
+	if ci < 0 {
+		return 0
+	}
+	eng := s.sys.Engine()
+	killed := 0
+	for _, slot := range eng.AliveSlots() {
+		n := eng.Node(slot)
+		if int(n.Profile.Comp) == ci {
+			eng.Kill(slot)
+			s.sys.Allocator().NoteLeave(n)
+			killed++
+		}
+	}
+	return killed
+}
+
+// Connected reports whether the realized system topology (component
+// overlays plus established links) is one connected piece over all alive
+// nodes.
+func (s *System) Connected() bool {
+	return s.sys.Oracle().RealizedGraph().ConnectedOver(s.sys.Engine().AliveSlots())
+}
+
+// Managers returns the ground-truth manager node of every port, keyed by
+// "component.port". Ports of empty components are omitted.
+func (s *System) Managers() map[string]int64 {
+	topo := s.sys.Allocator().Topology()
+	out := make(map[string]int64)
+	for ci := range topo.Components {
+		comp := view.ComponentID(ci)
+		members := membersOf(s.sys, comp)
+		if len(members) == 0 {
+			continue
+		}
+		for pi, port := range topo.Components[ci].Ports {
+			if mgr, ok := s.sys.Oracle().Winner(members, comp, int32(pi)); ok {
+				out[topo.Components[ci].Name+"."+port] = int64(mgr.ID)
+			}
+		}
+	}
+	return out
+}
+
+// Accuracy returns the current accuracy of every sub-procedure, keyed by
+// the paper's series labels.
+func (s *System) Accuracy() map[string]float64 {
+	m := s.sys.Oracle().Measure()
+	out := make(map[string]float64, 5)
+	for _, sub := range core.Subs() {
+		out[sub.String()] = m.Fraction[sub]
+	}
+	return out
+}
+
+// Report summarizes the run so far.
+func (s *System) Report() *Report {
+	topo := s.sys.Allocator().Topology()
+	rep := &Report{
+		Topology:   topo.Name,
+		Components: len(topo.Components),
+		Links:      len(topo.Links),
+		Nodes:      s.sys.Engine().AliveCount(),
+		Rounds:     s.sys.Engine().Round(),
+	}
+	m := s.sys.Oracle().Measure()
+	rep.Converged = m.AllConverged()
+	for _, sub := range core.Subs() {
+		rep.Subs = append(rep.Subs, SubReport{
+			Name:        sub.String(),
+			ConvergedAt: s.tracker.ConvergenceRound(sub),
+			Final:       m.Fraction[sub],
+		})
+	}
+	meterRounds := s.sys.Engine().Meter().Rounds()
+	if meterRounds > 0 && rep.Nodes > 0 {
+		var base, over int64
+		for r := 0; r < meterRounds; r++ {
+			b, o := s.sys.BandwidthByClass(r)
+			base += b
+			over += o
+		}
+		div := float64(meterRounds) * float64(rep.Nodes)
+		rep.BaselineBytes = float64(base) / div
+		rep.OverheadBytes = float64(over) / div
+	}
+	return rep
+}
+
+// DOT renders the realized system topology (the union of the component
+// overlays plus the established inter-component links) as a Graphviz
+// document, one color per component, port managers drawn as boxes.
+func (s *System) DOT() string {
+	eng := s.sys.Engine()
+	oracle := s.sys.Oracle()
+	g := oracle.RealizedGraph()
+	topo := s.sys.Allocator().Topology()
+
+	palette := []string{
+		"#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3",
+		"#fdb462", "#b3de69", "#fccde5", "#d9d9d9", "#bc80bd",
+	}
+	managers := make(map[int]bool)
+	for si := range s.sys.Allocator().Sides() {
+		side := s.sys.Allocator().Sides()[si]
+		members := membersOf(s.sys, side.Comp)
+		if len(members) == 0 {
+			continue
+		}
+		if mgr, ok := oracle.Winner(members, side.Comp, side.Port); ok {
+			managers[mgr.Slot] = true
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n  overlap=false;\n  node [style=filled];\n", topo.Name)
+	for _, slot := range eng.AliveSlots() {
+		n := eng.Node(slot)
+		color := palette[int(n.Profile.Comp)%len(palette)]
+		shape := "circle"
+		if managers[slot] {
+			shape = "box"
+		}
+		label := ""
+		if n.Profile.Comp >= 0 && int(n.Profile.Comp) < len(topo.Components) {
+			label = topo.Components[n.Profile.Comp].Name
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q, fillcolor=%q, shape=%s];\n",
+			n.ID, fmt.Sprintf("%s/%d", label, n.Profile.Index), color, shape)
+	}
+	type edge struct{ a, b view.NodeID }
+	var edges []edge
+	for _, slot := range eng.AliveSlots() {
+		for _, peer := range g.Neighbors(slot) {
+			if slot < peer {
+				edges = append(edges, edge{eng.Node(slot).ID, eng.Node(peer).ID})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  n%d -- n%d;\n", e.a, e.b)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// membersOf lists alive current-epoch members of a component sorted by
+// index (the oracle's dense-rank order).
+func membersOf(sys *core.System, comp view.ComponentID) []*sim.Node {
+	eng := sys.Engine()
+	epoch := sys.Allocator().Epoch()
+	var out []*sim.Node
+	for _, slot := range eng.AliveSlots() {
+		n := eng.Node(slot)
+		if n.Profile.Comp == comp && n.Profile.Epoch == epoch {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Profile.Index != out[j].Profile.Index {
+			return out[i].Profile.Index < out[j].Profile.Index
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
