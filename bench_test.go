@@ -17,9 +17,56 @@ import (
 	"sosf/internal/eval"
 )
 
-// benchOpts returns harness options sized for benchmarking.
+// benchOpts returns harness options sized for benchmarking. Parallelism
+// is left at its default (GOMAXPROCS), matching how sosbench runs.
 func benchOpts(seed int64) eval.Options {
 	return eval.Options{Runs: 1, Seed: seed, MaxRounds: 120}
+}
+
+// cmpOpts returns options for the sequential-vs-parallel benchmark pairs:
+// enough repetitions per point that the grid has real width to fan out.
+func cmpOpts(seed int64, parallelism int) eval.Options {
+	return eval.Options{Runs: 4, Seed: seed, MaxRounds: 120, Parallelism: parallelism}
+}
+
+// BenchmarkFig2Sequential / BenchmarkFig2Parallel regenerate Figure 2's
+// sweep with the legacy sequential path and with a GOMAXPROCS-wide worker
+// pool. The outputs are byte-identical (see TestParallelSweepDeterministic);
+// on an N-core machine the parallel variant's wall clock is the speedup
+// headline of eval.Options.Parallelism.
+func BenchmarkFig2Sequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Fig2(cmpOpts(int64(i)+1, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2Parallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Fig2(cmpOpts(int64(i)+1, 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4Sequential / BenchmarkFig4Parallel are the uniform-cell
+// pair: Figure 4 runs identical-cost repetitions of one configuration, so
+// its parallel speedup approaches min(Runs, cores) with no sweep skew.
+func BenchmarkFig4Sequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Fig4(cmpOpts(int64(i)+1, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4Parallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Fig4(cmpOpts(int64(i)+1, 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkFig2ConvergenceVsNodes regenerates Figure 2 (rounds to converge

@@ -11,13 +11,21 @@
 //
 // Common flags:
 //
-//	-full       paper-scale runs (25 600 nodes, 25 repetitions; slow)
-//	-runs N     repetitions per data point (default 5; 25 with -full)
-//	-seed N     base random seed (default 1)
-//	-out DIR    also write <id>.dat, <id>.svg and <id>.txt files
+//	-full        paper-scale runs (25 600 nodes, 25 repetitions; slow)
+//	-runs N      repetitions per data point (default 5; 25 with -full)
+//	-seed N      base random seed (default 1)
+//	-parallel N  worker goroutines fanning independent runs
+//	             (default GOMAXPROCS; 1 = sequential; output is
+//	             byte-identical either way)
+//	-compare     additionally rerun each experiment sequentially,
+//	             report its parallel-vs-sequential speedup, and fail
+//	             if the outputs differ (doubles the total runtime)
+//	-out DIR     also write <id>.dat, <id>.svg and <id>.txt files
 //
-// Each experiment prints an aligned table and an ASCII chart; with -out it
-// also writes gnuplot-ready .dat files and standalone .svg charts.
+// Each experiment prints an aligned table and an ASCII chart, plus its
+// wall-clock time; with -out it also writes gnuplot-ready .dat files and
+// standalone .svg charts. A final summary line reports the total wall
+// clock and the parallelism used.
 package main
 
 import (
@@ -25,6 +33,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
+	"runtime"
+	"time"
 
 	"sosf/internal/eval"
 	"sosf/internal/plot"
@@ -52,10 +63,18 @@ func run() error {
 	full := flag.Bool("full", false, "paper-scale runs (slow)")
 	runs := flag.Int("runs", 0, "repetitions per data point")
 	seed := flag.Int64("seed", 1, "base random seed")
+	parallel := flag.Int("parallel", 0,
+		"worker goroutines fanning independent runs (0 = GOMAXPROCS, 1 = sequential)")
+	compare := flag.Bool("compare", false,
+		"run each experiment sequentially too, report the speedup, and check outputs match")
 	out := flag.String("out", "", "directory for .dat/.svg/.txt outputs")
 	flag.Parse()
 
-	o := eval.Options{Runs: *runs, Seed: *seed, Full: *full}
+	o := eval.Options{Runs: *runs, Seed: *seed, Full: *full, Parallelism: *parallel}
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	w := &writer{dir: *out}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -63,52 +82,50 @@ func run() error {
 		}
 	}
 
-	any := false
-	type figDriver struct {
-		enabled bool
-		run     func(eval.Options) (*eval.Figure, error)
-	}
-	for _, d := range []figDriver{
-		{*all || *fig2, eval.Fig2},
-		{*all || *fig3, eval.Fig3},
-		{*all || *fig4, eval.Fig4},
-		{*all || *curves, eval.Curves},
-		{*all || *churn, eval.Churn},
-		{*all || *ablations, eval.AblationUO2},
-		{*all || *ablations, eval.AblationRandomness},
-		{*all || *ablations, eval.AblationGossip},
-		{*all || *ablations, eval.AblationViewSize},
-	} {
-		if !d.enabled {
-			continue
-		}
-		any = true
-		fig, err := d.run(o)
-		if err != nil {
-			return err
-		}
-		if err := w.figure(fig); err != nil {
-			return err
+	// Every driver is presented uniformly as a Result producer so timing
+	// and speedup reporting treat figures and tables alike.
+	wrap := func(f func(eval.Options) (*eval.Figure, error)) func(eval.Options) (*eval.Result, error) {
+		return func(o eval.Options) (*eval.Result, error) {
+			fig, err := f(o)
+			if err != nil {
+				return nil, err
+			}
+			return &eval.Result{Figures: []*eval.Figure{fig}}, nil
 		}
 	}
-	type resDriver struct {
+	drivers := []struct {
+		name    string
 		enabled bool
 		run     func(eval.Options) (*eval.Result, error)
+	}{
+		{"fig2", *all || *fig2, wrap(eval.Fig2)},
+		{"fig3", *all || *fig3, wrap(eval.Fig3)},
+		{"fig4", *all || *fig4, wrap(eval.Fig4)},
+		{"curves", *all || *curves, wrap(eval.Curves)},
+		{"churn", *all || *churn, wrap(eval.Churn)},
+		{"ablation-uo2", *all || *ablations, wrap(eval.AblationUO2)},
+		{"ablation-randomness", *all || *ablations, wrap(eval.AblationRandomness)},
+		{"ablation-gossip", *all || *ablations, wrap(eval.AblationGossip)},
+		{"ablation-viewsize", *all || *ablations, wrap(eval.AblationViewSize)},
+		{"gallery", *all || *gallery, eval.Gallery},
+		{"reconfig", *all || *reconfig, eval.Reconfig},
+		{"catastrophe", *all || *catastrophe, eval.Catastrophe},
+		{"baseline", *all || *baselineCmp, eval.Baseline},
 	}
-	for _, d := range []resDriver{
-		{*all || *gallery, eval.Gallery},
-		{*all || *reconfig, eval.Reconfig},
-		{*all || *catastrophe, eval.Catastrophe},
-		{*all || *baselineCmp, eval.Baseline},
-	} {
+
+	any := false
+	start := time.Now()
+	for _, d := range drivers {
 		if !d.enabled {
 			continue
 		}
 		any = true
+		t0 := time.Now()
 		res, err := d.run(o)
 		if err != nil {
 			return err
 		}
+		elapsed := time.Since(t0)
 		for _, fig := range res.Figures {
 			if err := w.figure(fig); err != nil {
 				return err
@@ -119,11 +136,32 @@ func run() error {
 				return err
 			}
 		}
+		if *compare {
+			seqOpts := o
+			seqOpts.Parallelism = 1
+			t1 := time.Now()
+			seqRes, err := d.run(seqOpts)
+			if err != nil {
+				return err
+			}
+			seqElapsed := time.Since(t1)
+			if !reflect.DeepEqual(res, seqRes) {
+				return fmt.Errorf("%s: parallel output differs from sequential (determinism bug)", d.name)
+			}
+			fmt.Printf("[%s: %v with %d workers, %v sequential — %.2fx speedup, outputs identical]\n\n",
+				d.name, elapsed.Round(time.Millisecond), workers,
+				seqElapsed.Round(time.Millisecond),
+				float64(seqElapsed)/float64(elapsed))
+		} else {
+			fmt.Printf("[%s: %v]\n\n", d.name, elapsed.Round(time.Millisecond))
+		}
 	}
 	if !any {
 		flag.Usage()
 		return fmt.Errorf("no experiment selected (try -all)")
 	}
+	fmt.Printf("total wall-clock %v (parallelism %d)\n",
+		time.Since(start).Round(time.Millisecond), workers)
 	return nil
 }
 

@@ -1,0 +1,3 @@
+module sosf
+
+go 1.22

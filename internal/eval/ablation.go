@@ -5,6 +5,7 @@ import (
 
 	"sosf/internal/core"
 	"sosf/internal/metrics"
+	"sosf/internal/spec"
 )
 
 // AblationUO2 compares port-connection convergence with and without the
@@ -19,23 +20,35 @@ func AblationUO2(o Options) (*Figure, error) {
 	}
 	compSweep := []int{2, 5, 10, 15, 20}
 
+	topos := make([]*spec.Topology, len(compSweep))
+	for pi, comps := range compSweep {
+		topos[pi] = MustTopology(RingOfRingsDSL(comps))
+	}
+	// The grid interleaves the two variants: point 2*pi+variant, so each
+	// (sweep point, variant, run) simulation is an independent cell.
+	grid, err := runGrid(o, 2*len(compSweep), func(p, run int) (float64, error) {
+		pi, variant := p/2, p%2
+		res, err := RunOnce(core.Config{
+			Topology:   topos[pi],
+			Nodes:      nodes,
+			Seed:       seedFor(o.Seed, 800+pi, run),
+			DisableUO2: variant == 1,
+		}, o.MaxRounds, true)
+		if err != nil {
+			return 0, fmt.Errorf("ablation-uo2 comps=%d: %w", compSweep[pi], err)
+		}
+		return convergedOrCap(res, core.SubPortConnect, o.MaxRounds), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	with := &metrics.Series{Name: "with UO2"}
 	without := &metrics.Series{Name: "without UO2 (ablated)"}
 	for pi, comps := range compSweep {
-		topo := MustTopology(RingOfRingsDSL(comps))
-		for variant, series := range map[int]*metrics.Series{0: with, 1: without} {
+		for variant, series := range []*metrics.Series{with, without} {
 			var acc metrics.Accumulator
-			for run := 0; run < o.Runs; run++ {
-				res, err := RunOnce(core.Config{
-					Topology:   topo,
-					Nodes:      nodes,
-					Seed:       seedFor(o.Seed, 800+pi, run),
-					DisableUO2: variant == 1,
-				}, o.MaxRounds, true)
-				if err != nil {
-					return nil, fmt.Errorf("ablation-uo2 comps=%d: %w", comps, err)
-				}
-				acc.Add(convergedOrCap(res, core.SubPortConnect, o.MaxRounds))
+			for _, v := range grid[2*pi+variant] {
+				acc.Add(v)
 			}
 			series.Append(float64(comps), metrics.Summarize(&acc))
 		}
@@ -65,22 +78,29 @@ func AblationRandomness(o Options) (*Figure, error) {
 	const comps = 4
 	topo := MustTopology(RingOfRingsDSL(comps))
 
+	grid, err := runGrid(o, 2*len(nodesSweep), func(p, run int) (float64, error) {
+		pi, variant := p/2, p%2
+		res, err := RunOnce(core.Config{
+			Topology:   topo,
+			Nodes:      nodesSweep[pi],
+			Seed:       seedFor(o.Seed, 900+pi, run),
+			PureGreedy: variant == 1,
+		}, o.MaxRounds, true)
+		if err != nil {
+			return 0, fmt.Errorf("ablation-randomness n=%d: %w", nodesSweep[pi], err)
+		}
+		return convergedOrCap(res, core.SubElementary, o.MaxRounds), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	randomized := &metrics.Series{Name: "with random feed"}
 	greedy := &metrics.Series{Name: "pure greedy (ablated)"}
 	for pi, n := range nodesSweep {
-		for variant, series := range map[int]*metrics.Series{0: randomized, 1: greedy} {
+		for variant, series := range []*metrics.Series{randomized, greedy} {
 			var acc metrics.Accumulator
-			for run := 0; run < o.Runs; run++ {
-				res, err := RunOnce(core.Config{
-					Topology:   topo,
-					Nodes:      n,
-					Seed:       seedFor(o.Seed, 900+pi, run),
-					PureGreedy: variant == 1,
-				}, o.MaxRounds, true)
-				if err != nil {
-					return nil, fmt.Errorf("ablation-randomness n=%d: %w", n, err)
-				}
-				acc.Add(convergedOrCap(res, core.SubElementary, o.MaxRounds))
+			for _, v := range grid[2*pi+variant] {
+				acc.Add(v)
 			}
 			series.Append(float64(n), metrics.Summarize(&acc))
 		}
@@ -111,20 +131,26 @@ func AblationGossip(o Options) (*Figure, error) {
 	topo := MustTopology(RingOfRingsDSL(comps))
 	sweep := []int{2, 3, 5, 8, 12}
 
+	grid, err := runGrid(o, len(sweep), func(pi, run int) (*RunResult, error) {
+		res, err := RunOnce(core.Config{
+			Topology:      topo,
+			Nodes:         nodes,
+			Seed:          seedFor(o.Seed, 1000+pi, run),
+			OverlayGossip: sweep[pi],
+		}, o.MaxRounds, true)
+		if err != nil {
+			return nil, fmt.Errorf("ablation-gossip g=%d: %w", sweep[pi], err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	rounds := &metrics.Series{Name: "rounds to converge"}
 	bandwidth := &metrics.Series{Name: "bytes/node/round (x100)"}
 	for pi, g := range sweep {
 		var accR, accB metrics.Accumulator
-		for run := 0; run < o.Runs; run++ {
-			res, err := RunOnce(core.Config{
-				Topology:      topo,
-				Nodes:         nodes,
-				Seed:          seedFor(o.Seed, 1000+pi, run),
-				OverlayGossip: g,
-			}, o.MaxRounds, true)
-			if err != nil {
-				return nil, fmt.Errorf("ablation-gossip g=%d: %w", g, err)
-			}
+		for _, res := range grid[pi] {
 			accR.Add(convergedOrCap(res, core.SubElementary, o.MaxRounds))
 			var sum float64
 			for r := range res.BaselinePerNode {
@@ -159,20 +185,26 @@ func AblationViewSize(o Options) (*Figure, error) {
 	topo := MustTopology(RingOfRingsDSL(comps))
 	sweep := []int{3, 5, 8, 12, 16}
 
+	grid, err := runGrid(o, len(sweep), func(pi, run int) (*RunResult, error) {
+		res, err := RunOnce(core.Config{
+			Topology:    topo,
+			Nodes:       nodes,
+			Seed:        seedFor(o.Seed, 1100+pi, run),
+			UO1Capacity: sweep[pi],
+		}, o.MaxRounds, true)
+		if err != nil {
+			return nil, fmt.Errorf("ablation-viewsize k=%d: %w", sweep[pi], err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	elem := &metrics.Series{Name: "Elementary Topology"}
 	ports := &metrics.Series{Name: "Port Selection"}
 	for pi, k := range sweep {
 		var accE, accP metrics.Accumulator
-		for run := 0; run < o.Runs; run++ {
-			res, err := RunOnce(core.Config{
-				Topology:    topo,
-				Nodes:       nodes,
-				Seed:        seedFor(o.Seed, 1100+pi, run),
-				UO1Capacity: k,
-			}, o.MaxRounds, true)
-			if err != nil {
-				return nil, fmt.Errorf("ablation-viewsize k=%d: %w", k, err)
-			}
+		for _, res := range grid[pi] {
 			accE.Add(convergedOrCap(res, core.SubElementary, o.MaxRounds))
 			accP.Add(convergedOrCap(res, core.SubPortSelect, o.MaxRounds))
 		}

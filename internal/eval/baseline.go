@@ -25,58 +25,75 @@ func Baseline(o Options) (*Result, error) {
 	const blast = 0.5
 	const healRounds = 60
 
-	var composedRounds, composedBytes, composedRing, composedLinks metrics.Accumulator
-	var monoRounds, monoBytes, monoRing, monoLinks metrics.Accumulator
-
 	topo := MustTopology(RingOfRingsDSL(segments))
-	for run := 0; run < o.Runs; run++ {
+	type baselineRun struct {
+		composedRounds, composedBytes, composedRing, composedLinks float64
+		monoRounds, monoBytes, monoRing, monoLinks                 float64
+	}
+	results, err := runRuns(o, func(run int) (baselineRun, error) {
 		seed := seedFor(o.Seed, 1200, run)
+		var out baselineRun
 
 		// Composed framework.
 		sys, err := core.NewSystem(core.Config{Topology: topo, Nodes: nodes, Seed: seed})
 		if err != nil {
-			return nil, fmt.Errorf("baseline composed run=%d: %w", run, err)
+			return out, fmt.Errorf("baseline composed run=%d: %w", run, err)
 		}
 		tracker := core.NewTracker(sys, true)
 		executed, err := sys.Run(o.MaxRounds)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
-		composedRounds.Add(float64(executed))
+		out.composedRounds = float64(executed)
 		var bytes float64
 		meterRounds := sys.Engine().Meter().Rounds()
 		for r := 0; r < meterRounds; r++ {
 			base, over := sys.BandwidthByClass(r)
 			bytes += float64(base + over)
 		}
-		composedBytes.Add(bytes / float64(meterRounds) / float64(nodes))
+		out.composedBytes = bytes / float64(meterRounds) / float64(nodes)
 		sys.Kill(blast)
 		tracker.StopWhenDone = false
 		if _, err := sys.Run(healRounds); err != nil {
-			return nil, err
+			return out, err
 		}
 		m := sys.Oracle().Measure()
-		composedRing.Add(m.Fraction[core.SubElementary])
-		composedLinks.Add(m.Fraction[core.SubPortConnect])
+		out.composedRing = m.Fraction[core.SubElementary]
+		out.composedLinks = m.Fraction[core.SubPortConnect]
 
 		// Monolithic baseline.
 		mono, err := baseline.New(nodes, segments, seed)
 		if err != nil {
-			return nil, fmt.Errorf("baseline monolithic run=%d: %w", run, err)
+			return out, fmt.Errorf("baseline monolithic run=%d: %w", run, err)
 		}
 		rounds, err := mono.RoundsToConverge(o.MaxRounds)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
-		monoRounds.Add(float64(rounds))
-		monoBytes.Add(mono.BytesPerNode())
+		out.monoRounds = float64(rounds)
+		out.monoBytes = mono.BytesPerNode()
 		mono.Kill(blast)
 		if _, err := mono.Run(healRounds); err != nil {
-			return nil, err
+			return out, err
 		}
-		ringFrac, linkFrac := mono.Accuracy()
-		monoRing.Add(ringFrac)
-		monoLinks.Add(linkFrac)
+		out.monoRing, out.monoLinks = mono.Accuracy()
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var composedRounds, composedBytes, composedRing, composedLinks metrics.Accumulator
+	var monoRounds, monoBytes, monoRing, monoLinks metrics.Accumulator
+	for _, r := range results {
+		composedRounds.Add(r.composedRounds)
+		composedBytes.Add(r.composedBytes)
+		composedRing.Add(r.composedRing)
+		composedLinks.Add(r.composedLinks)
+		monoRounds.Add(r.monoRounds)
+		monoBytes.Add(r.monoBytes)
+		monoRing.Add(r.monoRing)
+		monoLinks.Add(r.monoLinks)
 	}
 
 	table := metrics.NewTable(

@@ -6,6 +6,7 @@ import (
 
 	"sosf/internal/core"
 	"sosf/internal/metrics"
+	"sosf/internal/spec"
 )
 
 // Gallery runs experiment (i): building various topologies comparable to
@@ -17,41 +18,59 @@ func Gallery(o Options) (*Result, error) {
 	if o.Full {
 		nodes = 4800
 	}
+	entries := GalleryEntries()
+	topos := make([]*spec.Topology, len(entries))
+	for gi, entry := range entries {
+		topos[gi] = MustTopology(entry.DSL)
+	}
+	type galleryRun struct {
+		rounds, accuracy float64
+		connected        bool
+	}
+	grid, err := runGrid(o, len(entries), func(gi, run int) (galleryRun, error) {
+		sys, err := core.NewSystem(core.Config{
+			Topology: topos[gi],
+			Nodes:    nodes,
+			Seed:     seedFor(o.Seed, 300+gi, run),
+		})
+		if err != nil {
+			return galleryRun{}, fmt.Errorf("gallery %s: %w", entries[gi].Name, err)
+		}
+		tracker := core.NewTracker(sys, true)
+		executed, err := sys.Run(o.MaxRounds)
+		if err != nil {
+			return galleryRun{}, fmt.Errorf("gallery %s: %w", entries[gi].Name, err)
+		}
+		final := tracker.History[len(tracker.History)-1]
+		g := sys.Oracle().RealizedGraph()
+		return galleryRun{
+			rounds:    float64(executed),
+			accuracy:  final.Fraction[core.SubElementary],
+			connected: g.ConnectedOver(sys.Engine().AliveSlots()),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	table := metrics.NewTable(
 		"topology", "nodes", "components", "links",
 		"rounds to converge", "final accuracy", "connected")
-	for gi, entry := range GalleryEntries() {
-		topo := MustTopology(entry.DSL)
+	for gi, entry := range entries {
 		var rounds metrics.Accumulator
 		var accuracy metrics.Accumulator
 		connected := true
-		for run := 0; run < o.Runs; run++ {
-			sys, err := core.NewSystem(core.Config{
-				Topology: topo,
-				Nodes:    nodes,
-				Seed:     seedFor(o.Seed, 300+gi, run),
-			})
-			if err != nil {
-				return nil, fmt.Errorf("gallery %s: %w", entry.Name, err)
-			}
-			tracker := core.NewTracker(sys, true)
-			executed, err := sys.Run(o.MaxRounds)
-			if err != nil {
-				return nil, fmt.Errorf("gallery %s: %w", entry.Name, err)
-			}
-			final := tracker.History[len(tracker.History)-1]
-			rounds.Add(float64(executed))
-			accuracy.Add(final.Fraction[core.SubElementary])
-			g := sys.Oracle().RealizedGraph()
-			if !g.ConnectedOver(sys.Engine().AliveSlots()) {
+		for _, r := range grid[gi] {
+			rounds.Add(r.rounds)
+			accuracy.Add(r.accuracy)
+			if !r.connected {
 				connected = false
 			}
 		}
 		table.AddRow(
 			entry.Name,
 			strconv.Itoa(nodes),
-			strconv.Itoa(len(topo.Components)),
-			strconv.Itoa(len(topo.Links)),
+			strconv.Itoa(len(topos[gi].Components)),
+			strconv.Itoa(len(topos[gi].Links)),
 			metrics.FormatMeanCI(metrics.Summarize(&rounds)),
 			fmt.Sprintf("%.3f", accuracy.Mean()),
 			strconv.FormatBool(connected),
@@ -75,8 +94,7 @@ func Curves(o Options) (*Figure, error) {
 	}
 	topo := MustTopology(RingOfRingsDSL(comps))
 
-	perSub := make(map[core.Sub][][]float64, 5)
-	for run := 0; run < o.Runs; run++ {
+	results, err := runRuns(o, func(run int) (*RunResult, error) {
 		res, err := RunOnce(core.Config{
 			Topology: topo,
 			Nodes:    nodes,
@@ -85,6 +103,13 @@ func Curves(o Options) (*Figure, error) {
 		if err != nil {
 			return nil, fmt.Errorf("curves run=%d: %w", run, err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	perSub := make(map[core.Sub][][]float64, 5)
+	for _, res := range results {
 		for _, sub := range core.Subs() {
 			perSub[sub] = append(perSub[sub], res.Curves[sub])
 		}
@@ -118,25 +143,28 @@ func Reconfig(o Options) (*Result, error) {
 	const switchRound = 40
 	phase2 := o.MaxRounds
 
-	elems := make([][]float64, 0, o.Runs)
-	conns := make([][]float64, 0, o.Runs)
-	var reconv metrics.Accumulator
-	never := 0
-	for run := 0; run < o.Runs; run++ {
+	before := MustTopology(RingOfRingsDSL(3))
+	after := MustTopology(RingOfRingsDSL(4))
+	type reconfigRun struct {
+		elem, conn  []float64
+		reconverged bool
+		reconvAt    float64
+	}
+	results, err := runRuns(o, func(run int) (reconfigRun, error) {
 		sys, err := core.NewSystem(core.Config{
-			Topology: MustTopology(RingOfRingsDSL(3)),
+			Topology: before,
 			Nodes:    nodes,
 			Seed:     seedFor(o.Seed, 500, run),
 		})
 		if err != nil {
-			return nil, fmt.Errorf("reconfig run=%d: %w", run, err)
+			return reconfigRun{}, fmt.Errorf("reconfig run=%d: %w", run, err)
 		}
 		tracker := core.NewTracker(sys, false)
 		if _, err := sys.Run(switchRound); err != nil {
-			return nil, err
+			return reconfigRun{}, err
 		}
-		if err := sys.Reconfigure(MustTopology(RingOfRingsDSL(4))); err != nil {
-			return nil, err
+		if err := sys.Reconfigure(after); err != nil {
+			return reconfigRun{}, err
 		}
 		// Re-convergence is measured from the switch; reset the marks but
 		// keep accumulating the full curves.
@@ -144,22 +172,35 @@ func Reconfig(o Options) (*Result, error) {
 		tracker.Reset()
 		tracker.StopWhenDone = true
 		if _, err := sys.Run(phase2); err != nil {
-			return nil, err
+			return reconfigRun{}, err
 		}
 		fullHistory := append(preHistory, tracker.History...)
 
-		elem := make([]float64, 0, len(fullHistory))
-		conn := make([]float64, 0, len(fullHistory))
-		for _, m := range fullHistory {
-			elem = append(elem, m.Fraction[core.SubElementary])
-			conn = append(conn, m.Fraction[core.SubPortConnect])
+		out := reconfigRun{
+			elem: make([]float64, 0, len(fullHistory)),
+			conn: make([]float64, 0, len(fullHistory)),
 		}
-		elems = append(elems, elem)
-		conns = append(conns, conn)
-
+		for _, m := range fullHistory {
+			out.elem = append(out.elem, m.Fraction[core.SubElementary])
+			out.conn = append(out.conn, m.Fraction[core.SubPortConnect])
+		}
 		last := tracker.History[len(tracker.History)-1]
-		if last.AllConverged() {
-			reconv.Add(float64(len(tracker.History)))
+		out.reconverged = last.AllConverged()
+		out.reconvAt = float64(len(tracker.History))
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	elems := make([][]float64, 0, o.Runs)
+	conns := make([][]float64, 0, o.Runs)
+	var reconv metrics.Accumulator
+	never := 0
+	for _, r := range results {
+		elems = append(elems, r.elem)
+		conns = append(conns, r.conn)
+		if r.reconverged {
+			reconv.Add(r.reconvAt)
 		} else {
 			never++
 		}
@@ -208,29 +249,44 @@ func Churn(o Options) (*Figure, error) {
 	topo := MustTopology(RingOfRingsDSL(comps))
 	rates := []float64{0.001, 0.005, 0.01, 0.02, 0.05}
 
+	type churnRun struct {
+		e, u, p []float64
+	}
+	grid, err := runGrid(o, len(rates), func(pi, run int) (churnRun, error) {
+		sys, err := core.NewSystem(core.Config{
+			Topology: topo,
+			Nodes:    nodes,
+			Seed:     seedFor(o.Seed, 600+pi, run),
+		})
+		if err != nil {
+			return churnRun{}, fmt.Errorf("churn rate=%f run=%d: %w", rates[pi], run, err)
+		}
+		sys.Engine().Observe(sys.ChurnObserver(rates[pi], 0, 0))
+		tracker := core.NewTracker(sys, false)
+		if _, err := sys.Run(warm + window); err != nil {
+			return churnRun{}, err
+		}
+		var out churnRun
+		for _, m := range tracker.History[warm:] {
+			out.e = append(out.e, m.Fraction[core.SubElementary])
+			out.u = append(out.u, m.Fraction[core.SubUO1])
+			out.p = append(out.p, m.Fraction[core.SubPortSelect])
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	elem := &metrics.Series{Name: "Elementary Topology"}
 	uo1 := &metrics.Series{Name: "Same-component (UO1)"}
 	ports := &metrics.Series{Name: "Port Selection"}
 	for pi, rate := range rates {
 		var accE, accU, accP metrics.Accumulator
-		for run := 0; run < o.Runs; run++ {
-			sys, err := core.NewSystem(core.Config{
-				Topology: topo,
-				Nodes:    nodes,
-				Seed:     seedFor(o.Seed, 600+pi, run),
-			})
-			if err != nil {
-				return nil, fmt.Errorf("churn rate=%f run=%d: %w", rate, run, err)
-			}
-			sys.Engine().Observe(sys.ChurnObserver(rate, 0, 0))
-			tracker := core.NewTracker(sys, false)
-			if _, err := sys.Run(warm + window); err != nil {
-				return nil, err
-			}
-			for _, m := range tracker.History[warm:] {
-				accE.Add(m.Fraction[core.SubElementary])
-				accU.Add(m.Fraction[core.SubUO1])
-				accP.Add(m.Fraction[core.SubPortSelect])
+		for _, r := range grid[pi] {
+			for i := range r.e {
+				accE.Add(r.e[i])
+				accU.Add(r.u[i])
+				accP.Add(r.p[i])
 			}
 		}
 		x := rate * 100
@@ -264,37 +320,52 @@ func Catastrophe(o Options) (*Result, error) {
 	topo := MustTopology(RingOfRingsDSL(comps))
 	fractions := []float64{0.1, 0.3, 0.5, 0.7}
 
+	type catastropheRun struct {
+		after, healed, healRounds float64
+	}
+	grid, err := runGrid(o, len(fractions), func(pi, run int) (catastropheRun, error) {
+		f := fractions[pi]
+		sys, err := core.NewSystem(core.Config{
+			Topology: topo,
+			Nodes:    nodes,
+			Seed:     seedFor(o.Seed, 700+pi, run),
+		})
+		if err != nil {
+			return catastropheRun{}, fmt.Errorf("catastrophe f=%f run=%d: %w", f, run, err)
+		}
+		core.NewTracker(sys, true)
+		if _, err := sys.Run(o.MaxRounds); err != nil {
+			return catastropheRun{}, err
+		}
+		sys.Kill(f)
+		out := catastropheRun{
+			after: sys.Oracle().Measure().Fraction[core.SubElementary],
+		}
+		recovered := o.MaxRounds
+		for r := 0; r < o.MaxRounds; r++ {
+			if _, err := sys.Run(1); err != nil {
+				return catastropheRun{}, err
+			}
+			if sys.Oracle().Measure().Fraction[core.SubElementary] >= 0.95 {
+				recovered = r + 1
+				break
+			}
+		}
+		out.healRounds = float64(recovered)
+		out.healed = sys.Oracle().Measure().Fraction[core.SubElementary]
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	table := metrics.NewTable(
 		"killed", "accuracy after blast", "self-healed accuracy", "rounds to heal >= 0.95")
 	for pi, f := range fractions {
 		var after, healed, healRounds metrics.Accumulator
-		for run := 0; run < o.Runs; run++ {
-			sys, err := core.NewSystem(core.Config{
-				Topology: topo,
-				Nodes:    nodes,
-				Seed:     seedFor(o.Seed, 700+pi, run),
-			})
-			if err != nil {
-				return nil, fmt.Errorf("catastrophe f=%f run=%d: %w", f, run, err)
-			}
-			core.NewTracker(sys, true)
-			if _, err := sys.Run(o.MaxRounds); err != nil {
-				return nil, err
-			}
-			sys.Kill(f)
-			after.Add(sys.Oracle().Measure().Fraction[core.SubElementary])
-			recovered := o.MaxRounds
-			for r := 0; r < o.MaxRounds; r++ {
-				if _, err := sys.Run(1); err != nil {
-					return nil, err
-				}
-				if sys.Oracle().Measure().Fraction[core.SubElementary] >= 0.95 {
-					recovered = r + 1
-					break
-				}
-			}
-			healRounds.Add(float64(recovered))
-			healed.Add(sys.Oracle().Measure().Fraction[core.SubElementary])
+		for _, r := range grid[pi] {
+			after.Add(r.after)
+			healed.Add(r.healed)
+			healRounds.Add(r.healRounds)
 		}
 		table.AddRow(
 			fmt.Sprintf("%.0f%%", f*100),

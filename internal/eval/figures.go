@@ -5,6 +5,7 @@ import (
 
 	"sosf/internal/core"
 	"sosf/internal/metrics"
+	"sosf/internal/spec"
 )
 
 // Fig2 reproduces Figure 2: rounds-to-convergence of the five
@@ -19,21 +20,27 @@ func Fig2(o Options) (*Figure, error) {
 	const components = 20
 	topo := MustTopology(RingOfRingsDSL(components))
 
+	grid, err := runGrid(o, len(nodesSweep), func(pi, run int) (*RunResult, error) {
+		res, err := RunOnce(core.Config{
+			Topology: topo,
+			Nodes:    nodesSweep[pi],
+			Seed:     seedFor(o.Seed, pi, run),
+		}, o.MaxRounds, true)
+		if err != nil {
+			return nil, fmt.Errorf("fig2 n=%d run=%d: %w", nodesSweep[pi], run, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	series := subSeries()
 	for pi, n := range nodesSweep {
 		accs := make(map[core.Sub]*metrics.Accumulator, 5)
 		for _, sub := range core.Subs() {
 			accs[sub] = &metrics.Accumulator{}
 		}
-		for run := 0; run < o.Runs; run++ {
-			res, err := RunOnce(core.Config{
-				Topology: topo,
-				Nodes:    n,
-				Seed:     seedFor(o.Seed, pi, run),
-			}, o.MaxRounds, true)
-			if err != nil {
-				return nil, fmt.Errorf("fig2 n=%d run=%d: %w", n, run, err)
-			}
+		for _, res := range grid[pi] {
 			for _, sub := range core.Subs() {
 				accs[sub].Add(convergedOrCap(res, sub, o.MaxRounds))
 			}
@@ -67,22 +74,31 @@ func Fig3(o Options) (*Figure, error) {
 	}
 	compSweep := []int{1, 2, 5, 10, 15, 20}
 
+	topos := make([]*spec.Topology, len(compSweep))
+	for pi, comps := range compSweep {
+		topos[pi] = MustTopology(RingOfRingsDSL(comps))
+	}
+	grid, err := runGrid(o, len(compSweep), func(pi, run int) (*RunResult, error) {
+		res, err := RunOnce(core.Config{
+			Topology: topos[pi],
+			Nodes:    nodes,
+			Seed:     seedFor(o.Seed, 100+pi, run),
+		}, o.MaxRounds, true)
+		if err != nil {
+			return nil, fmt.Errorf("fig3 comps=%d run=%d: %w", compSweep[pi], run, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	series := subSeries()
 	for pi, comps := range compSweep {
-		topo := MustTopology(RingOfRingsDSL(comps))
 		accs := make(map[core.Sub]*metrics.Accumulator, 5)
 		for _, sub := range core.Subs() {
 			accs[sub] = &metrics.Accumulator{}
 		}
-		for run := 0; run < o.Runs; run++ {
-			res, err := RunOnce(core.Config{
-				Topology: topo,
-				Nodes:    nodes,
-				Seed:     seedFor(o.Seed, 100+pi, run),
-			}, o.MaxRounds, true)
-			if err != nil {
-				return nil, fmt.Errorf("fig3 comps=%d run=%d: %w", comps, run, err)
-			}
+		for _, res := range grid[pi] {
 			for _, sub := range core.Subs() {
 				accs[sub].Add(convergedOrCap(res, sub, o.MaxRounds))
 			}
@@ -117,9 +133,7 @@ func Fig4(o Options) (*Figure, error) {
 	}
 	topo := MustTopology(RingOfRingsDSL(comps))
 
-	baseRuns := make([][]float64, 0, o.Runs)
-	overRuns := make([][]float64, 0, o.Runs)
-	for run := 0; run < o.Runs; run++ {
+	results, err := runRuns(o, func(run int) (*RunResult, error) {
 		res, err := RunOnce(core.Config{
 			Topology: topo,
 			Nodes:    nodes,
@@ -128,6 +142,14 @@ func Fig4(o Options) (*Figure, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fig4 run=%d: %w", run, err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	baseRuns := make([][]float64, 0, o.Runs)
+	overRuns := make([][]float64, 0, o.Runs)
+	for _, res := range results {
 		baseRuns = append(baseRuns, res.BaselinePerNode)
 		overRuns = append(overRuns, res.OverheadPerNode)
 	}

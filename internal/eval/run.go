@@ -2,6 +2,9 @@ package eval
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"sosf/internal/core"
 	"sosf/internal/metrics"
@@ -21,6 +24,15 @@ type Options struct {
 	Full bool
 	// MaxRounds caps each run (default 150).
 	MaxRounds int
+	// Parallelism bounds the worker pool that fans independent
+	// (sweep point, run) simulations across goroutines. Every cell of the
+	// grid owns its engine and derives its seed from (Seed, point, run)
+	// exactly as in sequential mode, and drivers gather results into
+	// index-addressed storage before aggregating in index order — so any
+	// Parallelism value produces byte-identical figures and tables.
+	// 0 (the default) means runtime.GOMAXPROCS(0); 1 is the legacy
+	// sequential path.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -37,7 +49,86 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	return o
+}
+
+// runGrid executes cell(point, run) for every pair of the
+// [0, points) × [0, o.Runs) grid and returns the results addressed as
+// out[point][run]. With Parallelism > 1 cells are claimed from a shared
+// counter by a bounded pool of workers; because each cell is a fully
+// independent simulation (own engine, own seed) and results land in their
+// grid slot rather than a completion-ordered append, callers that fold
+// out[...] in index order produce output byte-identical to the sequential
+// path. On error the pool drains without starting new cells and the error
+// of the lowest-indexed failed cell is returned.
+func runGrid[T any](o Options, points int, cell func(point, run int) (T, error)) ([][]T, error) {
+	out := make([][]T, points)
+	for p := range out {
+		out[p] = make([]T, o.Runs)
+	}
+	total := points * o.Runs
+	workers := o.Parallelism
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		// Legacy sequential mode: the historical execution order, with no
+		// goroutine or scheduling overhead.
+		for p := 0; p < points; p++ {
+			for r := 0; r < o.Runs; r++ {
+				v, err := cell(p, r)
+				if err != nil {
+					return nil, err
+				}
+				out[p][r] = v
+			}
+		}
+		return out, nil
+	}
+	errs := make([]error, total)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total || failed.Load() {
+					return
+				}
+				p, r := i/o.Runs, i%o.Runs
+				v, err := cell(p, r)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				out[p][r] = v
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// runRuns is runGrid for single-point drivers: o.Runs independent
+// repetitions of one configuration.
+func runRuns[T any](o Options, cell func(run int) (T, error)) ([]T, error) {
+	grid, err := runGrid(o, 1, func(_, run int) (T, error) { return cell(run) })
+	if err != nil {
+		return nil, err
+	}
+	return grid[0], nil
 }
 
 // Figure is one reproduced figure: titled series over a shared x-axis,

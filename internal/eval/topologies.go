@@ -3,6 +3,16 @@
 // DESIGN.md. Every driver is deterministic given (Options.Seed, scale) and
 // aggregates over Options.Runs independent runs with 90% confidence
 // intervals — the paper's methodology (25 runs, 90% CIs).
+//
+// Because a (seed, configuration) pair fully determines a simulation run
+// (see internal/sim), the (sweep point, run) grid behind every figure is
+// embarrassingly parallel. Options.Parallelism bounds a worker pool that
+// fans those independent engine instances across goroutines (default
+// runtime.GOMAXPROCS(0); 1 selects the legacy sequential path). Per-run
+// seeds are derived from (Seed, point, run) identically in both modes and
+// drivers aggregate index-addressed results in index order, so figures and
+// tables are byte-identical at any parallelism — only the wall clock
+// changes.
 package eval
 
 import (
