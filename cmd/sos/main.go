@@ -1,24 +1,33 @@
-// Command sos runs, validates, or renders a topology described in the
-// framework's DSL.
+// Command sos runs, validates, plays, or renders a topology described in
+// the framework's DSL.
 //
 // Usage:
 //
 //	sos check file.sos             validate the DSL file
 //	sos run [flags] file.sos       simulate and report convergence
+//	sos play [flags] file.sos      simulate to the end of the file's
+//	                               scenario timeline, streaming one round
+//	                               event per round to stdout
 //	sos dot [flags] file.sos       simulate, then emit the realized
 //	                               topology as Graphviz DOT on stdout
 //
-// Flags for run and dot:
+// Flags for run, play, and dot:
 //
-//	-nodes N    population size (default: the file's `nodes` option)
-//	-rounds N   maximum rounds to simulate (default 150)
-//	-seed N     random seed (default 1)
-//	-churn F    replace F of the population per round (e.g. 0.01)
-//	-loss F     drop each exchange with probability F
-//	-to-end     keep running after convergence
+//	-nodes N       population size (default: the file's `nodes` option)
+//	-rounds N      maximum rounds to simulate (default 150; play extends
+//	               this to the scenario horizon)
+//	-seed N        random seed (default 1)
+//	-churn F       replace F of the population per round (e.g. 0.01)
+//	-loss F        drop each exchange with probability F
+//	-to-end        keep running after convergence (play always does)
+//	-json          (run, play) print the final report as JSON with stable
+//	               field names; for play it goes to stderr so stdout stays
+//	               a pure event stream
+//	-events FORMAT (play) event stream format: jsonl (default) or csv
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,17 +44,19 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: sos <check|run|dot> [flags] file.sos")
+		return fmt.Errorf("usage: sos <check|run|play|dot> [flags] file.sos")
 	}
 	cmd, rest := args[0], args[1:]
 
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	nodes := fs.Int("nodes", 0, "population size (default: the file's nodes option)")
-	rounds := fs.Int("rounds", 150, "maximum rounds to simulate")
-	seed := fs.Int64("seed", 1, "random seed")
+	rounds := fs.Int("rounds", sosf.DefaultRounds, "maximum rounds to simulate")
+	seed := fs.Int64("seed", sosf.DefaultSeed, "random seed")
 	churn := fs.Float64("churn", 0, "fraction of nodes replaced per round")
 	loss := fs.Float64("loss", 0, "probability that an exchange is lost")
 	toEnd := fs.Bool("to-end", false, "keep running after convergence")
+	asJSON := fs.Bool("json", false, "machine-readable final report (run, play)")
+	events := fs.String("events", "jsonl", "play: event stream format, jsonl or csv")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -56,13 +67,15 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	opt := sosf.Options{
-		Nodes:     *nodes,
-		Rounds:    *rounds,
-		Seed:      *seed,
-		ChurnRate: *churn,
-		LossRate:  *loss,
-		RunToEnd:  *toEnd,
+	opts := []sosf.Option{
+		sosf.WithNodes(*nodes),
+		sosf.WithRounds(*rounds),
+		sosf.WithSeed(*seed),
+		sosf.WithChurn(*churn),
+		sosf.WithLoss(*loss),
+	}
+	if *toEnd {
+		opts = append(opts, sosf.WithRunToEnd())
 	}
 
 	switch cmd {
@@ -73,23 +86,60 @@ func run(args []string) error {
 		fmt.Println("ok")
 		return nil
 	case "run":
-		rep, err := sosf.Run(string(src), opt)
+		rep, err := sosf.Run(string(src), opts...)
 		if err != nil {
 			return err
 		}
-		fmt.Print(rep)
-		return nil
+		return printReport(os.Stdout, rep, *asJSON)
+	case "play":
+		return play(string(src), opts, *events, *rounds, *asJSON)
 	case "dot":
-		sys, err := sosf.New(string(src), opt)
+		sys, err := sosf.New(string(src), opts...)
 		if err != nil {
 			return err
 		}
-		if _, err := sys.Step(opt.Rounds); err != nil {
+		if _, err := sys.Step(*rounds); err != nil {
 			return err
 		}
 		fmt.Print(sys.DOT())
 		return nil
 	default:
-		return fmt.Errorf("unknown command %q (want check, run, or dot)", cmd)
+		return fmt.Errorf("unknown command %q (want check, run, play, or dot)", cmd)
 	}
+}
+
+// play executes the file's scenario timeline (plus any -churn/-loss flags),
+// streaming one round event per round to stdout and a final report to
+// stderr. The run never stops at convergence — a timeline only makes sense
+// played to the end — and -rounds is extended to the scenario horizon so
+// the last scheduled action always fires.
+func play(src string, opts []sosf.Option, format string, rounds int, asJSON bool) error {
+	sys, err := sosf.New(src, append(opts, sosf.WithRunToEnd())...)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "jsonl":
+		sys.Subscribe(sosf.JSONLSink(os.Stdout))
+	case "csv":
+		sys.Subscribe(sosf.CSVSink(os.Stdout))
+	default:
+		return fmt.Errorf("play: unknown -events format %q (want jsonl or csv)", format)
+	}
+	if h := sys.ScenarioHorizon(); h > rounds {
+		rounds = h
+	}
+	if _, err := sys.Step(rounds); err != nil {
+		return err
+	}
+	return printReport(os.Stderr, sys.Report(), asJSON)
+}
+
+func printReport(w *os.File, rep *sosf.Report, asJSON bool) error {
+	if !asJSON {
+		fmt.Fprint(w, rep)
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(rep)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
@@ -88,5 +89,123 @@ func TestUsageErrors(t *testing.T) {
 		if err := run(args); err == nil {
 			t.Fatalf("run(%v) should fail", args)
 		}
+	}
+}
+
+const playTopo = "../../testdata/playdemo.sos"
+
+func TestRunJSONCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"run", "-json", "-rounds", "100", "-seed", "2", testTopo})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Topology  string `json:"topology"`
+		Converged bool   `json:"converged"`
+		Subs      []struct {
+			Name string `json:"name"`
+		} `json:"subs"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("run -json output is not JSON: %v\n%s", err, out)
+	}
+	if rep.Topology != "ringpair" || !rep.Converged || len(rep.Subs) != 5 {
+		t.Fatalf("run -json report = %+v", rep)
+	}
+}
+
+// playStream runs `sos play` and returns the stdout event stream.
+func playStream(t *testing.T, args ...string) string {
+	t.Helper()
+	// Silence the final report (it goes to stderr).
+	oldErr := os.Stderr
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = devNull
+	defer func() {
+		os.Stderr = oldErr
+		devNull.Close()
+	}()
+	out, err := capture(t, func() error {
+		return run(append([]string{"play"}, args...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestPlayStreamsOneEventPerRound is the acceptance check: a DSL-embedded
+// scenario (kill + reconfigure mid-run) streams one valid JSON round event
+// per round, deterministically for a fixed seed.
+func TestPlayStreamsOneEventPerRound(t *testing.T) {
+	args := []string{"-rounds", "80", "-seed", "3", playTopo}
+	out := playStream(t, args...)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 80 {
+		t.Fatalf("got %d events, want 80 (one per round)", len(lines))
+	}
+	sawKill, sawReconfigure := false, false
+	for i, line := range lines {
+		var ev struct {
+			Round    int                `json:"round"`
+			Nodes    int                `json:"nodes"`
+			Accuracy map[string]float64 `json:"accuracy"`
+			Actions  []string           `json:"actions"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		if ev.Round != i+1 {
+			t.Fatalf("line %d has round %d", i+1, ev.Round)
+		}
+		if ev.Nodes <= 0 || len(ev.Accuracy) != 5 {
+			t.Fatalf("event %d incomplete: %s", i+1, line)
+		}
+		for _, a := range ev.Actions {
+			if strings.HasPrefix(a, "kill ") {
+				sawKill = true
+			}
+			if strings.HasPrefix(a, "reconfigure ") {
+				sawReconfigure = true
+			}
+		}
+	}
+	if !sawKill || !sawReconfigure {
+		t.Fatalf("scenario actions missing from the stream: kill=%v reconfigure=%v",
+			sawKill, sawReconfigure)
+	}
+	if again := playStream(t, args...); again != out {
+		t.Fatal("play is not deterministic for a fixed seed")
+	}
+}
+
+func TestPlayExtendsRoundsToScenarioHorizon(t *testing.T) {
+	// playdemo's timeline ends at round 70; -rounds 10 must be extended.
+	out := playStream(t, "-rounds", "10", "-seed", "3", playTopo)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 70 {
+		t.Fatalf("got %d events, want the 70-round scenario horizon", len(lines))
+	}
+}
+
+func TestPlayCSV(t *testing.T) {
+	out := playStream(t, "-events", "csv", "-rounds", "5", testTopo)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("want header + 5 rows, got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "round,nodes,converged,") {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+}
+
+func TestPlayRejectsUnknownFormat(t *testing.T) {
+	if err := run([]string{"play", "-events", "xml", playTopo}); err == nil {
+		t.Fatal("unknown -events format accepted")
 	}
 }

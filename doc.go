@@ -28,22 +28,52 @@
 // protocol per component shape, a gossip port election, and a
 // port-connection procedure that realizes inter-component links.
 //
-// The simplest entry point runs a DSL source inside the deterministic
-// simulation engine and reports convergence:
+// # Running a system
 //
-//	report, err := sosf.Run(src, sosf.Options{Nodes: 800, Rounds: 100})
+// The simplest entry point runs a DSL source inside the deterministic
+// simulation engine and reports convergence. Configuration uses functional
+// options; every value is representable, including seed 0 and rounds 0:
+//
+//	report, err := sosf.Run(src, sosf.WithNodes(800), sosf.WithSeed(7))
 //
 // For live interaction (mid-run reconfiguration, failure injection), build
 // a System and drive it round by round:
 //
-//	sys, _ := sosf.New(src, sosf.Options{Nodes: 800})
+//	sys, _ := sosf.New(src, sosf.WithNodes(800))
 //	sys.Step(50)
 //	sys.ReconfigureSource(newSrc)
 //	sys.Step(50)
 //
+// # Scenario scripting
+//
+// Whole experiments — churn bursts, loss windows, partitions, targeted
+// failures, live topology changes — are declarative Scenario values
+// scheduled onto the simulation's per-round hook:
+//
+//	script := sosf.Scenario{
+//	    sosf.During(10, 20, sosf.Loss(0.3)),
+//	    sosf.At(30, sosf.Kill(0.5)),
+//	    sosf.At(45, sosf.Reconfigure(newSrc)),
+//	}
+//	sys, _ := sosf.New(src, sosf.WithScenario(script))
+//
+// The same timeline can travel inside the DSL source as a
+// `scenario { ... }` block, so a .sos file carries its own fault script
+// (see `sos play`).
+//
+// # Streaming round events
+//
+// Subscribe taps the per-round event stream (accuracy, population,
+// bandwidth, fired scenario actions); JSONLSink and CSVSink adapt it to
+// line-oriented formats:
+//
+//	sys.Subscribe(sosf.JSONLSink(os.Stdout))
+//	sys.Step(150)
+//
 // Everything underneath lives in internal packages: internal/core (the
-// runtime), internal/vicinity and internal/peersampling (the overlay
-// substrate), internal/shapes (the component library), internal/dsl (the
-// language), internal/sim (the cycle-driven engine), and internal/eval
-// (one driver per figure of the paper's evaluation).
+// runtime), internal/scenario (the timeline executor), internal/vicinity
+// and internal/peersampling (the overlay substrate), internal/shapes (the
+// component library), internal/dsl (the language), internal/sim (the
+// cycle-driven engine), and internal/eval (one driver per figure of the
+// paper's evaluation).
 package sosf

@@ -3,10 +3,12 @@
 // it to remain connected."
 //
 // Two sensor clusters (cliques) are joined through a dedicated relay
-// backbone (a line component). When the backbone is wiped out, the
-// operator re-composes the same clusters around an unrelated third-party
-// system — a city mesh modeled as a torus — which now carries the link
-// between the clusters. The clusters themselves never change shape.
+// backbone (a line component). A scripted scenario wipes the backbone out
+// mid-run and then re-composes the same clusters around an unrelated
+// third-party system — a city mesh modeled as a torus — which takes over
+// carrying the link between the clusters. The clusters themselves never
+// change shape, and the whole failure story is one declarative value
+// instead of a hand-rolled driver loop.
 //
 //	go run ./examples/iotrelay
 package main
@@ -68,35 +70,38 @@ topology sensors_via_city_mesh {
 func main() {
 	log.SetFlags(0)
 
-	sys, err := sosf.New(withBackbone, sosf.Options{Seed: 21})
+	// Round 40: power cut across the relay line. Round 45: the operator's
+	// scripted response — re-compose both clusters around the city mesh.
+	script := sosf.Scenario{
+		sosf.At(40, sosf.KillComponent("backbone")),
+		sosf.At(45, sosf.Reconfigure(viaCityMesh)),
+	}
+	sys, err := sosf.New(withBackbone,
+		sosf.WithSeed(21),
+		sosf.WithScenario(script),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := sys.Step(150); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("phase 1: clusters joined by dedicated backbone; connected=%v\n", sys.Connected())
 
-	// The backbone dies (power cut across the relay line).
-	killed := sys.KillComponent("backbone")
-	if _, err := sys.Step(5); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("phase 2: backbone wiped out (%d nodes); connected=%v\n", killed, sys.Connected())
+	converged := false
+	sys.Subscribe(func(ev sosf.RoundEvent) {
+		for _, a := range ev.Actions {
+			fmt.Printf("round %3d: %s (connected=%v)\n", ev.Round, a, sys.Connected())
+		}
+		if ev.Converged && !converged {
+			fmt.Printf("round %3d: converged; connected=%v\n", ev.Round, sys.Connected())
+		}
+		converged = ev.Converged
+	})
 
-	// Opportunistic composition: reroute both clusters through the city
-	// mesh. The reconfiguration reuses the surviving population; the mesh
-	// component self-assembles from nodes reassigned to it.
-	if err := sys.ReconfigureSource(viaCityMesh); err != nil {
+	if _, err := sys.Step(200); err != nil {
 		log.Fatal(err)
 	}
-	rounds, err := sys.Step(150)
-	if err != nil {
-		log.Fatal(err)
-	}
+
 	rep := sys.Report()
-	fmt.Printf("phase 3: re-composed via third-party mesh in %d rounds; connected=%v, converged=%v\n",
-		rounds, sys.Connected(), rep.Converged)
+	fmt.Printf("\nfinal: %q re-composed via third-party mesh; connected=%v\n",
+		rep.Topology, sys.Connected())
 	for port, node := range sys.Managers() {
 		fmt.Printf("  %-18s -> node %d\n", port, node)
 	}

@@ -1,9 +1,13 @@
-// Live reconfiguration: the paper's experiment (iii). A ring of three
-// rings runs in steady state; the operator then pushes a new target
-// topology with a fourth ring, and later swaps one ring for a clique.
-// Nothing restarts — the allocator re-derives roles, stale-epoch state is
-// evicted on contact, and every layer re-converges while the system keeps
-// running.
+// Live reconfiguration: the paper's experiment (iii), scripted. A ring of
+// three rings runs in steady state; a declarative scenario then pushes a
+// new target topology with a fourth ring, and later swaps one ring for a
+// star. Nothing restarts — the allocator re-derives roles, stale-epoch
+// state is evicted on contact, and every layer re-converges while the
+// system keeps running.
+//
+// Where this example once hand-rolled a driver loop around Step and
+// ReconfigureSource, the whole experiment is now one Scenario value plus a
+// round-event subscription that narrates it.
 //
 //	go run ./examples/reconfigure
 package main
@@ -40,39 +44,41 @@ func ringsOf(k int, lastShape string) string {
 func main() {
 	log.SetFlags(0)
 
-	sys, err := sosf.New(ringsOf(3, "ring"), sosf.Options{Seed: 3})
+	// The whole experiment, declaratively: scale out to four rings at
+	// round 60, swap the last segment's shape at round 120.
+	script := sosf.Scenario{
+		sosf.At(60, sosf.Reconfigure(ringsOf(4, "ring"))),
+		sosf.At(120, sosf.Reconfigure(ringsOf(4, "star"))),
+	}
+	sys, err := sosf.New(ringsOf(3, "ring"),
+		sosf.WithSeed(3),
+		sosf.WithScenario(script),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	phase := func(name string) {
-		rounds, err := sys.Step(150)
-		if err != nil {
-			log.Fatal(err)
+
+	// The event stream narrates the run: scripted actions as they fire,
+	// and every (re-)convergence of the full stack.
+	converged := false
+	sys.Subscribe(func(ev sosf.RoundEvent) {
+		for _, a := range ev.Actions {
+			fmt.Printf("round %3d: %s\n", ev.Round, a)
 		}
-		rep := sys.Report()
-		fmt.Printf("%-34s %2d rounds, converged=%v, %d components, %d links\n",
-			name, rounds, rep.Converged, rep.Components, rep.Links)
-	}
+		if ev.Converged && !converged {
+			fmt.Printf("round %3d: all layers converged (%d nodes)\n", ev.Round, ev.Nodes)
+		}
+		converged = ev.Converged
+	})
 
-	phase("initial assembly (3 rings):")
-
-	// Scale out: a fourth ring. Rendezvous hashing moves only ~1/4 of the
-	// nodes; everyone else keeps their role.
-	if err := sys.ReconfigureSource(ringsOf(4, "ring")); err != nil {
+	if _, err := sys.Step(180); err != nil {
 		log.Fatal(err)
 	}
-	phase("scale-out to 4 rings:")
 
-	// Change a shape in place: the fourth segment becomes a star (say, a
-	// hub-and-spoke collection tier). Only that segment's internal
-	// structure changes; the surrounding links stay declared as before.
-	if err := sys.ReconfigureSource(ringsOf(4, "star")); err != nil {
-		log.Fatal(err)
-	}
-	phase("swap segment 3 ring -> star:")
-
-	fmt.Printf("\nfinal state: connected=%v\n", sys.Connected())
-	for _, s := range sys.Report().Subs {
+	rep := sys.Report()
+	fmt.Printf("\nfinal state: %q, connected=%v, converged=%v\n",
+		rep.Topology, sys.Connected(), rep.Converged)
+	for _, s := range rep.Subs {
 		fmt.Printf("  %-26s accuracy %.3f\n", s.Name, s.Final)
 	}
 }

@@ -136,7 +136,7 @@ func (p *PortConnect) resolve(e *sim.Engine, slot int, self *sim.Node, side Link
 	}
 	p.count(e, sim.PortQueryPayload())
 	target := e.Lookup(contact.ID)
-	if target == nil || !target.Alive || !e.DeliverExchange() {
+	if target == nil || !target.Alive || !e.DeliverBetween(slot, target.Slot) {
 		return
 	}
 	// The contact answers with its current belief for the remote port —

@@ -159,7 +159,7 @@ func (p *PortSelect) Step(e *sim.Engine, slot int) {
 	}
 	p.count(e, sim.PortRecordPayload(len(st.records)))
 	target := e.Lookup(partner.ID)
-	if target == nil || !target.Alive || !e.DeliverExchange() {
+	if target == nil || !target.Alive || !e.DeliverBetween(slot, target.Slot) {
 		return
 	}
 	tst := p.states[target.Slot]

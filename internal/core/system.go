@@ -239,6 +239,25 @@ func (s *System) Kill(f float64) []int {
 	return killed
 }
 
+// KillComponent fails every current member of the named component (targeted
+// failure injection), returning how many died. Unknown names kill nothing.
+func (s *System) KillComponent(name string) int {
+	ci := s.alloc.Topology().ComponentIndex(name)
+	if ci < 0 {
+		return 0
+	}
+	killed := 0
+	for _, slot := range s.eng.AliveSlots() {
+		n := s.eng.Node(slot)
+		if int(n.Profile.Comp) == ci {
+			s.eng.Kill(slot)
+			s.alloc.NoteLeave(n)
+			killed++
+		}
+	}
+	return killed
+}
+
 // ChurnObserver returns an observer that, after every round in
 // [from, until] (until = 0 means forever), replaces rate × population with
 // fresh joins, wired through the allocator.

@@ -107,7 +107,7 @@ func (u *UO2) Step(e *sim.Engine, slot int) {
 	u.count(e, sim.DescriptorPayload(len(send)))
 
 	target := e.Lookup(partner.ID)
-	if target == nil || !target.Alive || !e.DeliverExchange() {
+	if target == nil || !target.Alive || !e.DeliverBetween(slot, target.Slot) {
 		// Suspect the contact: push its birth into the past so dead
 		// contacts expire quickly while contacts behind a lossy link
 		// survive (a fresher descriptor restores them).

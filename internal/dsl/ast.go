@@ -57,12 +57,39 @@ type LinkStmt struct {
 	A, B PortRefExpr
 }
 
+// ScenarioStmt declares a fault/reconfiguration timeline:
+// `scenario { at 50 kill 0.5  during 10 20 loss 0.3 }`.
+type ScenarioStmt struct {
+	Pos    Pos
+	Events []*ScenarioEventStmt
+}
+
+// ScenarioEventStmt is one scheduled action inside a scenario block.
+type ScenarioEventStmt struct {
+	Pos Pos
+	// During distinguishes `during FROM TO action` from `at ROUND action`.
+	During   bool
+	From, To Expr // To is nil for `at` events
+	// Kind is the action keyword: "kill", "kill-component", "join",
+	// "loss", "churn", "partition", "heal", or "reconfigure".
+	Kind string
+	// Fraction is the parsed float argument of kill/loss/churn.
+	Fraction float64
+	// Count is the integer argument of join/partition.
+	Count Expr
+	// Component is the kill-component target (possibly indexed).
+	Component NameRef
+	// Body is the inline topology body of a reconfigure action.
+	Body []Stmt
+}
+
 func (s *LetStmt) At() Pos       { return s.Pos }
 func (s *NodesStmt) At() Pos     { return s.Pos }
 func (s *OptionStmt) At() Pos    { return s.Pos }
 func (s *RepeatStmt) At() Pos    { return s.Pos }
 func (s *ComponentStmt) At() Pos { return s.Pos }
 func (s *LinkStmt) At() Pos      { return s.Pos }
+func (s *ScenarioStmt) At() Pos  { return s.Pos }
 
 func (*LetStmt) stmt()       {}
 func (*NodesStmt) stmt()     {}
@@ -70,6 +97,7 @@ func (*OptionStmt) stmt()    {}
 func (*RepeatStmt) stmt()    {}
 func (*ComponentStmt) stmt() {}
 func (*LinkStmt) stmt()      {}
+func (*ScenarioStmt) stmt()  {}
 
 // CompStmt is a statement inside a component block.
 type CompStmt interface {

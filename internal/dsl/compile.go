@@ -43,10 +43,11 @@ func ParseTopology(src string) (*spec.Topology, error) {
 }
 
 type compiler struct {
-	topo  *spec.Topology
-	vars  map[string]int64
-	names map[string]bool // defined component names (duplicate check is O(1))
-	steps int
+	topo       *spec.Topology
+	vars       map[string]int64
+	names      map[string]bool // defined component names (duplicate check is O(1))
+	steps      int
+	noScenario bool // set inside reconfigure targets (no nested timelines)
 }
 
 func (c *compiler) budget(pos Pos) error {
@@ -101,9 +102,80 @@ func (c *compiler) stmt(s Stmt) error {
 		return c.component(s)
 	case *LinkStmt:
 		return c.link(s)
+	case *ScenarioStmt:
+		return c.scenario(s)
 	default:
 		return errf(s.At(), "internal error: unknown statement type %T", s)
 	}
+}
+
+func (c *compiler) scenario(s *ScenarioStmt) error {
+	if c.noScenario {
+		return errf(s.Pos, "scenario blocks are not allowed inside a reconfigure target")
+	}
+	for _, ev := range s.Events {
+		if err := c.budget(ev.Pos); err != nil {
+			return err
+		}
+		out, err := c.scenarioEvent(ev)
+		if err != nil {
+			return err
+		}
+		c.topo.Scenario = append(c.topo.Scenario, out)
+	}
+	return nil
+}
+
+func (c *compiler) scenarioEvent(ev *ScenarioEventStmt) (spec.ScenarioEvent, error) {
+	from, err := c.eval(ev.From)
+	if err != nil {
+		return spec.ScenarioEvent{}, err
+	}
+	to := from
+	if ev.During {
+		if to, err = c.eval(ev.To); err != nil {
+			return spec.ScenarioEvent{}, err
+		}
+	}
+	out := spec.ScenarioEvent{
+		From:     int(from),
+		To:       int(to),
+		Kind:     spec.ScenarioKind(ev.Kind),
+		Fraction: ev.Fraction,
+	}
+	switch out.Kind {
+	case spec.ScenKillComponent:
+		name, err := c.instanceName(ev.Component)
+		if err != nil {
+			return spec.ScenarioEvent{}, err
+		}
+		out.Component = name
+	case spec.ScenJoin, spec.ScenPartition:
+		n, err := c.eval(ev.Count)
+		if err != nil {
+			return spec.ScenarioEvent{}, err
+		}
+		out.Count = int(n)
+	case spec.ScenReconfigure:
+		// The inline body compiles as a topology of its own, inheriting
+		// the enclosing `let` bindings so shared constants stay shared.
+		sub := &compiler{
+			topo:       &spec.Topology{Name: fmt.Sprintf("%s@%d", c.topo.Name, from)},
+			vars:       make(map[string]int64, len(c.vars)),
+			names:      make(map[string]bool),
+			steps:      c.steps,
+			noScenario: true,
+		}
+		for k, v := range c.vars {
+			sub.vars[k] = v
+		}
+		if err := sub.stmts(ev.Body); err != nil {
+			return spec.ScenarioEvent{}, err
+		}
+		c.steps = sub.steps
+		out.Reconfigure = sub.topo
+	}
+	return out, nil
 }
 
 func (c *compiler) repeat(s *RepeatStmt) error {

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"sosf/internal/spec"
 )
 
 const ringOfRings = `
@@ -354,5 +356,177 @@ func TestComponentWithoutBlock(t *testing.T) {
 	c := topo.Component("solo")
 	if c == nil || c.Weight != 1 || len(c.Ports) != 0 {
 		t.Fatalf("solo = %+v", c)
+	}
+}
+
+const scenarioSrc = `
+topology scripted {
+    nodes 200
+    let blast = 30
+    component a ring {
+        weight 1
+        port out
+    }
+    component b ring {
+        weight 1
+        port in
+    }
+    link a.out b.in
+
+    scenario {
+        during 10 15 loss 0.25
+        at blast kill 0.5
+        at blast+5 join 40
+        during 50 60 churn 0.01
+        at 70 partition 2
+        at 80 heal
+        at 90 kill component b
+        at 100 reconfigure {
+            component a ring {
+                weight 1
+                port out
+            }
+            component c star {
+                weight 1
+                port in
+            }
+            link a.out c.in
+        }
+    }
+}
+`
+
+func TestCompileScenario(t *testing.T) {
+	topo, err := ParseTopology(scenarioSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := topo.Scenario
+	if len(evs) != 8 {
+		t.Fatalf("got %d events, want 8", len(evs))
+	}
+	if evs[0].Kind != spec.ScenLoss || evs[0].From != 10 || evs[0].To != 15 || evs[0].Fraction != 0.25 {
+		t.Fatalf("loss window = %+v", evs[0])
+	}
+	if evs[1].Kind != spec.ScenKill || evs[1].From != 30 || evs[1].To != 30 || evs[1].Fraction != 0.5 {
+		t.Fatalf("kill (let-bound round) = %+v", evs[1])
+	}
+	if evs[2].Kind != spec.ScenJoin || evs[2].From != 35 || evs[2].Count != 40 {
+		t.Fatalf("join = %+v", evs[2])
+	}
+	if evs[3].Kind != spec.ScenChurn || evs[3].From != 50 || evs[3].To != 60 || evs[3].Fraction != 0.01 {
+		t.Fatalf("churn = %+v", evs[3])
+	}
+	if evs[4].Kind != spec.ScenPartition || evs[4].Count != 2 {
+		t.Fatalf("partition = %+v", evs[4])
+	}
+	if evs[5].Kind != spec.ScenHeal || evs[5].From != 80 {
+		t.Fatalf("heal = %+v", evs[5])
+	}
+	if evs[6].Kind != spec.ScenKillComponent || evs[6].Component != "b" {
+		t.Fatalf("kill component = %+v", evs[6])
+	}
+	re := evs[7]
+	if re.Kind != spec.ScenReconfigure || re.From != 100 || re.Reconfigure == nil {
+		t.Fatalf("reconfigure = %+v", re)
+	}
+	if re.Reconfigure.Name != "scripted@100" {
+		t.Fatalf("reconfigure target name = %q", re.Reconfigure.Name)
+	}
+	if len(re.Reconfigure.Components) != 2 || re.Reconfigure.Components[1].Shape != "star" {
+		t.Fatalf("reconfigure target = %+v", re.Reconfigure)
+	}
+}
+
+func TestScenarioIndexedComponentAndLetInheritance(t *testing.T) {
+	src := `
+topology t {
+    nodes 100
+    let n = 2
+    repeat i 0 n-1 {
+        component seg[i] ring {
+            weight 1
+            port out
+        }
+    }
+    link seg[0].out seg[1].out
+    scenario {
+        at 20 kill component seg[n-1]
+        at 30 reconfigure {
+            repeat i 0 n {
+                component seg[i] ring {
+                    weight 1
+                    port out
+                }
+            }
+            link seg[0].out seg[1].out
+            link seg[1].out seg[2].out
+        }
+    }
+}`
+	topo, err := ParseTopology(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Scenario[0].Component != "seg[1]" {
+		t.Fatalf("indexed kill target = %q", topo.Scenario[0].Component)
+	}
+	// The reconfigure body inherits `let n = 2` from the enclosing scope.
+	if got := len(topo.Scenario[1].Reconfigure.Components); got != 3 {
+		t.Fatalf("reconfigure target components = %d, want 3", got)
+	}
+}
+
+func TestScenarioErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"topology t { nodes 10 component c ring { } scenario { at 5 explode 0.5 } }", "unknown scenario action"},
+		{"topology t { nodes 10 component c ring { } scenario { when 5 kill 0.5 } }", "expected 'at' or 'during'"},
+		{"topology t { nodes 10 component c ring { } scenario { at 5 kill 1.5 } }", "kill fraction"},
+		{"topology t { nodes 10 component c ring { } scenario { during 9 3 loss 0.1 } }", "window end"},
+		{"topology t { nodes 10 component c ring { } scenario { at 5 kill component ghost } }", "unknown component"},
+		{"topology t { nodes 10 component c ring { } scenario { at 5 partition 1 } }", ">= 2 groups"},
+		{"topology t { nodes 10 component c ring { } scenario { at 5 reconfigure { component d ring { } scenario { at 9 heal } } } }", "not allowed inside"},
+		{"topology t { nodes 1.5 component c ring { } }", "expected integer"},
+	}
+	for _, tc := range cases {
+		_, err := ParseTopology(tc.src)
+		if err == nil {
+			t.Fatalf("source %q should fail", tc.src)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("source %q: error %q does not mention %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestLexFloats(t *testing.T) {
+	toks, err := lex("0.5 12 3.25 seg[1].head")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	var kinds []Kind
+	for _, tok := range toks {
+		texts = append(texts, tok.Text)
+		kinds = append(kinds, tok.Kind)
+	}
+	if texts[0] != "0.5" || kinds[0] != TokNumber {
+		t.Fatalf("float token = %q (%s)", texts[0], kinds[0])
+	}
+	if texts[2] != "3.25" {
+		t.Fatalf("second float = %q", texts[2])
+	}
+	// "seg[1].head" must still lex the dot as TokDot, not a float.
+	wantTail := []Kind{TokIdent, TokLBracket, TokNumber, TokRBracket, TokDot, TokIdent, TokEOF}
+	gotTail := kinds[3:]
+	if len(gotTail) != len(wantTail) {
+		t.Fatalf("tail kinds = %v", gotTail)
+	}
+	for i := range wantTail {
+		if gotTail[i] != wantTail[i] {
+			t.Fatalf("tail token %d = %s, want %s", i, gotTail[i], wantTail[i])
+		}
 	}
 }

@@ -86,6 +86,15 @@ func (l *lexer) scanToken() (Token, error) {
 		return Token{Kind: TokIdent, Text: l.scanWhile(isIdentPart), Pos: pos}, nil
 	case c >= '0' && c <= '9':
 		text := l.scanWhile(func(b byte) bool { return b >= '0' && b <= '9' || b == '_' })
+		// A '.' directly followed by a digit continues the number as a
+		// float literal ("0.5"); any other '.' is left for the dot token
+		// (so "seg[1].head" still lexes as name-dot-name).
+		if c, ok := l.peekByte(); ok && c == '.' && l.off+1 < len(l.src) &&
+			l.src[l.off+1] >= '0' && l.src[l.off+1] <= '9' {
+			l.advance() // '.'
+			frac := l.scanWhile(func(b byte) bool { return b >= '0' && b <= '9' || b == '_' })
+			text += "." + frac
+		}
 		return Token{Kind: TokNumber, Text: strings.ReplaceAll(text, "_", ""), Pos: pos}, nil
 	case c == '"':
 		return l.scanString(pos)

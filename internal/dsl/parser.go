@@ -127,9 +127,102 @@ func (p *parser) parseStmt() (Stmt, error) {
 		return p.parseComponent()
 	case "link":
 		return p.parseLink()
+	case "scenario":
+		return p.parseScenario()
 	default:
-		return nil, errf(t.Pos, "unknown statement %q (expected let, nodes, option, repeat, component, or link)", t.Text)
+		return nil, errf(t.Pos, "unknown statement %q (expected let, nodes, option, repeat, component, link, or scenario)", t.Text)
 	}
+}
+
+// parseScenario parses `scenario { (at ROUND | during FROM TO) ACTION ... }`.
+func (p *parser) parseScenario() (Stmt, error) {
+	kw := p.next()
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	stmt := &ScenarioStmt{Pos: kw.Pos}
+	for {
+		t := p.peek()
+		switch t.Kind {
+		case TokRBrace:
+			p.next()
+			return stmt, nil
+		case TokEOF:
+			return nil, errf(t.Pos, "unterminated scenario block: missing '}'")
+		}
+		ev, err := p.parseScenarioEvent()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Events = append(stmt.Events, ev)
+	}
+}
+
+func (p *parser) parseScenarioEvent() (*ScenarioEventStmt, error) {
+	t := p.peek()
+	if t.Kind != TokIdent || (t.Text != "at" && t.Text != "during") {
+		return nil, errf(t.Pos, "expected 'at' or 'during', found %s", describe(t))
+	}
+	p.next()
+	ev := &ScenarioEventStmt{Pos: t.Pos, During: t.Text == "during"}
+	var err error
+	if ev.From, err = p.parseExpr(); err != nil {
+		return nil, err
+	}
+	if ev.During {
+		if ev.To, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	act, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	switch act.Text {
+	case "kill":
+		// `kill component NAME` or `kill FRACTION`.
+		if n := p.peek(); n.Kind == TokIdent && n.Text == "component" {
+			p.next()
+			ev.Kind = "kill-component"
+			if ev.Component, err = p.parseNameRef(); err != nil {
+				return nil, err
+			}
+			return ev, nil
+		}
+		ev.Kind = "kill"
+		ev.Fraction, err = p.parseFraction()
+		return ev, err
+	case "loss", "churn":
+		ev.Kind = act.Text
+		ev.Fraction, err = p.parseFraction()
+		return ev, err
+	case "join", "partition":
+		ev.Kind = act.Text
+		ev.Count, err = p.parseExpr()
+		return ev, err
+	case "heal":
+		ev.Kind = "heal"
+		return ev, nil
+	case "reconfigure":
+		ev.Kind = "reconfigure"
+		ev.Body, err = p.parseBlock()
+		return ev, err
+	default:
+		return nil, errf(act.Pos, "unknown scenario action %q (expected kill, join, loss, churn, partition, heal, or reconfigure)", act.Text)
+	}
+}
+
+// parseFraction parses a float literal like `0.5` (plain integers allowed).
+func (p *parser) parseFraction() (float64, error) {
+	t, err := p.expect(TokNumber)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(t.Text, 64)
+	if err != nil {
+		return 0, errf(t.Pos, "invalid fraction %q", t.Text)
+	}
+	return v, nil
 }
 
 func (p *parser) parseLet() (Stmt, error) {
@@ -357,7 +450,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 		p.next()
 		v, err := strconv.ParseInt(t.Text, 10, 64)
 		if err != nil {
-			return nil, errf(t.Pos, "invalid number %q", t.Text)
+			return nil, errf(t.Pos, "expected integer, found %q (fractions are only allowed in scenario actions)", t.Text)
 		}
 		return &NumberLit{Pos: t.Pos, Value: v}, nil
 	case TokIdent:

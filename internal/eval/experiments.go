@@ -6,6 +6,7 @@ import (
 
 	"sosf/internal/core"
 	"sosf/internal/metrics"
+	"sosf/internal/scenario"
 	"sosf/internal/spec"
 )
 
@@ -150,6 +151,14 @@ func Reconfig(o Options) (*Result, error) {
 		reconverged bool
 		reconvAt    float64
 	}
+	// The switch is a declarative one-event timeline; the tracker is
+	// registered first so round switchRound is still measured pre-switch,
+	// exactly like the old imperative driver.
+	timeline := scenario.New([]spec.ScenarioEvent{{
+		From: switchRound, To: switchRound,
+		Kind:        spec.ScenReconfigure,
+		Reconfigure: after,
+	}})
 	results, err := runRuns(o, func(run int) (reconfigRun, error) {
 		sys, err := core.NewSystem(core.Config{
 			Topology: before,
@@ -160,10 +169,14 @@ func Reconfig(o Options) (*Result, error) {
 			return reconfigRun{}, fmt.Errorf("reconfig run=%d: %w", run, err)
 		}
 		tracker := core.NewTracker(sys, false)
+		bound, err := timeline.Bind(sys)
+		if err != nil {
+			return reconfigRun{}, fmt.Errorf("reconfig run=%d: %w", run, err)
+		}
 		if _, err := sys.Run(switchRound); err != nil {
 			return reconfigRun{}, err
 		}
-		if err := sys.Reconfigure(after); err != nil {
+		if err := bound.Err(); err != nil {
 			return reconfigRun{}, err
 		}
 		// Re-convergence is measured from the switch; reset the marks but
@@ -249,6 +262,17 @@ func Churn(o Options) (*Figure, error) {
 	topo := MustTopology(RingOfRingsDSL(comps))
 	rates := []float64{0.001, 0.005, 0.01, 0.02, 0.05}
 
+	// Continuous churn is a one-event scenario window covering the whole
+	// run (From 1 mirrors the legacy ChurnObserver, which first fired
+	// after round 1).
+	timelines := make([]*scenario.Timeline, len(rates))
+	for pi, rate := range rates {
+		timelines[pi] = scenario.New([]spec.ScenarioEvent{{
+			From: 1, To: warm + window,
+			Kind:     spec.ScenChurn,
+			Fraction: rate,
+		}})
+	}
 	type churnRun struct {
 		e, u, p []float64
 	}
@@ -261,7 +285,9 @@ func Churn(o Options) (*Figure, error) {
 		if err != nil {
 			return churnRun{}, fmt.Errorf("churn rate=%f run=%d: %w", rates[pi], run, err)
 		}
-		sys.Engine().Observe(sys.ChurnObserver(rates[pi], 0, 0))
+		if _, err := timelines[pi].Bind(sys); err != nil {
+			return churnRun{}, fmt.Errorf("churn rate=%f run=%d: %w", rates[pi], run, err)
+		}
 		tracker := core.NewTracker(sys, false)
 		if _, err := sys.Run(warm + window); err != nil {
 			return churnRun{}, err

@@ -122,7 +122,7 @@ func (p *Protocol) Step(e *sim.Engine, slot int) {
 	p.count(e, sim.DescriptorPayload(len(sendBuf)))
 
 	target := e.Lookup(partner.ID)
-	if target == nil || !target.Alive || !e.DeliverExchange() {
+	if target == nil || !target.Alive || !e.DeliverBetween(slot, target.Slot) {
 		// Timeout: the request bytes are spent, the entry stays purged.
 		return
 	}

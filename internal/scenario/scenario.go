@@ -1,0 +1,173 @@
+// Package scenario executes declarative fault/reconfiguration timelines
+// against a running system.
+//
+// A timeline is a list of spec.ScenarioEvent values — produced by the DSL's
+// `scenario { ... }` block or by the public sosf.Scenario API — replayed by
+// a per-round observer. Time is measured in completed rounds: an event with
+// From == 0 fires when the timeline is bound (before the first round); an
+// event with From == r fires after round r completes. Because every action
+// draws its randomness from the engine's seeded source, a (seed, topology,
+// timeline) triple fully determines a run.
+//
+// Action semantics by kind:
+//
+//   - kill, kill-component, join, churn are pulses: they fire on every
+//     round of their [From, To] window (a point event fires once).
+//   - loss and partition are window actions: state changes at From and is
+//     restored at To (when To > From); a point event changes state
+//     permanently.
+//   - reconfigure and heal fire once, at From.
+package scenario
+
+import (
+	"fmt"
+
+	"sosf/internal/core"
+	"sosf/internal/sim"
+	"sosf/internal/spec"
+)
+
+// Timeline is an executable scenario. The zero value is an empty timeline.
+type Timeline struct {
+	events []spec.ScenarioEvent
+}
+
+// New builds a timeline from already-validated events (spec.Topology's
+// Validate/ValidateScenario is the gate).
+func New(events []spec.ScenarioEvent) *Timeline {
+	return &Timeline{events: events}
+}
+
+// Empty reports whether the timeline schedules nothing.
+func (t *Timeline) Empty() bool { return t == nil || len(t.events) == 0 }
+
+// Horizon returns the last round any event touches (0 for an empty
+// timeline) — the minimum number of rounds a run must execute to play the
+// whole timeline.
+func (t *Timeline) Horizon() int {
+	h := 0
+	if t == nil {
+		return h
+	}
+	for _, ev := range t.events {
+		if ev.To > h {
+			h = ev.To
+		}
+	}
+	return h
+}
+
+// Bind attaches the timeline to a live system: it registers a per-round
+// observer on the system's engine and immediately applies round-0 actions.
+// Bind returns an error if a round-0 reconfiguration fails. Each Bind
+// creates independent window state, so one timeline can drive many systems.
+func (t *Timeline) Bind(sys *core.System) (*Bound, error) {
+	b := &Bound{sys: sys, events: t.events, savedLoss: make(map[int]float64)}
+	sys.Engine().Observe(b)
+	b.tick(0)
+	return b, b.err
+}
+
+// Bound is a timeline bound to one system. It implements sim.Observer.
+type Bound struct {
+	// OnReconfigure, when set, runs after every successful scheduled
+	// reconfiguration — embedders hook convergence-tracker resets here.
+	OnReconfigure func()
+
+	sys       *core.System
+	events    []spec.ScenarioEvent
+	savedLoss map[int]float64 // event index -> loss rate to restore at To
+	fired     []string
+	err       error
+}
+
+var _ sim.Observer = (*Bound)(nil)
+
+// AfterRound implements sim.Observer: it fires every event due at the
+// completed-round count and stops the run on a scenario runtime error
+// (surfaced via Err).
+func (b *Bound) AfterRound(e *sim.Engine) bool {
+	b.fired = b.fired[:0]
+	b.tick(e.Round())
+	return b.err != nil
+}
+
+// Fired returns descriptions of the actions applied at the most recent
+// tick, in timeline order (empty when the round was quiet). The slice is
+// reused every round; callers that keep it must copy.
+func (b *Bound) Fired() []string { return b.fired }
+
+// Err returns the first runtime error a fired action produced (a failed
+// reconfiguration), or nil.
+func (b *Bound) Err() error { return b.err }
+
+func (b *Bound) tick(t int) {
+	eng := b.sys.Engine()
+	for i := range b.events {
+		ev := &b.events[i]
+		switch ev.Kind {
+		case spec.ScenKill:
+			if ev.From <= t && t <= ev.To {
+				n := len(b.sys.Kill(ev.Fraction))
+				b.note("kill %g: %d nodes", ev.Fraction, n)
+			}
+		case spec.ScenKillComponent:
+			if ev.From <= t && t <= ev.To {
+				n := b.sys.KillComponent(ev.Component)
+				b.note("kill component %s: %d nodes", ev.Component, n)
+			}
+		case spec.ScenJoin:
+			if ev.From <= t && t <= ev.To {
+				b.sys.AddNodes(ev.Count)
+				b.note("join %d", ev.Count)
+			}
+		case spec.ScenChurn:
+			if ev.From <= t && t <= ev.To {
+				killed := b.sys.Kill(ev.Fraction)
+				if len(killed) > 0 {
+					b.sys.AddNodes(len(killed))
+				}
+				b.note("churn %g: %d nodes", ev.Fraction, len(killed))
+			}
+		case spec.ScenLoss:
+			if t == ev.From {
+				if ev.To > ev.From {
+					b.savedLoss[i] = eng.LossRate()
+				}
+				eng.SetLossRate(ev.Fraction)
+				b.note("loss %g", ev.Fraction)
+			} else if ev.To > ev.From && t == ev.To {
+				eng.SetLossRate(b.savedLoss[i])
+				b.note("loss restored %g", b.savedLoss[i])
+			}
+		case spec.ScenPartition:
+			if t == ev.From {
+				eng.Partition(ev.Count)
+				b.note("partition %d", ev.Count)
+			} else if ev.To > ev.From && t == ev.To {
+				eng.Heal()
+				b.note("heal")
+			}
+		case spec.ScenHeal:
+			if t == ev.From {
+				eng.Heal()
+				b.note("heal")
+			}
+		case spec.ScenReconfigure:
+			if t == ev.From {
+				if err := b.sys.Reconfigure(ev.Reconfigure); err != nil {
+					b.err = fmt.Errorf("scenario: reconfigure at round %d: %w", t, err)
+					return
+				}
+				b.note("reconfigure %s", ev.Reconfigure.Name)
+				if b.OnReconfigure != nil {
+					b.OnReconfigure()
+				}
+			}
+		}
+	}
+}
+
+func (b *Bound) note(format string, args ...any) {
+	b.fired = append(b.fired, fmt.Sprintf(format, args...))
+}

@@ -74,6 +74,7 @@ type Engine struct {
 	round     int
 	nextID    view.NodeID
 	lossRate  float64
+	partition []int // group per slot; nil when the network is whole
 	stepOrder []int // scratch buffer reused every round
 }
 
@@ -272,6 +273,58 @@ func (e *Engine) DeliverExchange() bool {
 		return true
 	}
 	return e.rng.Float64() >= e.lossRate
+}
+
+// Partition splits the alive population into the given number of groups;
+// exchanges between nodes of different groups are dropped until Heal.
+// Group assignment is balanced and drawn from the engine's random source,
+// so partitions are as deterministic as everything else. Fewer than two
+// groups heals instead.
+func (e *Engine) Partition(groups int) {
+	if groups < 2 {
+		e.Heal()
+		return
+	}
+	e.partition = make([]int, len(e.nodes))
+	for i := range e.partition {
+		e.partition[i] = -1
+	}
+	alive := e.AliveSlots()
+	e.rng.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
+	for i, slot := range alive {
+		e.partition[slot] = i % groups
+	}
+}
+
+// Heal removes a network partition: every pair of nodes can exchange again.
+func (e *Engine) Heal() { e.partition = nil }
+
+// Partitioned reports whether a partition is in effect.
+func (e *Engine) Partitioned() bool { return e.partition != nil }
+
+// SameSide reports whether two slots can reach each other under the current
+// partition. Nodes that joined after the split carry no group and are
+// reachable from everywhere (they model fresh nodes with full connectivity).
+func (e *Engine) SameSide(a, b int) bool {
+	if e.partition == nil {
+		return true
+	}
+	if a >= len(e.partition) || b >= len(e.partition) {
+		return true
+	}
+	ga, gb := e.partition[a], e.partition[b]
+	return ga < 0 || gb < 0 || ga == gb
+}
+
+// DeliverBetween decides whether one request/response exchange between two
+// slots goes through: the partition (if any) is consulted first, then the
+// loss rate. Protocols should prefer this over DeliverExchange whenever both
+// endpoints are known.
+func (e *Engine) DeliverBetween(from, to int) bool {
+	if !e.SameSide(from, to) {
+		return false
+	}
+	return e.DeliverExchange()
 }
 
 // RunRound executes one full round: every alive node, in a freshly

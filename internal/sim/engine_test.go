@@ -273,3 +273,90 @@ func TestDeliverExchangeLoss(t *testing.T) {
 		t.Fatal("loss rate 0 must deliver every exchange")
 	}
 }
+
+func TestPartitionBlocksCrossGroupExchanges(t *testing.T) {
+	e := New(11)
+	e.AddNodes(10)
+	e.Partition(2)
+	if !e.Partitioned() {
+		t.Fatal("Partitioned() = false after Partition(2)")
+	}
+	sides := make(map[bool]int)
+	for a := 0; a < 10; a++ {
+		for b := a + 1; b < 10; b++ {
+			same := e.SameSide(a, b)
+			sides[same]++
+			if e.DeliverBetween(a, b) != same {
+				t.Fatalf("DeliverBetween(%d, %d) disagrees with SameSide", a, b)
+			}
+		}
+	}
+	if sides[true] == 0 || sides[false] == 0 {
+		t.Fatalf("partition should split pairs, got %v", sides)
+	}
+	// Nodes that join after the split carry no group: reachable everywhere.
+	fresh := e.AddNodes(1)[0]
+	for a := 0; a < 10; a++ {
+		if !e.SameSide(a, fresh) {
+			t.Fatal("post-split joiner must be unrestricted")
+		}
+	}
+	e.Heal()
+	if e.Partitioned() {
+		t.Fatal("Partitioned() = true after Heal")
+	}
+	for a := 0; a < 10; a++ {
+		for b := 0; b < 10; b++ {
+			if !e.SameSide(a, b) {
+				t.Fatal("healed network must be whole")
+			}
+		}
+	}
+}
+
+func TestPartitionBalanced(t *testing.T) {
+	e := New(7)
+	e.AddNodes(90)
+	e.Partition(3)
+	counts := make(map[int]int)
+	// Count group sizes via SameSide equivalence classes against three
+	// representatives.
+	reps := []int{}
+	for s := 0; s < 90 && len(reps) < 3; s++ {
+		isNew := true
+		for _, r := range reps {
+			if e.SameSide(r, s) {
+				isNew = false
+				break
+			}
+		}
+		if isNew {
+			reps = append(reps, s)
+		}
+	}
+	if len(reps) != 3 {
+		t.Fatalf("found %d groups, want 3", len(reps))
+	}
+	for s := 0; s < 90; s++ {
+		for _, r := range reps {
+			if e.SameSide(r, s) {
+				counts[r]++
+			}
+		}
+	}
+	for r, n := range counts {
+		if n != 30 {
+			t.Fatalf("group of rep %d has %d members, want 30", r, n)
+		}
+	}
+}
+
+func TestPartitionFewerThanTwoGroupsHeals(t *testing.T) {
+	e := New(3)
+	e.AddNodes(4)
+	e.Partition(2)
+	e.Partition(1)
+	if e.Partitioned() {
+		t.Fatal("Partition(1) must heal")
+	}
+}

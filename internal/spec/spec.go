@@ -28,6 +28,10 @@ type Topology struct {
 	// statements (e.g. "nodes", "rounds", "seed"); interpretation is up
 	// to the embedding runtime.
 	Options map[string]int64
+	// Scenario is the fault/reconfiguration timeline carried by the
+	// DSL's `scenario { ... }` block (or spliced in programmatically),
+	// in declaration order.
+	Scenario []ScenarioEvent
 }
 
 // Component is one elementary shape instance.
@@ -177,7 +181,7 @@ func (t *Topology) Validate() error {
 		}
 		links[key] = true
 	}
-	return nil
+	return t.ValidateScenario()
 }
 
 // canonicalLink normalizes a link so (a,b) and (b,a) collide.

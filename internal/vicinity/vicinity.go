@@ -158,7 +158,7 @@ func (p *Protocol) Step(e *sim.Engine, slot int) {
 	p.count(e, sim.DescriptorPayload(len(sendBuf)))
 
 	target := e.Lookup(partner.ID)
-	if target == nil || !target.Alive || !e.DeliverExchange() {
+	if target == nil || !target.Alive || !e.DeliverBetween(slot, target.Slot) {
 		// Timeout: suspect the contact rather than evicting it — message
 		// loss must not empty views, but dead peers accumulate penalties
 		// (they keep being selected as the oldest entry) and age out.

@@ -1,0 +1,198 @@
+package sosf
+
+import "fmt"
+
+// Default values used when the corresponding option is absent. They are
+// applied by New and Run, not baked into the option constructors, so
+// WithRounds(0) and WithSeed(0) mean literally zero — the representability
+// the legacy Options struct lacked.
+const (
+	// DefaultRounds caps a run when WithRounds is not given.
+	DefaultRounds = 150
+	// DefaultSeed seeds a run when WithSeed is not given.
+	DefaultSeed = 1
+)
+
+// Option configures New and Run. Options are built by the With*
+// constructors; the deprecated Options struct also satisfies Option, so
+// legacy call sites keep compiling.
+type Option interface {
+	apply(*config)
+}
+
+// optionFunc adapts a function to the Option interface.
+type optionFunc func(*config)
+
+func (f optionFunc) apply(c *config) { f(c) }
+
+// config is the resolved configuration of one New/Run call.
+type config struct {
+	nodes       int
+	rounds      int
+	roundsSet   bool
+	seed        int64
+	seedSet     bool
+	runToEnd    bool
+	runToEndSet bool
+	lossRate    float64
+	churnRate   float64
+	scenario    Scenario
+	events      []func(RoundEvent)
+	err         error // first invalid option, surfaced by New
+}
+
+func (c *config) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf(format, args...)
+	}
+}
+
+// buildConfig folds the options and applies defaults for whatever was left
+// unset.
+func buildConfig(opts []Option) (*config, error) {
+	c := &config{}
+	for _, o := range opts {
+		if o != nil {
+			o.apply(c)
+		}
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	if !c.roundsSet {
+		c.rounds = DefaultRounds
+	}
+	if !c.seedSet {
+		c.seed = DefaultSeed
+	}
+	return c, nil
+}
+
+// WithNodes sets the population size. Zero (the default) falls back to the
+// topology's `nodes` option; one of the two must provide a size.
+func WithNodes(n int) Option {
+	return optionFunc(func(c *config) {
+		if n < 0 {
+			c.fail("sosf.WithNodes: population must be >= 0, got %d", n)
+			return
+		}
+		c.nodes = n
+	})
+}
+
+// WithRounds caps the simulation length. Unlike the deprecated
+// Options.Rounds, zero is honored: WithRounds(0) builds a system and runs
+// no rounds at all.
+func WithRounds(n int) Option {
+	return optionFunc(func(c *config) {
+		if n < 0 {
+			c.fail("sosf.WithRounds: rounds must be >= 0, got %d", n)
+			return
+		}
+		c.rounds, c.roundsSet = n, true
+	})
+}
+
+// WithSeed seeds all randomness of the run. Unlike the deprecated
+// Options.Seed, every value is honored — WithSeed(0) is the seed 0, not
+// "use the default".
+func WithSeed(seed int64) Option {
+	return optionFunc(func(c *config) { c.seed, c.seedSet = seed, true })
+}
+
+// WithRunToEnd keeps the simulation running after every layer converged
+// (by default runs stop at convergence).
+func WithRunToEnd() Option {
+	return optionFunc(func(c *config) { c.runToEnd, c.runToEndSet = true, true })
+}
+
+// WithLoss drops each gossip exchange with the given probability.
+func WithLoss(p float64) Option {
+	return optionFunc(func(c *config) {
+		if p < 0 || p >= 1 {
+			c.fail("sosf.WithLoss: probability must be in [0, 1), got %g", p)
+			return
+		}
+		c.lossRate = p
+	})
+}
+
+// WithChurn replaces the given fraction of the population with fresh joins
+// after every round.
+func WithChurn(rate float64) Option {
+	return optionFunc(func(c *config) {
+		if rate < 0 || rate >= 1 {
+			c.fail("sosf.WithChurn: rate must be in [0, 1), got %g", rate)
+			return
+		}
+		c.churnRate = rate
+	})
+}
+
+// WithScenario schedules a declarative fault/reconfiguration timeline (see
+// Scenario). It composes with a `scenario { ... }` block in the DSL source:
+// both timelines run. A system carrying a scenario defaults to run-to-end
+// so the whole timeline plays out; bound the run with WithRounds.
+func WithScenario(sc Scenario) Option {
+	return optionFunc(func(c *config) { c.scenario = append(c.scenario, sc...) })
+}
+
+// WithEvents subscribes fn to the per-round event stream at construction
+// time, equivalent to calling System.Subscribe before the first Step. See
+// RoundEvent for what is emitted.
+func WithEvents(fn func(RoundEvent)) Option {
+	return optionFunc(func(c *config) {
+		if fn != nil {
+			c.events = append(c.events, fn)
+		}
+	})
+}
+
+// Options is the legacy all-in-one configuration struct. Zero values mean
+// "use the default", which makes seed 0 and rounds 0 unrepresentable — the
+// wart the functional options fix.
+//
+// Deprecated: an Options value still works anywhere an Option is accepted
+// (New(src, Options{...}) keeps compiling), but new code should use
+// WithNodes, WithRounds, WithSeed, WithChurn, WithLoss, WithRunToEnd,
+// WithScenario, and WithEvents.
+type Options struct {
+	// Nodes is the population size; falls back to the topology's
+	// `nodes` option (one of the two must be set).
+	Nodes int
+	// Rounds caps the simulation length (default 150).
+	Rounds int
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// RunToEnd keeps simulating even after every layer converged
+	// (by default runs stop at convergence).
+	RunToEnd bool
+	// LossRate drops each gossip exchange with this probability.
+	LossRate float64
+	// ChurnRate replaces this fraction of nodes with fresh joins after
+	// every round.
+	ChurnRate float64
+}
+
+// apply makes Options satisfy Option, preserving the legacy zero-value
+// semantics exactly: zero fields leave the defaults in place.
+func (o Options) apply(c *config) {
+	if o.Nodes > 0 {
+		c.nodes = o.Nodes
+	}
+	if o.Rounds > 0 {
+		c.rounds, c.roundsSet = o.Rounds, true
+	}
+	if o.Seed != 0 {
+		c.seed, c.seedSet = o.Seed, true
+	}
+	if o.RunToEnd {
+		c.runToEnd, c.runToEndSet = true, true
+	}
+	if o.LossRate > 0 {
+		c.lossRate = o.LossRate
+	}
+	if o.ChurnRate > 0 {
+		c.churnRate = o.ChurnRate
+	}
+}

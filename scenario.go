@@ -1,0 +1,136 @@
+package sosf
+
+import (
+	"fmt"
+
+	"sosf/internal/dsl"
+	"sosf/internal/spec"
+)
+
+// Scenario is a declarative fault/reconfiguration timeline: an entire
+// experiment — churn bursts, message-loss windows, targeted failures,
+// partitions, live topology changes — expressed as one value and scheduled
+// onto the simulation's per-round hook.
+//
+//	sc := sosf.Scenario{
+//	    sosf.During(10, 20, sosf.Loss(0.3)),
+//	    sosf.At(30, sosf.Kill(0.5)),
+//	    sosf.At(45, sosf.Reconfigure(newSrc)),
+//	}
+//	sys, err := sosf.New(src, sosf.WithScenario(sc))
+//
+// Time is measured in completed rounds: At(0, ...) fires when the system is
+// built, At(r, ...) after round r completes. Pulse actions (Kill,
+// KillComponent, Join, Churn) fire on every round of a During window;
+// window actions (Loss, Partition) change state at the window start and
+// restore it at the end; Reconfigure and Heal fire once. The same scenario
+// can also be embedded in DSL source as a `scenario { ... }` block.
+type Scenario []Step
+
+// Step is one scheduled entry of a Scenario, built with At or During.
+type Step struct {
+	from, to int
+	action   Action
+}
+
+// Action is one scripted operation, built with Kill, KillComponent, Join,
+// Loss, Churn, Partition, Heal, or Reconfigure.
+type Action struct {
+	kind      spec.ScenarioKind
+	fraction  float64
+	count     int
+	component string
+	src       string // reconfigure DSL source, parsed by New
+}
+
+// At schedules an action at a single point of the timeline: round 0 fires
+// at construction, round r > 0 fires after round r completes.
+func At(round int, a Action) Step {
+	return Step{from: round, to: round, action: a}
+}
+
+// During schedules an action over the window [from, to] (in completed
+// rounds, inclusive). Pulse actions fire every round of the window; Loss
+// and Partition apply at from and restore/heal at to.
+func During(from, to int, a Action) Step {
+	return Step{from: from, to: to, action: a}
+}
+
+// Kill fails the given fraction of all alive nodes (catastrophic failure
+// injection).
+func Kill(fraction float64) Action {
+	return Action{kind: spec.ScenKill, fraction: fraction}
+}
+
+// KillComponent fails every current member of the named component
+// (targeted failure injection).
+func KillComponent(name string) Action {
+	return Action{kind: spec.ScenKillComponent, component: name}
+}
+
+// Join adds n fresh nodes to the population.
+func Join(n int) Action {
+	return Action{kind: spec.ScenJoin, count: n}
+}
+
+// Loss sets the probability that any gossip exchange is lost in transit.
+// In a During window the previous rate is restored when the window closes.
+func Loss(p float64) Action {
+	return Action{kind: spec.ScenLoss, fraction: p}
+}
+
+// Churn replaces the given fraction of the population with fresh joins on
+// every round of the step's window — During(a, b, Churn(r)) is a churn
+// burst.
+func Churn(rate float64) Action {
+	return Action{kind: spec.ScenChurn, fraction: rate}
+}
+
+// Partition splits the alive population into the given number of balanced
+// random groups; exchanges across groups are dropped. In a During window
+// the partition heals when the window closes; with At it lasts until a
+// Heal action.
+func Partition(groups int) Action {
+	return Action{kind: spec.ScenPartition, count: groups}
+}
+
+// Heal removes a network partition.
+func Heal() Action {
+	return Action{kind: spec.ScenHeal}
+}
+
+// Reconfigure swaps in a new target topology from DSL source mid-run — the
+// scripted form of System.ReconfigureSource. The source is parsed and
+// validated by New, so a broken target fails fast, not mid-experiment.
+func Reconfigure(src string) Action {
+	return Action{kind: spec.ScenReconfigure, src: src}
+}
+
+// compile lowers the scenario onto spec events, parsing Reconfigure
+// sources. Validation of ranges happens in spec.ValidateScenario once the
+// events are merged with any DSL-embedded timeline.
+func (sc Scenario) compile() ([]spec.ScenarioEvent, error) {
+	out := make([]spec.ScenarioEvent, 0, len(sc))
+	for i, st := range sc {
+		ev := spec.ScenarioEvent{
+			From:      st.from,
+			To:        st.to,
+			Kind:      st.action.kind,
+			Fraction:  st.action.fraction,
+			Count:     st.action.count,
+			Component: st.action.component,
+		}
+		if ev.Kind == "" {
+			return nil, fmt.Errorf("scenario step %d: empty action (use Kill, Loss, Reconfigure, ...)", i)
+		}
+		if ev.Kind == spec.ScenReconfigure {
+			topo, err := dsl.ParseTopology(st.action.src)
+			if err != nil {
+				return nil, fmt.Errorf("scenario step %d: reconfigure: %w", i, err)
+			}
+			ev.Reconfigure = topo
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}

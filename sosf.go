@@ -7,68 +7,47 @@ import (
 
 	"sosf/internal/core"
 	"sosf/internal/dsl"
+	"sosf/internal/scenario"
 	"sosf/internal/sim"
 	"sosf/internal/view"
 )
 
-// Options configure a run. Zero values take defaults.
-type Options struct {
-	// Nodes is the population size; falls back to the topology's
-	// `nodes` option (one of the two must be set).
-	Nodes int
-	// Rounds caps the simulation length (default 150).
-	Rounds int
-	// Seed drives all randomness (default 1).
-	Seed int64
-	// RunToEnd keeps simulating even after every layer converged
-	// (by default runs stop at convergence).
-	RunToEnd bool
-	// LossRate drops each gossip exchange with this probability.
-	LossRate float64
-	// ChurnRate replaces this fraction of nodes with fresh joins after
-	// every round.
-	ChurnRate float64
-}
-
-func (o Options) withDefaults() Options {
-	if o.Rounds <= 0 {
-		o.Rounds = 150
-	}
-	if o.Seed == 0 {
-		o.Seed = 1
-	}
-	return o
-}
-
-// SubReport is the outcome of one runtime sub-procedure.
+// SubReport is the outcome of one runtime sub-procedure. The JSON field
+// names are stable (they back `sos run -json`).
 type SubReport struct {
 	// Name is the paper's series label ("Elementary Topology", ...).
-	Name string
+	Name string `json:"name"`
 	// ConvergedAt is the first round the layer reached accuracy 1.0
 	// (-1 if it never did).
-	ConvergedAt int
+	ConvergedAt int `json:"converged_at"`
 	// Final is the accuracy at the end of the run, in [0, 1].
-	Final float64
+	Final float64 `json:"final"`
 }
 
-// Report summarizes a run.
+// Report summarizes a run. The JSON field names are stable (they back
+// `sos run -json`).
 type Report struct {
 	// Topology is the name from the DSL source.
-	Topology string
-	// Components and Links count the assembled pieces; Nodes is the
-	// final alive population.
-	Components, Links, Nodes int
+	Topology string `json:"topology"`
+	// Components and Links count the assembled pieces.
+	Components int `json:"components"`
+	// Links is documented with Components.
+	Links int `json:"links"`
+	// Nodes is the final alive population.
+	Nodes int `json:"nodes"`
 	// Rounds is the number of simulated rounds.
-	Rounds int
+	Rounds int `json:"rounds"`
 	// Converged reports whether every sub-procedure reached 1.0.
-	Converged bool
+	Converged bool `json:"converged"`
 	// Subs holds one entry per runtime sub-procedure, in the paper's
 	// presentation order.
-	Subs []SubReport
+	Subs []SubReport `json:"subs"`
 	// BaselineBytes and OverheadBytes are mean bytes per node per round
 	// for the shape protocols (peer sampling + cores) and the runtime
 	// layers (UO1, UO2, port selection, port connection).
-	BaselineBytes, OverheadBytes float64
+	BaselineBytes float64 `json:"baseline_bytes"`
+	// OverheadBytes is documented with BaselineBytes.
+	OverheadBytes float64 `json:"overhead_bytes"`
 }
 
 // String renders a compact human-readable report.
@@ -97,57 +76,126 @@ func Validate(src string) error {
 
 // Run builds the system described by the DSL source, simulates it, and
 // reports convergence — the one-call entry point.
-func Run(src string, opt Options) (*Report, error) {
-	sys, err := New(src, opt)
+//
+//	report, err := sosf.Run(src, sosf.WithNodes(500), sosf.WithSeed(7))
+func Run(src string, opts ...Option) (*Report, error) {
+	sys, err := New(src, opts...)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := sys.Step(sys.opt.Rounds); err != nil {
+	rounds := sys.cfg.rounds
+	if !sys.cfg.roundsSet && sys.horizon > rounds {
+		// Without an explicit WithRounds, a scenario run extends to the
+		// timeline's horizon (like `sos play`) so no scheduled action is
+		// silently truncated by the default cap.
+		rounds = sys.horizon
+	}
+	if _, err := sys.Step(rounds); err != nil {
 		return nil, err
 	}
 	return sys.Report(), nil
 }
 
 // System is a live simulated deployment that can be stepped, reconfigured,
-// and damaged interactively — what the examples build on.
+// damaged interactively or by a scripted Scenario, and observed through a
+// streaming round-event interface — what the examples build on.
 type System struct {
-	opt     Options
+	cfg     *config
 	sys     *core.System
 	tracker *core.Tracker
+	bound   *scenario.Bound
+	horizon int
+	events  []func(RoundEvent)
 }
 
 // New compiles the DSL source and boots the full runtime stack over a
 // fresh node population.
-func New(src string, opt Options) (*System, error) {
-	opt = opt.withDefaults()
+//
+//	sys, err := sosf.New(src, sosf.WithNodes(500), sosf.WithChurn(0.01))
+//
+// The deprecated Options struct still satisfies Option, so legacy
+// New(src, Options{...}) calls keep compiling.
+func New(src string, opts ...Option) (*System, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
 	topo, err := dsl.ParseTopology(src)
 	if err != nil {
 		return nil, err
 	}
+	if len(cfg.scenario) > 0 {
+		// A programmatic scenario composes with (runs alongside) any
+		// timeline embedded in the DSL source.
+		events, err := cfg.scenario.compile()
+		if err != nil {
+			return nil, err
+		}
+		topo.Scenario = append(topo.Scenario, events...)
+		if err := topo.ValidateScenario(); err != nil {
+			return nil, err
+		}
+	}
 	sys, err := core.NewSystem(core.Config{
 		Topology: topo,
-		Nodes:    opt.Nodes,
-		Seed:     opt.Seed,
-		LossRate: opt.LossRate,
+		Nodes:    cfg.nodes,
+		Seed:     cfg.seed,
+		LossRate: cfg.lossRate,
 	})
 	if err != nil {
 		return nil, err
 	}
-	if opt.ChurnRate > 0 {
-		sys.Engine().Observe(sys.ChurnObserver(opt.ChurnRate, 0, 0))
+	s := &System{cfg: cfg, sys: sys, events: cfg.events}
+
+	// Observer order mirrors a round's narrative: scripted actions fire
+	// first, churn replaces nodes, the tracker measures the post-action
+	// state, and the event emitter reports what the tracker saw.
+	if len(topo.Scenario) > 0 {
+		tl := scenario.New(topo.Scenario)
+		bound, err := tl.Bind(sys)
+		if err != nil {
+			return nil, err
+		}
+		s.bound, s.horizon = bound, tl.Horizon()
+		if !cfg.runToEndSet {
+			// A timeline implies playing it out; stopping at the first
+			// convergence would silently skip every later event.
+			cfg.runToEnd = true
+		}
 	}
-	return &System{
-		opt:     opt,
-		sys:     sys,
-		tracker: core.NewTracker(sys, !opt.RunToEnd),
-	}, nil
+	if cfg.churnRate > 0 {
+		sys.Engine().Observe(sys.ChurnObserver(cfg.churnRate, 0, 0))
+	}
+	s.tracker = core.NewTracker(sys, !cfg.runToEnd)
+	if s.bound != nil {
+		// A scheduled reconfiguration restarts the convergence clock,
+		// exactly like an interactive ReconfigureSource.
+		s.bound.OnReconfigure = s.tracker.Reset
+	}
+	sys.Engine().Observe(sim.ObserverFunc(s.emit))
+	return s, nil
 }
 
 // Step simulates up to n more rounds (stopping early at convergence unless
-// RunToEnd was set) and returns the rounds actually executed.
+// WithRunToEnd was set or a scenario is playing) and returns the rounds
+// actually executed.
 func (s *System) Step(n int) (int, error) {
-	return s.sys.Run(n)
+	executed, err := s.sys.Run(n)
+	if err != nil {
+		return executed, err
+	}
+	if s.bound != nil {
+		if serr := s.bound.Err(); serr != nil {
+			return executed, serr
+		}
+	}
+	return executed, nil
 }
+
+// ScenarioHorizon returns the last round the system's scenario timeline
+// touches (0 when no scenario is scheduled) — the minimum number of rounds
+// a run must execute to play the whole script.
+func (s *System) ScenarioHorizon() int { return s.horizon }
 
 // ReconfigureSource swaps in a new target topology from DSL source. The
 // system keeps running; every layer re-converges to the new shape.
@@ -175,22 +223,7 @@ func (s *System) Kill(fraction float64) int {
 // (targeted failure injection), returning how many died. Unknown names
 // kill nothing.
 func (s *System) KillComponent(name string) int {
-	topo := s.sys.Allocator().Topology()
-	ci := topo.ComponentIndex(name)
-	if ci < 0 {
-		return 0
-	}
-	eng := s.sys.Engine()
-	killed := 0
-	for _, slot := range eng.AliveSlots() {
-		n := eng.Node(slot)
-		if int(n.Profile.Comp) == ci {
-			eng.Kill(slot)
-			s.sys.Allocator().NoteLeave(n)
-			killed++
-		}
-	}
-	return killed
+	return s.sys.KillComponent(name)
 }
 
 // Connected reports whether the realized system topology (component
