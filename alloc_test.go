@@ -1,0 +1,68 @@
+package sosf
+
+// Allocation-regression guard for the gossip hot path: a steady-state
+// round must not touch the heap. Protocol exchanges run entirely on the
+// engine's scratch pad (sim.Pad), the alive-slot cache, and the meter's
+// arena, so once buffers have grown to their working size the only way a
+// round allocates is a regression — which this test turns into a failure
+// instead of a slow creep across PRs.
+
+import (
+	"testing"
+
+	"sosf/internal/core"
+	"sosf/internal/eval"
+	"sosf/internal/peersampling"
+	"sosf/internal/sim"
+)
+
+// TestCyclonRoundAllocationFree pins the bottom of the stack: one round of
+// the peer-sampling service (Cyclon) over 1 000 stable nodes performs zero
+// heap allocations.
+func TestCyclonRoundAllocationFree(t *testing.T) {
+	eng := sim.New(1)
+	rps := peersampling.New(peersampling.Options{})
+	eng.Register(rps)
+	for _, slot := range eng.AddNodes(1000) {
+		eng.InitNode(slot)
+	}
+	// Warm past bootstrap so views are full and every scratch buffer has
+	// reached its steady-state capacity.
+	if _, err := eng.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 100
+	eng.Meter().Reserve(rounds + 1)
+	avg := testing.AllocsPerRun(rounds, func() {
+		eng.RunRound()
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Cyclon round allocates: %v allocs/round, want 0", avg)
+	}
+}
+
+// TestFullStackRoundAllocationFree bounds the whole runtime stack (peer
+// sampling, UO1, UO2, core overlay, port selection, port connection): a
+// steady-state round over 1 000 nodes performs zero heap allocations —
+// every exchange runs on the engine pad, every table on retained storage.
+func TestFullStackRoundAllocationFree(t *testing.T) {
+	sys, err := core.NewSystem(core.Config{
+		Topology: eval.MustTopology(eval.RingOfRingsDSL(4)),
+		Nodes:    1000,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 50
+	sys.Engine().Meter().Reserve(rounds + 1)
+	avg := testing.AllocsPerRun(rounds, func() {
+		sys.Engine().RunRound()
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state full-stack round allocates: %v allocs/round, want 0", avg)
+	}
+}

@@ -11,6 +11,7 @@ package sosf
 // `go test -bench=. -benchmem` — that regenerates every figure's pipeline.
 
 import (
+	"fmt"
 	"testing"
 
 	"sosf/internal/core"
@@ -178,6 +179,40 @@ func BenchmarkAblationRandomness(b *testing.B) {
 		if _, err := eval.AblationRandomness(benchOpts(int64(i) + 1)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRound measures one steady-state simulated round of the full
+// runtime stack (peer sampling, UO1, UO2, core overlay, port selection,
+// port connection) across a population sweep. It is the population-scaling
+// headline of the allocation-free hot path: run with -benchmem and compare
+// allocs/op across PRs (BENCH_PR3.json records the trajectory).
+//
+// The system is warmed past convergence before the timer starts, so the
+// measured rounds are steady-state gossip — the regime a long-lived
+// deployment spends its life in.
+func BenchmarkRound(b *testing.B) {
+	for _, n := range []int{1000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("n=%dk", n/1000), func(b *testing.B) {
+			sys, err := core.NewSystem(core.Config{
+				Topology: eval.MustTopology(eval.RingOfRingsDSL(20)),
+				Nodes:    n,
+				Seed:     1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sys.Run(10); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.Run(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -22,6 +22,16 @@
 //	             if the outputs differ (doubles the total runtime)
 //	-out DIR     also write <id>.dat, <id>.svg and <id>.txt files
 //
+// Performance instrumentation:
+//
+//	-cpuprofile FILE  write a pprof CPU profile covering every driver
+//	-memprofile FILE  write a pprof heap profile at exit
+//	-benchjson FILE   write machine-readable metrics (wall clock, heap
+//	                  bytes and allocation counts per figure driver, plus
+//	                  steady-state engine-round cost at 1k/10k nodes) —
+//	                  the BENCH_*.json perf-trajectory records committed
+//	                  alongside performance PRs are generated this way
+//
 // Each experiment prints an aligned table and an ASCII chart, plus its
 // wall-clock time; with -out it also writes gnuplot-ready .dat files and
 // standalone .svg charts. A final summary line reports the total wall
@@ -29,14 +39,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
+	"sosf/internal/core"
 	"sosf/internal/eval"
 	"sosf/internal/plot"
 )
@@ -68,7 +81,36 @@ func run() error {
 	compare := flag.Bool("compare", false,
 		"run each experiment sequentially too, report the speedup, and check outputs match")
 	out := flag.String("out", "", "directory for .dat/.svg/.txt outputs")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	benchjson := flag.String("benchjson", "", "write machine-readable benchmark metrics (BENCH_*.json) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sosbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "sosbench: memprofile:", err)
+			}
+		}()
+	}
 
 	o := eval.Options{Runs: *runs, Seed: *seed, Full: *full, Parallelism: *parallel}
 	workers := *parallel
@@ -114,18 +156,33 @@ func run() error {
 	}
 
 	any := false
+	var metrics []driverMetric
 	start := time.Now()
 	for _, d := range drivers {
 		if !d.enabled {
 			continue
 		}
 		any = true
+		var msBefore runtime.MemStats
+		if *benchjson != "" {
+			runtime.ReadMemStats(&msBefore)
+		}
 		t0 := time.Now()
 		res, err := d.run(o)
 		if err != nil {
 			return err
 		}
 		elapsed := time.Since(t0)
+		if *benchjson != "" {
+			var msAfter runtime.MemStats
+			runtime.ReadMemStats(&msAfter)
+			metrics = append(metrics, driverMetric{
+				Name:   d.name,
+				WallMS: float64(elapsed) / float64(time.Millisecond),
+				Bytes:  msAfter.TotalAlloc - msBefore.TotalAlloc,
+				Allocs: msAfter.Mallocs - msBefore.Mallocs,
+			})
+		}
 		for _, fig := range res.Figures {
 			if err := w.figure(fig); err != nil {
 				return err
@@ -160,9 +217,115 @@ func run() error {
 		flag.Usage()
 		return fmt.Errorf("no experiment selected (try -all)")
 	}
+	total := time.Since(start)
 	fmt.Printf("total wall-clock %v (parallelism %d)\n",
-		time.Since(start).Round(time.Millisecond), workers)
+		total.Round(time.Millisecond), workers)
+	if *benchjson != "" {
+		if err := writeBenchJSON(*benchjson, o, workers, metrics, total); err != nil {
+			return err
+		}
+		fmt.Printf("benchmark metrics written to %s\n", *benchjson)
+	}
 	return nil
+}
+
+// driverMetric is one figure driver's cost in a BENCH_*.json record.
+type driverMetric struct {
+	Name   string  `json:"name"`
+	WallMS float64 `json:"wall_ms"`
+	Bytes  uint64  `json:"bytes"`
+	Allocs uint64  `json:"allocs"`
+}
+
+// roundMetric is the steady-state cost of one full-stack engine round —
+// the allocation-free hot path's headline number, measured directly so the
+// perf-trajectory record is self-contained and regenerable by one command.
+type roundMetric struct {
+	Nodes          int     `json:"nodes"`
+	Rounds         int     `json:"rounds_measured"`
+	NSPerRound     float64 `json:"ns_per_round"`
+	BytesPerRound  float64 `json:"bytes_per_round"`
+	AllocsPerRound float64 `json:"allocs_per_round"`
+}
+
+// benchRecord is the BENCH_*.json schema: environment, per-driver costs,
+// and steady-state engine-round costs.
+type benchRecord struct {
+	Schema       string         `json:"schema"`
+	Go           string         `json:"go"`
+	GOOS         string         `json:"goos"`
+	GOARCH       string         `json:"goarch"`
+	CPUs         int            `json:"cpus"`
+	Parallelism  int            `json:"parallelism"`
+	Seed         int64          `json:"seed"`
+	Runs         int            `json:"runs"`
+	Full         bool           `json:"full"`
+	EngineRounds []roundMetric  `json:"engine_rounds"`
+	Drivers      []driverMetric `json:"drivers"`
+	TotalWallMS  float64        `json:"total_wall_ms"`
+}
+
+// measureRound runs a warmed full-stack system (ring of rings, 20
+// components — the BenchmarkRound configuration) for `rounds` rounds and
+// reports per-round wall clock and heap cost.
+func measureRound(nodes, rounds int) (roundMetric, error) {
+	sys, err := core.NewSystem(core.Config{
+		Topology: eval.MustTopology(eval.RingOfRingsDSL(20)),
+		Nodes:    nodes,
+		Seed:     1,
+	})
+	if err != nil {
+		return roundMetric{}, err
+	}
+	if _, err := sys.Run(10); err != nil {
+		return roundMetric{}, err
+	}
+	sys.Engine().Meter().Reserve(rounds + 1)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	if _, err := sys.Run(rounds); err != nil {
+		return roundMetric{}, err
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	r := float64(rounds)
+	return roundMetric{
+		Nodes:          nodes,
+		Rounds:         rounds,
+		NSPerRound:     float64(elapsed.Nanoseconds()) / r,
+		BytesPerRound:  float64(after.TotalAlloc-before.TotalAlloc) / r,
+		AllocsPerRound: float64(after.Mallocs-before.Mallocs) / r,
+	}, nil
+}
+
+func writeBenchJSON(path string, o eval.Options, workers int, metrics []driverMetric, total time.Duration) error {
+	rec := benchRecord{
+		Schema:      "sosf-bench/1",
+		Go:          runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		Parallelism: workers,
+		Seed:        o.Seed,
+		Runs:        o.Runs,
+		Full:        o.Full,
+		Drivers:     metrics,
+		TotalWallMS: float64(total) / float64(time.Millisecond),
+	}
+	for _, cfg := range []struct{ nodes, rounds int }{{1000, 50}, {10_000, 10}} {
+		rm, err := measureRound(cfg.nodes, cfg.rounds)
+		if err != nil {
+			return err
+		}
+		rec.EngineRounds = append(rec.EngineRounds, rm)
+	}
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 // writer renders results to stdout and, optionally, to files.

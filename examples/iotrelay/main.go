@@ -102,7 +102,8 @@ func main() {
 	rep := sys.Report()
 	fmt.Printf("\nfinal: %q re-composed via third-party mesh; connected=%v\n",
 		rep.Topology, sys.Connected())
-	for port, node := range sys.Managers() {
-		fmt.Printf("  %-18s -> node %d\n", port, node)
+	managers := sys.Managers()
+	for _, port := range sosf.ManagerPorts(managers) {
+		fmt.Printf("  %-18s -> node %d\n", port, managers[port])
 	}
 }

@@ -48,8 +48,9 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("\nport managers:")
-	for port, node := range sys.Managers() {
-		fmt.Printf("  %-16s -> node %d\n", port, node)
+	managers := sys.Managers()
+	for _, port := range sosf.ManagerPorts(managers) {
+		fmt.Printf("  %-16s -> node %d\n", port, managers[port])
 	}
 	fmt.Printf("\nrealized system connected: %v\n", sys.Connected())
 }

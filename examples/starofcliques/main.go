@@ -10,7 +10,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"sort"
 
 	"sosf"
 )
@@ -57,13 +56,8 @@ func main() {
 	// The uplink managers are the nodes a client driver would treat as
 	// each shard's primary contact point.
 	managers := sys.Managers()
-	ports := make([]string, 0, len(managers))
-	for p := range managers {
-		ports = append(ports, p)
-	}
-	sort.Strings(ports)
 	fmt.Println("contact points elected by the runtime:")
-	for _, p := range ports {
+	for _, p := range sosf.ManagerPorts(managers) {
 		fmt.Printf("  %-18s -> node %d\n", p, managers[p])
 	}
 

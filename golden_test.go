@@ -1,0 +1,88 @@
+package sosf
+
+// The determinism contract: the RNG draw sequence of a (seed,
+// configuration) pair is API. Performance refactors of the hot path must
+// keep every figure, table, and event stream byte-identical — this test
+// enforces that by replaying the playdemo scenario (loss window, 30%
+// blast, live reconfiguration, component kill) and byte-comparing the
+// JSONL event stream against a fixture captured before the scratch-buffer
+// refactor of the view/sim/protocol layers.
+//
+// If this test fails, a change reordered or added random draws. That is
+// a breaking change to the determinism contract, not a fixture refresh:
+// regenerate testdata/golden/playdemo.events.jsonl only for changes that
+// deliberately alter protocol behavior, and say so in the changelog.
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// playEvents replays `sos play -events jsonl -seed 1 testdata/playdemo.sos`
+// in process and returns the event stream.
+func playEvents(t *testing.T) []byte {
+	t.Helper()
+	src, err := os.ReadFile("testdata/playdemo.sos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(string(src),
+		WithNodes(0),
+		WithRounds(DefaultRounds),
+		WithSeed(DefaultSeed),
+		WithChurn(0),
+		WithLoss(0),
+		WithRunToEnd(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sys.Subscribe(JSONLSink(&buf))
+	rounds := DefaultRounds
+	if h := sys.ScenarioHorizon(); h > rounds {
+		rounds = h
+	}
+	if _, err := sys.Step(rounds); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestGoldenEventStream(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden/playdemo.events.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := playEvents(t)
+	if bytes.Equal(got, want) {
+		return
+	}
+	gotLines := bytes.Split(got, []byte("\n"))
+	wantLines := bytes.Split(want, []byte("\n"))
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w []byte
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if !bytes.Equal(g, w) {
+			t.Fatalf("event stream diverges from the pre-refactor fixture at line %d:\n got: %s\nwant: %s",
+				i+1, g, w)
+		}
+	}
+	t.Fatalf("event stream differs from fixture (lengths: got %d, want %d bytes)", len(got), len(want))
+}
+
+// TestGoldenEventStreamStable guards the guard: two in-process replays must
+// agree with each other, so a fixture mismatch can only mean a draw-order
+// change, never flakiness.
+func TestGoldenEventStreamStable(t *testing.T) {
+	a, b := playEvents(t), playEvents(t)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two replays of the same seed differ — the engine lost determinism")
+	}
+}

@@ -92,6 +92,12 @@ type System struct {
 	overlay *vicinity.Protocol
 	ranker  monoRanker
 	nodes   int
+
+	// Measurement scratch, reused by the per-round accuracy scan.
+	slots       []int
+	bySeg       [][]*sim.Node
+	byIndex     map[int32]*sim.Node
+	ring, links [][2]*sim.Node
 }
 
 // New builds a monolithic ring-of-rings system: nodes must be divisible
@@ -144,10 +150,21 @@ func (s *System) Kill(f float64) []int { return s.eng.KillFraction(f) }
 // edges between closest surviving positions of each segment, plus the
 // designated boundary pairs (only if both designated nodes are alive —
 // the monolithic design point under test: those roles cannot move).
+// The returned slices are system-owned scratch, valid until the next call.
 func (s *System) targetPairs() (ring [][2]*sim.Node, links [][2]*sim.Node) {
-	bySeg := make([][]*sim.Node, s.ranker.segments)
-	byIndex := make(map[int32]*sim.Node, s.nodes)
-	for _, slot := range s.eng.AliveSlots() {
+	if s.bySeg == nil {
+		s.bySeg = make([][]*sim.Node, s.ranker.segments)
+		s.byIndex = make(map[int32]*sim.Node, s.nodes)
+	}
+	bySeg := s.bySeg
+	for i := range bySeg {
+		bySeg[i] = bySeg[i][:0]
+	}
+	byIndex := s.byIndex
+	clear(byIndex)
+	ring, links = s.ring[:0], s.links[:0]
+	s.slots = s.eng.AliveSlotsAppend(s.slots[:0])
+	for _, slot := range s.slots {
 		n := s.eng.Node(slot)
 		seg, _ := s.ranker.coords(n.Profile.Index)
 		bySeg[seg] = append(bySeg[seg], n)
@@ -175,6 +192,7 @@ func (s *System) targetPairs() (ring [][2]*sim.Node, links [][2]*sim.Node) {
 			}
 		}
 	}
+	s.ring, s.links = ring, links
 	return ring, links
 }
 

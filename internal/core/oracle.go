@@ -69,17 +69,33 @@ func (m Metrics) AllConverged() bool {
 // knowledge (it is evaluation instrumentation, not part of the protocols):
 // it recomputes target adjacencies, election winners and link endpoints
 // from the current alive population, exactly like a PeerSim observer.
+//
+// The oracle runs after every round in tracker-driven experiments, so its
+// membership scan reuses scratch storage rather than re-allocating.
 type Oracle struct {
 	sys *System
+
+	members [][]*sim.Node // compMembers scratch, reused per Measure
+	slots   []int         // alive-slot scratch
+	sorter  memberSorter
 }
 
 // compMembers returns the alive, current-epoch members of every component,
 // sorted by (Index, ID) — the dense-rank order shapes are defined over.
+// The returned slices are oracle-owned scratch, valid until the next call.
 func (o *Oracle) compMembers() [][]*sim.Node {
 	s := o.sys
-	members := make([][]*sim.Node, s.alloc.Components())
+	ncomps := s.alloc.Components()
+	if cap(o.members) < ncomps {
+		o.members = make([][]*sim.Node, ncomps)
+	}
+	members := o.members[:ncomps]
+	for i := range members {
+		members[i] = members[i][:0]
+	}
 	epoch := s.alloc.Epoch()
-	for _, slot := range s.eng.AliveSlots() {
+	o.slots = s.eng.AliveSlotsAppend(o.slots[:0])
+	for _, slot := range o.slots {
 		n := s.eng.Node(slot)
 		if n.Profile.Epoch != epoch || n.Profile.Comp < 0 ||
 			int(n.Profile.Comp) >= len(members) {
@@ -88,14 +104,24 @@ func (o *Oracle) compMembers() [][]*sim.Node {
 		members[n.Profile.Comp] = append(members[n.Profile.Comp], n)
 	}
 	for _, ms := range members {
-		sort.Slice(ms, func(i, j int) bool {
-			if ms[i].Profile.Index != ms[j].Profile.Index {
-				return ms[i].Profile.Index < ms[j].Profile.Index
-			}
-			return ms[i].ID < ms[j].ID
-		})
+		o.sorter.ms = ms
+		sort.Sort(&o.sorter)
+		o.sorter.ms = nil
 	}
 	return members
+}
+
+// memberSorter orders nodes by (Index, ID): a total order (IDs are
+// unique), so the result is algorithm-independent.
+type memberSorter struct{ ms []*sim.Node }
+
+func (s *memberSorter) Len() int      { return len(s.ms) }
+func (s *memberSorter) Swap(i, j int) { s.ms[i], s.ms[j] = s.ms[j], s.ms[i] }
+func (s *memberSorter) Less(i, j int) bool {
+	if s.ms[i].Profile.Index != s.ms[j].Profile.Index {
+		return s.ms[i].Profile.Index < s.ms[j].Profile.Index
+	}
+	return s.ms[i].ID < s.ms[j].ID
 }
 
 // Winner returns the ground-truth manager of the given port: the alive
@@ -282,7 +308,8 @@ func (o *Oracle) portConnect(members [][]*sim.Node) float64 {
 func (o *Oracle) RealizedGraph() *graph.Graph {
 	s := o.sys
 	g := graph.New(s.eng.Size())
-	for _, slot := range s.eng.AliveSlots() {
+	o.slots = s.eng.AliveSlotsAppend(o.slots[:0])
+	for _, slot := range o.slots {
 		v := s.core.View(slot)
 		for i := 0; i < v.Len(); i++ {
 			if peer := s.eng.Lookup(v.At(i).ID); peer != nil && peer.Alive {

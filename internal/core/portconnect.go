@@ -83,7 +83,12 @@ func (p *PortConnect) Remote(slot int, side int) PortRecord {
 func (p *PortConnect) reset(n *sim.Node, st *connState) {
 	st.epoch = n.Profile.Epoch
 	st.comp = n.Profile.Comp
-	st.remotes = make([]PortRecord, len(p.alloc.SidesOf(n.Profile.Comp)))
+	nsides := len(p.alloc.SidesOf(n.Profile.Comp))
+	if cap(st.remotes) < nsides {
+		st.remotes = make([]PortRecord, nsides)
+	} else {
+		st.remotes = st.remotes[:nsides]
+	}
 	for i := range st.remotes {
 		st.remotes[i] = invalidRecord()
 	}
@@ -172,14 +177,17 @@ func (p *PortConnect) contactIn(e *sim.Engine, slot int, self *sim.Node, comp vi
 			return d, true
 		}
 	}
-	// Fallback: scan the sampling view for a member of the component.
+	// Fallback: scan the sampling view for a member of the component,
+	// filtering into the engine's scratch pad.
+	pad := e.Pad()
 	v := p.rps.View(slot)
-	matches := make([]view.Descriptor, 0, v.Len())
+	matches := pad.Same[:0]
 	for i := 0; i < v.Len(); i++ {
 		if d := v.At(i); d.Profile.Comp == comp && d.Profile.Epoch == self.Profile.Epoch {
 			matches = append(matches, d)
 		}
 	}
+	pad.Same = matches
 	if len(matches) > 0 {
 		return matches[e.Rand().Intn(len(matches))], true
 	}

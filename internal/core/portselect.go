@@ -110,7 +110,11 @@ func (p *PortSelect) reset(n *sim.Node, st *portState) {
 	st.epoch = n.Profile.Epoch
 	st.comp = n.Profile.Comp
 	nports := int(p.alloc.Ports(n.Profile.Comp))
-	st.records = make([]PortRecord, nports)
+	if cap(st.records) < nports {
+		st.records = make([]PortRecord, nports)
+	} else {
+		st.records = st.records[:nports]
+	}
 	for i := range st.records {
 		st.records[i] = invalidRecord()
 	}
@@ -199,20 +203,23 @@ func (p *PortSelect) count(e *sim.Engine, bytes int) {
 }
 
 // sameCompContact picks a random same-component, same-epoch contact from
-// the node's core view, falling back to UO1.
+// the node's core view, falling back to UO1. The candidate filter runs on
+// the engine's scratch pad — no per-call slice.
 func sameCompContact(e *sim.Engine, slot int, self *sim.Node, sources ...*vicinity.Protocol) (view.Descriptor, bool) {
+	pad := e.Pad()
 	for _, src := range sources {
 		if src == nil {
 			continue
 		}
 		v := src.View(slot)
-		same := make([]view.Descriptor, 0, v.Len())
+		same := pad.Same[:0]
 		for i := 0; i < v.Len(); i++ {
 			d := v.At(i)
 			if d.Profile.Comp == self.Profile.Comp && d.Profile.Epoch == self.Profile.Epoch {
 				same = append(same, d)
 			}
 		}
+		pad.Same = same
 		if len(same) > 0 {
 			return same[e.Rand().Intn(len(same))], true
 		}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"sosf/internal/peersampling"
 	"sosf/internal/sim"
 	"sosf/internal/view"
@@ -28,12 +26,40 @@ type UO2 struct {
 	rps    *peersampling.Protocol
 	maxAge int
 	meter  int
-	states []map[view.ComponentID]uo2Entry
+	states []*uo2State
+}
+
+// uo2State is one node's contact table, dense by component ID: component
+// IDs are small and densely assigned, so a slice beats a map — iteration
+// is ascending (deterministic) for free, and the steady state allocates
+// nothing. Entries for components dropped by a reconfiguration linger,
+// exactly like the stale keys of a map, until the owner's next prune.
+type uo2State struct {
+	entries []uo2Entry // indexed by ComponentID
+	count   int        // number of valid entries
 }
 
 type uo2Entry struct {
-	d    view.Descriptor
-	born int // engine round the descriptor was (age-adjusted) created
+	d     view.Descriptor
+	born  int // engine round the descriptor was (age-adjusted) created
+	valid bool
+}
+
+// ensure grows the table to cover at least n components. It never shrinks:
+// out-of-range entries must survive until prune drops them, mirroring the
+// map-based table's behavior across reconfigurations.
+func (t *uo2State) ensure(n int) {
+	for len(t.entries) < n {
+		t.entries = append(t.entries, uo2Entry{})
+	}
+}
+
+// reset empties the table, keeping its storage.
+func (t *uo2State) reset() {
+	for i := range t.entries {
+		t.entries[i] = uo2Entry{}
+	}
+	t.count = 0
 }
 
 var (
@@ -61,29 +87,38 @@ func (u *UO2) InitNode(e *sim.Engine, slot int) {
 	for len(u.states) <= slot {
 		u.states = append(u.states, nil)
 	}
-	u.states[slot] = make(map[view.ComponentID]uo2Entry)
+	if st := u.states[slot]; st != nil {
+		st.reset()
+	} else {
+		u.states[slot] = &uo2State{}
+	}
 }
 
 // Contacts returns the node's current foreign-component contact table as a
 // deterministic (component-sorted) slice.
 func (u *UO2) Contacts(slot int) []view.Descriptor {
 	t := u.states[slot]
-	out := make([]view.Descriptor, 0, len(t))
-	for _, c := range sortedComps(t) {
-		out = append(out, t[c].d)
+	out := make([]view.Descriptor, 0, t.count)
+	for ci := range t.entries {
+		if t.entries[ci].valid {
+			out = append(out, t.entries[ci].d)
+		}
 	}
 	return out
 }
 
 // Contact returns the node's contact inside the given component, if any.
 func (u *UO2) Contact(slot int, comp view.ComponentID) (view.Descriptor, bool) {
-	entry, ok := u.states[slot][comp]
-	return entry.d, ok
+	t := u.states[slot]
+	if comp < 0 || int(comp) >= len(t.entries) || !t.entries[comp].valid {
+		return view.Descriptor{}, false
+	}
+	return t.entries[comp].d, true
 }
 
 // Coverage returns how many distinct foreign components the node currently
 // has a contact in.
-func (u *UO2) Coverage(slot int) int { return len(u.states[slot]) }
+func (u *UO2) Coverage(slot int) int { return u.states[slot].count }
 
 // Step implements sim.Protocol: prune the table, ingest free candidates
 // from peer sampling, then swap tables with one partner.
@@ -94,16 +129,19 @@ func (u *UO2) Step(e *sim.Engine, slot int) {
 
 	u.prune(self, t, now)
 
-	// Free candidates from the sampling layer.
-	for _, d := range u.rps.View(slot).Entries() {
-		u.offer(self, t, d, now)
+	// Free candidates from the sampling layer, read in place.
+	rv := u.rps.View(slot)
+	for i := 0; i < rv.Len(); i++ {
+		u.offer(self, t, rv.At(i), now)
 	}
 
 	partner, ok := u.pickPartner(e, slot, t)
 	if !ok {
 		return
 	}
-	send := u.tableToSend(self, t, now)
+	pad := e.Pad()
+	send := u.tableToSend(self, t, now, pad.Send[:0])
+	pad.Send = send
 	u.count(e, sim.DescriptorPayload(len(send)))
 
 	target := e.Lookup(partner.ID)
@@ -111,16 +149,18 @@ func (u *UO2) Step(e *sim.Engine, slot int) {
 		// Suspect the contact: push its birth into the past so dead
 		// contacts expire quickly while contacts behind a lossy link
 		// survive (a fresher descriptor restores them).
-		if entry, ok := t[partner.Profile.Comp]; ok && entry.d.ID == partner.ID {
-			entry.born -= u.maxAge/4 + 1
-			t[partner.Profile.Comp] = entry
+		if c := partner.Profile.Comp; c >= 0 && int(c) < len(t.entries) {
+			if entry := &t.entries[c]; entry.valid && entry.d.ID == partner.ID {
+				entry.born -= u.maxAge/4 + 1
+			}
 		}
 		return
 	}
 
 	// Passive side replies with its own table and merges ours.
 	tt := u.states[target.Slot]
-	reply := u.tableToSend(target, tt, now)
+	reply := u.tableToSend(target, tt, now, pad.Reply[:0])
+	pad.Reply = reply
 	u.count(e, sim.DescriptorPayload(len(reply)))
 	for _, d := range send {
 		u.offer(target, tt, d, now)
@@ -131,13 +171,19 @@ func (u *UO2) Step(e *sim.Engine, slot int) {
 }
 
 // prune drops expired or stale entries.
-func (u *UO2) prune(self *sim.Node, t map[view.ComponentID]uo2Entry, now int) {
+func (u *UO2) prune(self *sim.Node, t *uo2State, now int) {
 	epoch := u.alloc.Epoch()
-	for c, entry := range t {
+	for ci := range t.entries {
+		entry := &t.entries[ci]
+		if !entry.valid {
+			continue
+		}
+		c := view.ComponentID(ci)
 		if now-entry.born > u.maxAge || entry.d.Profile.Epoch != epoch ||
 			entry.d.Profile.Comp != c || int(c) >= u.alloc.Components() ||
 			c == self.Profile.Comp {
-			delete(t, c)
+			*entry = uo2Entry{}
+			t.count--
 		}
 	}
 }
@@ -145,27 +191,33 @@ func (u *UO2) prune(self *sim.Node, t map[view.ComponentID]uo2Entry, now int) {
 // offer proposes a descriptor for the table: foreign, current-epoch,
 // unexpired entries are adopted when the slot for their component is empty
 // or holds an older birth.
-func (u *UO2) offer(self *sim.Node, t map[view.ComponentID]uo2Entry, d view.Descriptor, now int) {
+func (u *UO2) offer(self *sim.Node, t *uo2State, d view.Descriptor, now int) {
 	born := now - int(d.Age)
 	if d.ID == self.ID || d.Profile.Comp == self.Profile.Comp ||
 		d.Profile.Comp < 0 || int(d.Profile.Comp) >= u.alloc.Components() ||
 		d.Profile.Epoch != u.alloc.Epoch() || now-born > u.maxAge {
 		return
 	}
-	cur, ok := t[d.Profile.Comp]
-	if !ok || born > cur.born ||
+	t.ensure(int(d.Profile.Comp) + 1)
+	cur := &t.entries[d.Profile.Comp]
+	if !cur.valid || born > cur.born ||
 		(d.ID == cur.d.ID && d.Profile.Epoch > cur.d.Profile.Epoch) {
-		t[d.Profile.Comp] = uo2Entry{d: d, born: born}
+		if !cur.valid {
+			t.count++
+		}
+		*cur = uo2Entry{d: d, born: born, valid: true}
 	}
 }
 
-// tableToSend serializes the node's table plus its own fresh descriptor,
-// normalizing births back to wire ages.
-func (u *UO2) tableToSend(n *sim.Node, t map[view.ComponentID]uo2Entry, now int) []view.Descriptor {
-	out := make([]view.Descriptor, 0, len(t)+1)
-	out = append(out, n.Descriptor())
-	for _, c := range sortedComps(t) {
-		entry := t[c]
+// tableToSend serializes the node's table plus its own fresh descriptor
+// into dst, normalizing births back to wire ages.
+func (u *UO2) tableToSend(n *sim.Node, t *uo2State, now int, dst []view.Descriptor) []view.Descriptor {
+	dst = append(dst, n.Descriptor())
+	for ci := range t.entries {
+		entry := &t.entries[ci]
+		if !entry.valid {
+			continue
+		}
 		d := entry.d
 		if age := now - entry.born; age > 0 {
 			if age > int(^uint16(0)) {
@@ -175,43 +227,42 @@ func (u *UO2) tableToSend(n *sim.Node, t map[view.ComponentID]uo2Entry, now int)
 		} else {
 			d.Age = 0
 		}
-		out = append(out, d)
+		dst = append(dst, d)
 	}
-	return out
+	return dst
 }
 
 // pickPartner gossips with a random table entry, falling back to a random
 // sampled peer when the table is empty (bootstrap).
-func (u *UO2) pickPartner(e *sim.Engine, slot int, t map[view.ComponentID]uo2Entry) (view.Descriptor, bool) {
+func (u *UO2) pickPartner(e *sim.Engine, slot int, t *uo2State) (view.Descriptor, bool) {
 	// Half the time talk to a random peer: UO2 benefits from global
 	// mixing because fresh entries for *any* component can come from
 	// anywhere.
-	if len(t) == 0 || e.Rand().Float64() < 0.5 {
+	if t.count == 0 || e.Rand().Float64() < 0.5 {
 		if d, ok := u.rps.View(slot).Random(e.Rand()); ok {
 			return d, true
 		}
 	}
-	if len(t) == 0 {
+	if t.count == 0 {
 		return view.Descriptor{}, false
 	}
-	comps := sortedComps(t)
-	pick := comps[e.Rand().Intn(len(comps))]
-	return t[pick].d, true
+	// The pick-th valid entry in ascending component order — the same
+	// draw the sorted-keys map implementation made.
+	pick := e.Rand().Intn(t.count)
+	for ci := range t.entries {
+		if !t.entries[ci].valid {
+			continue
+		}
+		if pick == 0 {
+			return t.entries[ci].d, true
+		}
+		pick--
+	}
+	return view.Descriptor{}, false // unreachable: count > 0
 }
 
 func (u *UO2) count(e *sim.Engine, bytes int) {
 	if u.meter >= 0 {
 		e.Meter().Count(u.meter, bytes)
 	}
-}
-
-// sortedComps returns the table's component IDs in ascending order, so all
-// iteration is deterministic.
-func sortedComps(t map[view.ComponentID]uo2Entry) []view.ComponentID {
-	comps := make([]view.ComponentID, 0, len(t))
-	for c := range t {
-		comps = append(comps, c)
-	}
-	sort.Slice(comps, func(i, j int) bool { return comps[i] < comps[j] })
-	return comps
 }

@@ -94,7 +94,9 @@ func (p *Protocol) InitNode(e *sim.Engine, slot int) {
 	}
 }
 
-// Step implements sim.Protocol: one active Cyclon shuffle.
+// Step implements sim.Protocol: one active Cyclon shuffle. The exchange is
+// allocation-free in steady state: payloads, samples and the replaceable
+// set live in the engine's scratch pad, and all merging happens in place.
 func (p *Protocol) Step(e *sim.Engine, slot int) {
 	self := e.Node(slot)
 	v := p.states[slot]
@@ -112,13 +114,16 @@ func (p *Protocol) Step(e *sim.Engine, slot int) {
 	// slot will be refilled by the partner's fresh self-descriptor.
 	v.Remove(partner.ID)
 
-	sendBuf := make([]view.Descriptor, 0, p.opts.Gossip)
-	sendBuf = append(sendBuf, self.Descriptor())
-	for _, d := range v.RandomSample(e.Rand(), p.opts.Gossip-1) {
+	pad := e.Pad()
+	sample := v.RandomSampleInto(e.Rand(), p.opts.Gossip-1, pad.Sample[:0], &pad.Sampler)
+	pad.Sample = sample
+	sendBuf := append(pad.Send[:0], self.Descriptor())
+	for _, d := range sample {
 		if d.ID != partner.ID {
 			sendBuf = append(sendBuf, d)
 		}
 	}
+	pad.Send = sendBuf
 	p.count(e, sim.DescriptorPayload(len(sendBuf)))
 
 	target := e.Lookup(partner.ID)
@@ -129,12 +134,13 @@ func (p *Protocol) Step(e *sim.Engine, slot int) {
 
 	// Passive side: reply with a random sample, then merge what it got.
 	tv := p.states[target.Slot]
-	replyBuf := tv.RandomSample(e.Rand(), p.opts.Gossip)
+	replyBuf := tv.RandomSampleInto(e.Rand(), p.opts.Gossip, pad.Reply[:0], &pad.Sampler)
+	pad.Reply = replyBuf
 	p.count(e, sim.DescriptorPayload(len(replyBuf)))
-	mergeCyclon(tv, target.ID, sendBuf, replyBuf)
+	mergeCyclon(tv, target.ID, sendBuf, replyBuf, &pad.IDs)
 
 	// Active side merges the reply, refilling the slots it emptied.
-	mergeCyclon(v, self.ID, replyBuf, sendBuf)
+	mergeCyclon(v, self.ID, replyBuf, sendBuf, &pad.IDs)
 }
 
 func (p *Protocol) count(e *sim.Engine, bytes int) {
@@ -146,19 +152,21 @@ func (p *Protocol) count(e *sim.Engine, bytes int) {
 // mergeCyclon folds received descriptors into v following Cyclon's rules:
 // duplicates keep the freshest copy, empty slots are filled first, and when
 // the view is full, entries that were sent to the peer are overwritten.
-// Remaining received descriptors are discarded.
-func mergeCyclon(v *view.View, self view.NodeID, received, sent []view.Descriptor) {
-	replaceable := make([]view.NodeID, 0, len(sent))
+// Remaining received descriptors are discarded. scratch backs the
+// replaceable set and is grown in place.
+func mergeCyclon(v *view.View, self view.NodeID, received, sent []view.Descriptor, scratch *[]view.NodeID) {
+	replaceable := (*scratch)[:0]
 	for _, d := range sent {
 		if d.ID != self {
 			replaceable = append(replaceable, d.ID)
 		}
 	}
+	*scratch = replaceable
 	for _, d := range received {
 		if d.ID == self {
 			continue
 		}
-		if v.Add(d) || v.Contains(d.ID) {
+		if _, held := v.Upsert(d); held {
 			continue
 		}
 		// View full: overwrite one of the entries sent away.

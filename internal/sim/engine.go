@@ -67,7 +67,7 @@ func (n *Node) Descriptor() view.Descriptor {
 type Engine struct {
 	rng       *rand.Rand
 	nodes     []*Node
-	slotByID  map[view.NodeID]int
+	slotOfID  []int // dense NodeID -> slot index (IDs are monotonic, never reused)
 	protocols []Protocol
 	observers []Observer
 	meter     *Meter
@@ -76,6 +76,17 @@ type Engine struct {
 	lossRate  float64
 	partition []int // group per slot; nil when the network is whole
 	stepOrder []int // scratch buffer reused every round
+
+	// aliveSlots caches the slots of alive nodes in slot order. It is
+	// invalidated by every liveness mutation (AddNodes, Kill, Revive, and
+	// through them KillFraction) and rebuilt lazily into the same backing
+	// array, so steady-state rounds neither scan nor allocate.
+	aliveSlots []int
+	aliveOK    bool
+	// randScratch backs RandomAlive's low-liveness fallback filter.
+	randScratch []int
+	// pad is the scratch-buffer bundle handed to protocols (see Pad).
+	pad Pad
 }
 
 // ErrNoProtocols is returned by Run when the engine has no protocol stack.
@@ -84,11 +95,41 @@ var ErrNoProtocols = errors.New("sim: engine has no registered protocols")
 // New creates an engine seeded with the given seed.
 func New(seed int64) *Engine {
 	return &Engine{
-		rng:      rand.New(rand.NewSource(seed)),
-		slotByID: make(map[view.NodeID]int),
-		meter:    NewMeter(),
+		rng:   rand.New(rand.NewSource(seed)),
+		meter: NewMeter(),
 	}
 }
+
+// Pad is a bundle of reusable scratch buffers the engine lends to protocols
+// so a steady-state gossip exchange performs zero heap allocations. A
+// protocol grabs the pad at the top of Step, slices the buffers it needs
+// from their [:0] prefixes, and writes the grown slices back so capacity is
+// retained for the slot stepped next.
+//
+// Rounds are single-threaded, so one pad serves every slot; a protocol must
+// not hold pad buffers across Step calls. When intra-round parallelism
+// lands, the engine will hand out one pad per worker instead — protocol
+// code stays unchanged.
+type Pad struct {
+	// Send and Reply hold the two in-flight gossip payloads of an
+	// exchange (active request, passive response).
+	Send, Reply []view.Descriptor
+	// Sample is for intermediate descriptor selections (random samples,
+	// rank-filtered candidate lists).
+	Sample []view.Descriptor
+	// Same is for filtered contact lists (same-component candidates,
+	// members of a remote component).
+	Same []view.Descriptor
+	// IDs is for node-ID work lists (e.g. Cyclon's replaceable set).
+	IDs []view.NodeID
+	// Merger is the shared descriptor-merge scratch.
+	Merger view.Merger
+	// Sampler is the shared partial-permutation scratch.
+	Sampler view.Sampler
+}
+
+// Pad returns the engine's scratch pad for the currently stepping slot.
+func (e *Engine) Pad() *Pad { return &e.pad }
 
 // Rand exposes the engine's random source. All randomness in a simulation
 // must flow from here to preserve determinism.
@@ -148,10 +189,11 @@ func (e *Engine) AddNodes(n int) []int {
 			Joined: e.round,
 		}
 		e.nextID++
-		e.slotByID[node.ID] = node.Slot
+		e.slotOfID = append(e.slotOfID, node.Slot)
 		e.nodes = append(e.nodes, node)
 		slots = append(slots, node.Slot)
 	}
+	e.aliveOK = false
 	return slots
 }
 
@@ -169,13 +211,14 @@ func (e *Engine) Node(slot int) *Node { return e.nodes[slot] }
 // Size returns the total number of slots ever allocated (alive + dead).
 func (e *Engine) Size() int { return len(e.nodes) }
 
-// Lookup resolves a node ID to its node, or nil if unknown.
+// Lookup resolves a node ID to its node, or nil if unknown. IDs are dense
+// and monotonically assigned, so this is a bounds check plus two slice
+// loads — no hashing.
 func (e *Engine) Lookup(id view.NodeID) *Node {
-	slot, ok := e.slotByID[id]
-	if !ok {
+	if id < 0 || int64(id) >= int64(len(e.slotOfID)) {
 		return nil
 	}
-	return e.nodes[slot]
+	return e.nodes[e.slotOfID[id]]
 }
 
 // IsAlive reports whether the node with the given ID exists and is alive.
@@ -184,27 +227,41 @@ func (e *Engine) IsAlive(id view.NodeID) bool {
 	return n != nil && n.Alive
 }
 
-// AliveSlots returns the slots of all alive nodes in slot order.
-func (e *Engine) AliveSlots() []int {
-	out := make([]int, 0, len(e.nodes))
-	for _, n := range e.nodes {
-		if n.Alive {
-			out = append(out, n.Slot)
+// alive returns the cached alive-slot list (slot order), rebuilding it into
+// the reused backing array if a liveness mutation invalidated it. The
+// returned slice is engine-owned scratch: callers must not retain or mutate
+// it, and any Kill/Revive/AddNodes invalidates it.
+func (e *Engine) alive() []int {
+	if !e.aliveOK {
+		e.aliveSlots = e.aliveSlots[:0]
+		for _, n := range e.nodes {
+			if n.Alive {
+				e.aliveSlots = append(e.aliveSlots, n.Slot)
+			}
 		}
+		e.aliveOK = true
 	}
+	return e.aliveSlots
+}
+
+// AliveSlots returns the slots of all alive nodes in slot order. The slice
+// is the caller's to keep (callers iterate it while killing nodes); use
+// AliveSlotsAppend with a reused buffer to avoid the copy.
+func (e *Engine) AliveSlots() []int {
+	alive := e.alive()
+	out := make([]int, len(alive))
+	copy(out, alive)
 	return out
 }
 
-// AliveCount returns the number of alive nodes.
-func (e *Engine) AliveCount() int {
-	c := 0
-	for _, n := range e.nodes {
-		if n.Alive {
-			c++
-		}
-	}
-	return c
+// AliveSlotsAppend appends the slots of all alive nodes, in slot order, to
+// dst and returns the extended slice — the allocation-free AliveSlots.
+func (e *Engine) AliveSlotsAppend(dst []int) []int {
+	return append(dst, e.alive()...)
 }
+
+// AliveCount returns the number of alive nodes.
+func (e *Engine) AliveCount() int { return len(e.alive()) }
 
 // RandomAlive returns a uniformly random alive node other than exclude
 // (pass a negative slot to exclude nothing), or nil if none exists. It is
@@ -220,13 +277,13 @@ func (e *Engine) RandomAlive(exclude int) *Node {
 			return n
 		}
 	}
-	alive := e.AliveSlots()
-	candidates := alive[:0]
-	for _, s := range alive {
+	candidates := e.randScratch[:0]
+	for _, s := range e.alive() {
 		if s != exclude {
 			candidates = append(candidates, s)
 		}
 	}
+	e.randScratch = candidates
 	if len(candidates) == 0 {
 		return nil
 	}
@@ -237,6 +294,7 @@ func (e *Engine) RandomAlive(exclude int) *Node {
 // exchanges; their descriptors decay out of peers' views.
 func (e *Engine) Kill(slot int) {
 	e.nodes[slot].Alive = false
+	e.aliveOK = false
 }
 
 // Revive brings a dead node back (fresh join semantics: the caller must
@@ -245,6 +303,7 @@ func (e *Engine) Revive(slot int) {
 	n := e.nodes[slot]
 	n.Alive = true
 	n.Joined = e.round
+	e.aliveOK = false
 }
 
 // KillFraction kills ceil(f × alive) uniformly random alive nodes and
@@ -331,12 +390,7 @@ func (e *Engine) DeliverBetween(from, to int) bool {
 // shuffled order, steps each protocol in stack order; then observers run.
 // It reports whether any observer requested a stop.
 func (e *Engine) RunRound() (stop bool) {
-	e.stepOrder = e.stepOrder[:0]
-	for _, n := range e.nodes {
-		if n.Alive {
-			e.stepOrder = append(e.stepOrder, n.Slot)
-		}
-	}
+	e.stepOrder = append(e.stepOrder[:0], e.alive()...)
 	e.rng.Shuffle(len(e.stepOrder), func(i, j int) {
 		e.stepOrder[i], e.stepOrder[j] = e.stepOrder[j], e.stepOrder[i]
 	})

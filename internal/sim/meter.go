@@ -8,7 +8,14 @@ type Meter struct {
 	names   []string
 	current []int64   // bytes this round, per protocol
 	history [][]int64 // history[round][protocol]
+	// arena is the backing pool history rows are sliced from, so EndRound
+	// allocates one block per arenaRounds rounds instead of one row per
+	// round. Exhausted blocks stay referenced by the rows cut from them.
+	arena []int64
 }
+
+// arenaRounds is how many rounds of history one arena block holds.
+const arenaRounds = 1024
 
 // NewMeter returns an empty meter.
 func NewMeter() *Meter {
@@ -38,11 +45,30 @@ func (m *Meter) Count(protocol int, bytes int) {
 // EndRound snapshots the current round's totals into the history and resets
 // the per-round counters.
 func (m *Meter) EndRound() {
-	row := make([]int64, len(m.current))
-	copy(row, m.current)
-	m.history = append(m.history, row)
+	np := len(m.current)
+	if cap(m.arena)-len(m.arena) < np {
+		m.arena = make([]int64, 0, max(arenaRounds*np, np))
+	}
+	start := len(m.arena)
+	m.arena = append(m.arena, m.current...)
+	m.history = append(m.history, m.arena[start:len(m.arena):len(m.arena)])
 	for i := range m.current {
 		m.current[i] = 0
+	}
+}
+
+// Reserve pre-allocates history storage for at least n further rounds, so
+// the next n EndRound calls are guaranteed allocation-free. Benchmarks and
+// allocation-regression tests call it before their timed region.
+func (m *Meter) Reserve(n int) {
+	if need := len(m.history) + n; need > cap(m.history) {
+		h := make([][]int64, len(m.history), need)
+		copy(h, m.history)
+		m.history = h
+	}
+	np := len(m.current)
+	if need := np * n; cap(m.arena)-len(m.arena) < need {
+		m.arena = make([]int64, 0, need)
 	}
 }
 

@@ -72,6 +72,13 @@ type CandidateSource interface {
 	Candidates(slot int) []view.Descriptor
 }
 
+// ViewSource is optionally implemented by candidate sources whose
+// candidates live in a View. The merge path then reads the view in place
+// instead of copying Candidates out, keeping the hot path allocation-free.
+type ViewSource interface {
+	SourceView(slot int) *view.View
+}
+
 // Protocol is one self-organizing overlay instance.
 type Protocol struct {
 	name   string
@@ -81,12 +88,14 @@ type Protocol struct {
 	feeds  []CandidateSource
 	meter  int
 	states []*view.View
+	sorter rankSorter
 }
 
 var (
 	_ sim.Protocol    = (*Protocol)(nil)
 	_ sim.MeterAware  = (*Protocol)(nil)
 	_ CandidateSource = (*Protocol)(nil)
+	_ ViewSource      = (*Protocol)(nil)
 )
 
 // New creates an overlay named name, ranked by ranker, drawing random
@@ -105,10 +114,19 @@ func New(name string, ranker Ranker, rps *peersampling.Protocol, opts Options, f
 
 // Candidates implements CandidateSource, so overlays can feed each other.
 func (p *Protocol) Candidates(slot int) []view.Descriptor {
-	if slot >= len(p.states) || p.states[slot] == nil {
+	if v := p.SourceView(slot); v != nil {
+		return v.Entries()
+	}
+	return nil
+}
+
+// SourceView implements ViewSource: the overlay's own view is its candidate
+// feed, readable in place by stacked overlays.
+func (p *Protocol) SourceView(slot int) *view.View {
+	if slot >= len(p.states) {
 		return nil
 	}
-	return p.states[slot].Entries()
+	return p.states[slot]
 }
 
 // Name implements sim.Protocol.
@@ -130,7 +148,9 @@ func (p *Protocol) InitNode(e *sim.Engine, slot int) {
 }
 
 // Step implements sim.Protocol: one active gossip exchange plus local
-// candidate injection from the sampling service.
+// candidate injection from the sampling service. Payload selection, merging
+// and re-ranking all run on the engine's scratch pad — a steady-state
+// exchange allocates nothing.
 func (p *Protocol) Step(e *sim.Engine, slot int) {
 	self := e.Node(slot)
 	v := p.states[slot]
@@ -143,10 +163,14 @@ func (p *Protocol) Step(e *sim.Engine, slot int) {
 	// stacked feeds into ours. No bandwidth — the candidates are already
 	// on this node.
 	if !p.opts.NoRandomFeed && p.rps != nil {
-		p.apply(self, v, p.rps.View(slot).Entries())
+		p.applyView(e, self, v, p.rps.View(slot))
 	}
 	for _, f := range p.feeds {
-		p.apply(self, v, f.Candidates(slot))
+		if vs, ok := f.(ViewSource); ok {
+			p.applyView(e, self, v, vs.SourceView(slot))
+		} else {
+			p.apply(e, self, v, f.Candidates(slot))
+		}
 	}
 
 	partner, ok := p.pickPartner(e, slot, v)
@@ -154,7 +178,9 @@ func (p *Protocol) Step(e *sim.Engine, slot int) {
 		return
 	}
 
-	sendBuf := p.selectFor(e, slot, partner.Profile, partner.ID)
+	pad := e.Pad()
+	sendBuf := p.selectFor(e, slot, partner.Profile, partner.ID, pad.Send[:0])
+	pad.Send = sendBuf
 	p.count(e, sim.DescriptorPayload(len(sendBuf)))
 
 	target := e.Lookup(partner.ID)
@@ -167,10 +193,11 @@ func (p *Protocol) Step(e *sim.Engine, slot int) {
 	}
 
 	// Passive side replies with its best candidates for us, then merges.
-	replyBuf := p.selectFor(e, target.Slot, self.Profile, self.ID)
+	replyBuf := p.selectFor(e, target.Slot, self.Profile, self.ID, pad.Reply[:0])
+	pad.Reply = replyBuf
 	p.count(e, sim.DescriptorPayload(len(replyBuf)))
-	p.apply(target, p.states[target.Slot], sendBuf)
-	p.apply(self, v, replyBuf)
+	p.apply(e, target, p.states[target.Slot], sendBuf)
+	p.apply(e, self, v, replyBuf)
 }
 
 // pickPartner chooses the exchange partner: usually the oldest view entry
@@ -198,19 +225,30 @@ func (p *Protocol) pickPartner(e *sim.Engine, slot int, v *view.View) (view.Desc
 	return view.Descriptor{}, false
 }
 
-// selectFor builds the gossip payload a node sends to a peer: its own fresh
-// descriptor plus the best candidates *from the peer's point of view* drawn
-// from the node's overlay view and sampling-service view.
-func (p *Protocol) selectFor(e *sim.Engine, slot int, owner view.Profile, ownerID view.NodeID) []view.Descriptor {
+// selectFor builds, in dst, the gossip payload a node sends to a peer: its
+// own fresh descriptor plus the best candidates *from the peer's point of
+// view* drawn from the node's overlay view and sampling-service view. The
+// candidate pool and ranked list live in the engine's scratch pad.
+func (p *Protocol) selectFor(e *sim.Engine, slot int, owner view.Profile, ownerID view.NodeID, dst []view.Descriptor) []view.Descriptor {
 	self := e.Node(slot)
-	pool := p.states[slot].Entries()
+	pad := e.Pad()
+	m := &pad.Merger
+	m.Begin(ownerID)
+	m.AddView(p.states[slot])
 	if !p.opts.NoRandomFeed && p.rps != nil {
-		pool = view.MergeBuffers(ownerID, pool, p.rps.View(slot).Entries())
+		m.AddView(p.rps.View(slot))
 	}
 	for _, f := range p.feeds {
-		pool = view.MergeBuffers(ownerID, pool, f.Candidates(slot))
+		if vs, ok := f.(ViewSource); ok {
+			if sv := vs.SourceView(slot); sv != nil {
+				m.AddView(sv)
+			}
+		} else {
+			m.AddSlice(f.Candidates(slot))
+		}
 	}
-	ranked := make([]view.Descriptor, 0, len(pool))
+	pool := m.Result()
+	ranked := pad.Sample[:0]
 	for _, d := range pool {
 		if d.ID == ownerID {
 			continue
@@ -219,9 +257,9 @@ func (p *Protocol) selectFor(e *sim.Engine, slot int, owner view.Profile, ownerI
 			ranked = append(ranked, d)
 		}
 	}
-	sortByRank(p.ranker, owner, ranked)
-	out := make([]view.Descriptor, 0, p.opts.Gossip)
-	out = append(out, self.Descriptor())
+	pad.Sample = ranked
+	p.sortByRank(owner, ranked)
+	out := append(dst, self.Descriptor())
 	for _, d := range ranked {
 		if len(out) >= p.opts.Gossip {
 			break
@@ -242,22 +280,39 @@ func (p *Protocol) selectFor(e *sim.Engine, slot int, owner view.Profile, ownerI
 
 // apply folds incoming descriptors into the node's view, keeping the
 // best-ranked `capacity` entries.
-func (p *Protocol) apply(n *sim.Node, v *view.View, incoming []view.Descriptor) {
-	buf := view.MergeBuffers(n.ID, v.Entries(), incoming)
+func (p *Protocol) apply(e *sim.Engine, n *sim.Node, v *view.View, incoming []view.Descriptor) {
+	m := &e.Pad().Merger
+	m.Begin(n.ID)
+	m.AddView(v)
+	m.AddSlice(incoming)
+	p.applyMerged(m, n, v)
+}
+
+// applyView is apply for candidates that live in another layer's view,
+// read in place. A nil inView still re-filters and re-ranks the view, like
+// apply with an empty incoming buffer.
+func (p *Protocol) applyView(e *sim.Engine, n *sim.Node, v *view.View, inView *view.View) {
+	m := &e.Pad().Merger
+	m.Begin(n.ID)
+	m.AddView(v)
+	if inView != nil {
+		m.AddView(inView)
+	}
+	p.applyMerged(m, n, v)
+}
+
+// applyMerged finishes an apply: filter the merged pool in place, re-rank,
+// and replace the view's contents with the best `capacity` entries.
+func (p *Protocol) applyMerged(m *view.Merger, n *sim.Node, v *view.View) {
+	buf := m.Result()
 	kept := buf[:0]
 	for _, d := range buf {
 		if int(d.Age) <= p.opts.MaxAge && p.ranker.Rank(n.Profile, d.Profile) < view.RankInf {
 			kept = append(kept, d)
 		}
 	}
-	sortByRank(p.ranker, n.Profile, kept)
-	if len(kept) > v.Cap() {
-		kept = kept[:v.Cap()]
-	}
-	v.Clear()
-	for _, d := range kept {
-		v.Add(d)
-	}
+	p.sortByRank(n.Profile, kept)
+	v.ReplaceAll(kept)
 }
 
 // purge drops entries that aged out or became unrankable (stale epoch,
@@ -274,16 +329,36 @@ func (p *Protocol) count(e *sim.Engine, bytes int) {
 	}
 }
 
-// sortByRank orders descriptors by (rank, age, id) for determinism.
-func sortByRank(r Ranker, owner view.Profile, ds []view.Descriptor) {
-	sort.Slice(ds, func(i, j int) bool {
-		ri, rj := r.Rank(owner, ds[i].Profile), r.Rank(owner, ds[j].Profile)
-		if ri != rj {
-			return ri < rj
-		}
-		if ds[i].Age != ds[j].Age {
-			return ds[i].Age < ds[j].Age
-		}
-		return ds[i].ID < ds[j].ID
-	})
+// sortByRank orders descriptors by (rank, age, id). The comparator is a
+// total order (IDs are unique within a buffer), so the sorted result is
+// unique regardless of sorting algorithm — swapping sort.Slice for a
+// persistent sort.Interface value changes no run. The sorter lives on the
+// protocol so the interface conversion allocates nothing.
+func (p *Protocol) sortByRank(owner view.Profile, ds []view.Descriptor) {
+	p.sorter.ranker = p.ranker
+	p.sorter.owner = owner
+	p.sorter.ds = ds
+	sort.Sort(&p.sorter)
+	p.sorter.ds = nil
+}
+
+// rankSorter sorts a descriptor buffer by (rank, age, id) for a fixed
+// owner profile.
+type rankSorter struct {
+	ranker Ranker
+	owner  view.Profile
+	ds     []view.Descriptor
+}
+
+func (s *rankSorter) Len() int      { return len(s.ds) }
+func (s *rankSorter) Swap(i, j int) { s.ds[i], s.ds[j] = s.ds[j], s.ds[i] }
+func (s *rankSorter) Less(i, j int) bool {
+	ri, rj := s.ranker.Rank(s.owner, s.ds[i].Profile), s.ranker.Rank(s.owner, s.ds[j].Profile)
+	if ri != rj {
+		return ri < rj
+	}
+	if s.ds[i].Age != s.ds[j].Age {
+		return s.ds[i].Age < s.ds[j].Age
+	}
+	return s.ds[i].ID < s.ds[j].ID
 }

@@ -1,0 +1,275 @@
+package view
+
+// Tests pinning the edge cases the scratch-buffer refactor must preserve:
+// the RandomSample guards, draw-for-draw equivalence of the *Into APIs with
+// their copying wrappers, ForceAdd/Penalize boundary behavior, and the
+// MergeInto ≡ MergeBuffers property on random inputs.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomSampleGuards(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := New(4)
+	v.Add(desc(1, 0))
+	v.Add(desc(2, 0))
+
+	// n <= 0 must not panic (the pre-guard code sliced perm[:n]) and must
+	// not consume randomness.
+	before := rng.Int63()
+	rng = rand.New(rand.NewSource(1))
+	if got := v.RandomSample(rng, -1); got != nil {
+		t.Fatalf("RandomSample(-1) = %v, want nil", got)
+	}
+	if got := v.RandomSample(rng, 0); got != nil {
+		t.Fatalf("RandomSample(0) = %v, want nil", got)
+	}
+	if after := rng.Int63(); after != before {
+		t.Fatal("n <= 0 must not consume random draws")
+	}
+
+	empty := New(4)
+	if got := empty.RandomSample(rng, 3); got != nil {
+		t.Fatalf("RandomSample on empty view = %v, want nil", got)
+	}
+	if got := empty.RandomSampleInto(rng, 3, nil, &Sampler{}); got != nil {
+		t.Fatalf("RandomSampleInto on empty view = %v, want nil dst", got)
+	}
+}
+
+// TestRandomSampleIntoEquivalence checks the two sampling APIs are
+// interchangeable draw-for-draw: same output, same post-call RNG state, for
+// partial samples, exact-size samples, and oversized requests.
+func TestRandomSampleIntoEquivalence(t *testing.T) {
+	for _, n := range []int{1, 3, 9, 10, 25} {
+		v := New(10)
+		for i := NodeID(0); i < 10; i++ {
+			v.Add(desc(i, uint16(i)))
+		}
+		rngA := rand.New(rand.NewSource(42))
+		rngB := rand.New(rand.NewSource(42))
+		var s Sampler
+		a := v.RandomSample(rngA, n)
+		b := v.RandomSampleInto(rngB, n, nil, &s)
+		if len(a) != len(b) {
+			t.Fatalf("n=%d: len %d vs %d", n, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("n=%d: sample diverges at %d: %v vs %v", n, i, a[i], b[i])
+			}
+		}
+		if rngA.Int63() != rngB.Int63() {
+			t.Fatalf("n=%d: RNG states diverge after sampling", n)
+		}
+	}
+}
+
+// TestRandomSampleIntoAppends checks Into semantics: dst's existing prefix
+// is preserved and the scratch sampler can be shared across views.
+func TestRandomSampleIntoAppends(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	v := New(8)
+	for i := NodeID(0); i < 8; i++ {
+		v.Add(desc(i, 0))
+	}
+	var s Sampler
+	dst := []Descriptor{desc(99, 1)}
+	dst = v.RandomSampleInto(rng, 3, dst, &s)
+	if len(dst) != 4 || dst[0] != desc(99, 1) {
+		t.Fatalf("dst prefix not preserved: %v", dst)
+	}
+	w := New(4)
+	w.Add(desc(50, 0))
+	w.Add(desc(51, 0))
+	if got := w.RandomSampleInto(rng, 1, dst[:0], &s); len(got) != 1 {
+		t.Fatalf("sampler reuse across views failed: %v", got)
+	}
+}
+
+func TestForceAddOldestTieBreaking(t *testing.T) {
+	// Three entries at the same (maximal) age: the eviction must hit the
+	// lowest position — the tie-break oldestIndex documents.
+	v := New(3)
+	v.Add(desc(10, 5))
+	v.Add(desc(11, 5))
+	v.Add(desc(12, 5))
+	v.ForceAdd(desc(13, 0))
+	if v.Contains(10) {
+		t.Fatal("tie on age must evict the lowest position (id 10)")
+	}
+	if !v.Contains(11) || !v.Contains(12) || !v.Contains(13) {
+		t.Fatal("ids 11, 12, 13 should be present")
+	}
+	// A duplicate ID never evicts: the fresher copy replaces in place.
+	v.ForceAdd(desc(11, 0))
+	if v.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3 (duplicate must replace, not evict)", v.Len())
+	}
+	if got := v.At(v.IndexOf(11)).Age; got != 0 {
+		t.Fatalf("age of refreshed duplicate = %d, want 0", got)
+	}
+}
+
+func TestPenalizeSaturates(t *testing.T) {
+	v := New(2)
+	v.Add(desc(1, ^uint16(0)-3))
+	if !v.Penalize(1, 10) {
+		t.Fatal("Penalize on a present ID must report true")
+	}
+	if got := v.At(v.IndexOf(1)).Age; got != ^uint16(0) {
+		t.Fatalf("age = %d, want saturation at %d", got, ^uint16(0))
+	}
+	// Saturated stays saturated.
+	v.Penalize(1, ^uint16(0))
+	if got := v.At(v.IndexOf(1)).Age; got != ^uint16(0) {
+		t.Fatalf("age after second penalty = %d, want %d", got, ^uint16(0))
+	}
+	if v.Penalize(42, 1) {
+		t.Fatal("Penalize on a missing ID must report false")
+	}
+}
+
+func TestSetCapClampsToOne(t *testing.T) {
+	v := New(4)
+	v.Add(desc(1, 0))
+	v.Add(desc(2, 0))
+	v.SetCap(-3)
+	if v.Cap() != 1 || v.Len() != 1 {
+		t.Fatalf("after SetCap(-3): cap=%d len=%d, want 1/1", v.Cap(), v.Len())
+	}
+}
+
+func TestUpsertMatchesAddPlusContains(t *testing.T) {
+	reference := New(2)
+	probe := New(2)
+	ds := []Descriptor{
+		desc(1, 4), desc(2, 2), desc(1, 1), desc(1, 9), desc(3, 0), desc(2, 5),
+	}
+	for _, d := range ds {
+		wantChanged := reference.Add(d)
+		wantHeld := reference.Contains(d.ID)
+		changed, held := probe.Upsert(d)
+		if changed != wantChanged || held != wantHeld {
+			t.Fatalf("Upsert(%v) = (%v, %v), want (%v, %v)",
+				d, changed, held, wantChanged, wantHeld)
+		}
+	}
+}
+
+func TestAppendEntriesAndIDs(t *testing.T) {
+	v := New(3)
+	v.Add(desc(4, 1))
+	v.Add(desc(5, 2))
+	entries := v.AppendEntries([]Descriptor{desc(9, 9)})
+	if len(entries) != 3 || entries[0] != desc(9, 9) || entries[1].ID != 4 || entries[2].ID != 5 {
+		t.Fatalf("AppendEntries = %v", entries)
+	}
+	ids := v.AppendIDs([]NodeID{9})
+	if len(ids) != 3 || ids[0] != 9 || ids[1] != 4 || ids[2] != 5 {
+		t.Fatalf("AppendIDs = %v", ids)
+	}
+}
+
+func TestReplaceAllTruncatesToCapacity(t *testing.T) {
+	v := New(2)
+	v.Add(desc(1, 0))
+	v.ReplaceAll([]Descriptor{desc(7, 1), desc(8, 2), desc(9, 3)})
+	if v.Len() != 2 || v.At(0).ID != 7 || v.At(1).ID != 8 {
+		t.Fatalf("ReplaceAll kept %v", v.Entries())
+	}
+	v.ReplaceAll(nil)
+	if v.Len() != 0 {
+		t.Fatalf("ReplaceAll(nil) left %d entries", v.Len())
+	}
+}
+
+// quickBuffers derives a deterministic set of descriptor buffers from
+// fuzz-style raw inputs: IDs collide often (int8 domain) so the
+// freshest-wins dedup paths are exercised heavily.
+func quickBuffers(ids []int8, ages []uint16, epochs []uint8, cuts []uint8) [][]Descriptor {
+	ds := make([]Descriptor, len(ids))
+	for i, id := range ids {
+		var age uint16
+		if i < len(ages) {
+			age = ages[i]
+		}
+		var epoch uint32
+		if i < len(epochs) {
+			epoch = uint32(epochs[i] % 3)
+		}
+		ds[i] = Descriptor{ID: NodeID(id), Age: age, Profile: Profile{Epoch: epoch}}
+	}
+	// Split ds into up to len(cuts)+1 buffers at the cut offsets.
+	var out [][]Descriptor
+	start := 0
+	for _, c := range cuts {
+		cut := start + int(c)%(len(ds)-start+1)
+		out = append(out, ds[start:cut])
+		start = cut
+	}
+	out = append(out, ds[start:])
+	return out
+}
+
+// Property: MergeInto through a (reused) Merger produces exactly what the
+// copying MergeBuffers produces, buffer for buffer, on random inputs.
+func TestMergeIntoEquivalentToMergeBuffers(t *testing.T) {
+	var shared Merger // deliberately reused across every check
+	f := func(ids []int8, ages []uint16, epochs []uint8, cuts []uint8, selfRaw int8) bool {
+		buffers := quickBuffers(ids, ages, epochs, cuts)
+		self := NodeID(selfRaw)
+		want := MergeBuffers(self, buffers...)
+		got := MergeInto(&shared, self, buffers...)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a Merger result never contains self, InvalidNode, or duplicate
+// IDs, and always holds the freshest copy per ID.
+func TestMergerInvariants(t *testing.T) {
+	var m Merger
+	f := func(ids []int8, ages []uint16, epochs []uint8, cuts []uint8, selfRaw int8) bool {
+		buffers := quickBuffers(ids, ages, epochs, cuts)
+		self := NodeID(selfRaw)
+		out := MergeInto(&m, self, buffers...)
+		seen := map[NodeID]Descriptor{}
+		for _, d := range out {
+			if d.ID == self || d.ID == InvalidNode {
+				return false
+			}
+			if _, dup := seen[d.ID]; dup {
+				return false
+			}
+			seen[d.ID] = d
+		}
+		for _, b := range buffers {
+			for _, d := range b {
+				if d.ID == self || d.ID == InvalidNode {
+					continue
+				}
+				if d.Fresher(seen[d.ID]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -49,18 +49,28 @@ func (v *View) At(i int) Descriptor { return v.entries[i] }
 
 // Entries returns a copy of the current descriptors.
 func (v *View) Entries() []Descriptor {
-	out := make([]Descriptor, len(v.entries))
-	copy(out, v.entries)
-	return out
+	return v.AppendEntries(make([]Descriptor, 0, len(v.entries)))
+}
+
+// AppendEntries appends the current descriptors to dst and returns the
+// extended slice. Passing a reused scratch buffer (dst[:0]) makes the read
+// allocation-free in steady state.
+func (v *View) AppendEntries(dst []Descriptor) []Descriptor {
+	return append(dst, v.entries...)
 }
 
 // IDs returns the node IDs currently held, in view order.
 func (v *View) IDs() []NodeID {
-	out := make([]NodeID, len(v.entries))
-	for i, d := range v.entries {
-		out[i] = d.ID
+	return v.AppendIDs(make([]NodeID, 0, len(v.entries)))
+}
+
+// AppendIDs appends the node IDs currently held to dst, in view order, and
+// returns the extended slice.
+func (v *View) AppendIDs(dst []NodeID) []NodeID {
+	for _, d := range v.entries {
+		dst = append(dst, d.ID)
 	}
-	return out
+	return dst
 }
 
 // IndexOf returns the position of id in the view, or -1.
@@ -80,18 +90,27 @@ func (v *View) Contains(id NodeID) bool { return v.IndexOf(id) >= 0 }
 // node exists; if one exists, the fresher of the two is kept. It reports
 // whether the view changed.
 func (v *View) Add(d Descriptor) bool {
+	changed, _ := v.Upsert(d)
+	return changed
+}
+
+// Upsert inserts d exactly like Add, and additionally reports whether the
+// view now holds a descriptor for d.ID (held). It exists as a fast path for
+// merge loops that would otherwise pay a second IndexOf scan for
+// `v.Add(d) || v.Contains(d.ID)`.
+func (v *View) Upsert(d Descriptor) (changed, held bool) {
 	if i := v.IndexOf(d.ID); i >= 0 {
 		if d.Fresher(v.entries[i]) {
 			v.entries[i] = d
-			return true
+			return true, true
 		}
-		return false
+		return false, true
 	}
 	if len(v.entries) >= v.capacity {
-		return false
+		return false, false
 	}
 	v.entries = append(v.entries, d)
-	return true
+	return true, true
 }
 
 // ForceAdd inserts d, evicting the oldest entry if the view is full. A
@@ -187,19 +206,57 @@ func (v *View) Random(rng *rand.Rand) (Descriptor, bool) {
 }
 
 // RandomSample returns up to n distinct descriptors chosen uniformly at
-// random, in random order.
+// random, in random order. n <= 0 returns nil without consuming randomness.
 func (v *View) RandomSample(rng *rand.Rand, n int) []Descriptor {
+	if n <= 0 || len(v.entries) == 0 {
+		return nil
+	}
+	if n > len(v.entries) {
+		n = len(v.entries)
+	}
+	var s Sampler
+	return v.RandomSampleInto(rng, n, make([]Descriptor, 0, n), &s)
+}
+
+// Sampler is reusable scratch for RandomSampleInto: it holds the permutation
+// buffer a partial sample needs, so steady-state sampling allocates nothing.
+// The zero value is ready to use. A Sampler may be shared by any number of
+// views as long as calls do not overlap.
+type Sampler struct {
+	perm []int
+}
+
+// RandomSampleInto appends up to n distinct descriptors chosen uniformly at
+// random, in random order, to dst and returns the extended slice. It draws
+// from rng exactly like RandomSample (math/rand Shuffle when n covers the
+// view, a Perm-equivalent otherwise), so the two are interchangeable without
+// perturbing a seeded run. n <= 0 appends nothing and consumes no
+// randomness.
+func (v *View) RandomSampleInto(rng *rand.Rand, n int, dst []Descriptor, s *Sampler) []Descriptor {
+	if n <= 0 || len(v.entries) == 0 {
+		return dst
+	}
 	if n >= len(v.entries) {
-		out := v.Entries()
+		base := len(dst)
+		dst = append(dst, v.entries...)
+		out := dst[base:]
 		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
-		return out
+		return dst
 	}
-	perm := rng.Perm(len(v.entries))
-	out := make([]Descriptor, 0, n)
+	// Replicate rand.Perm draw-for-draw into the reusable buffer.
+	if cap(s.perm) < len(v.entries) {
+		s.perm = make([]int, len(v.entries))
+	}
+	perm := s.perm[:len(v.entries)]
+	for i := range perm {
+		j := rng.Intn(i + 1)
+		perm[i] = perm[j]
+		perm[j] = i
+	}
 	for _, p := range perm[:n] {
-		out = append(out, v.entries[p])
+		dst = append(dst, v.entries[p])
 	}
-	return out
+	return dst
 }
 
 // Filter removes every descriptor for which keep returns false.
@@ -230,6 +287,16 @@ func (v *View) SortByAge() {
 	})
 }
 
+// ReplaceAll replaces the view's contents with ds, truncated to the view's
+// capacity. Callers are expected to pass deduplicated, owner-free buffers
+// (e.g. a Merger result); ReplaceAll performs no checks of its own.
+func (v *View) ReplaceAll(ds []Descriptor) {
+	if len(ds) > v.capacity {
+		ds = ds[:v.capacity]
+	}
+	v.entries = append(v.entries[:0], ds...)
+}
+
 // Merge folds the given descriptors into a deduplicated buffer together
 // with the current entries, then keeps the `capacity` freshest, preferring
 // existing entries on ties. self is excluded.
@@ -242,36 +309,85 @@ func (v *View) Merge(self NodeID, incoming []Descriptor) {
 		}
 		return buf[i].ID < buf[j].ID
 	})
-	if len(buf) > v.capacity {
-		buf = buf[:v.capacity]
+	v.ReplaceAll(buf)
+}
+
+// Merger is the reusable scratch state behind descriptor-buffer merging: a
+// deduplication index plus an output buffer, both retained across calls so
+// steady-state merges allocate nothing. The zero value is ready to use.
+// A Merger is not safe for concurrent use; future parallel engines shard
+// one per worker.
+type Merger struct {
+	self NodeID
+	out  []Descriptor
+	pos  map[NodeID]int
+}
+
+// Begin resets the merger for a new merge that excludes self (and
+// InvalidNode) from its output.
+func (m *Merger) Begin(self NodeID) {
+	m.self = self
+	m.out = m.out[:0]
+	if m.pos == nil {
+		m.pos = make(map[NodeID]int, 64)
+	} else {
+		clear(m.pos)
 	}
-	v.entries = append(v.entries[:0], buf...)
+}
+
+// AddSlice folds a descriptor buffer into the merge: first occurrence fixes
+// the output position, later duplicates keep the freshest copy.
+func (m *Merger) AddSlice(ds []Descriptor) {
+	for _, d := range ds {
+		m.add(d)
+	}
+}
+
+// AddView folds a view's entries into the merge without copying them out
+// first — the allocation-free equivalent of AddSlice(v.Entries()).
+func (m *Merger) AddView(v *View) {
+	for i := range v.entries {
+		m.add(v.entries[i])
+	}
+}
+
+func (m *Merger) add(d Descriptor) {
+	if d.ID == m.self || d.ID == InvalidNode {
+		return
+	}
+	if i, seen := m.pos[d.ID]; seen {
+		if d.Fresher(m.out[i]) {
+			m.out[i] = d
+		}
+		return
+	}
+	m.pos[d.ID] = len(m.out)
+	m.out = append(m.out, d)
+}
+
+// Result returns the merged buffer: deduplicated (freshest copy wins), in
+// first-occurrence order, without self. The slice is scratch owned by the
+// merger — callers may filter or sort it in place, but it is only valid
+// until the next Begin.
+func (m *Merger) Result() []Descriptor { return m.out }
+
+// MergeInto merges descriptor buffers through dst's reusable scratch,
+// returning dst.Result(). It is the allocation-free equivalent of
+// MergeBuffers: same output, same order, no per-call map or slice.
+func MergeInto(dst *Merger, self NodeID, buffers ...[]Descriptor) []Descriptor {
+	dst.Begin(self)
+	for _, b := range buffers {
+		dst.AddSlice(b)
+	}
+	return dst.Result()
 }
 
 // MergeBuffers combines descriptor slices, dropping self and keeping the
 // freshest descriptor per node ID. The result order is deterministic: it
-// follows first occurrence in the concatenated input.
+// follows first occurrence in the concatenated input. It is a thin copying
+// wrapper over MergeInto; hot paths reuse a Merger instead.
 func MergeBuffers(self NodeID, buffers ...[]Descriptor) []Descriptor {
-	total := 0
-	for _, b := range buffers {
-		total += len(b)
-	}
-	out := make([]Descriptor, 0, total)
-	pos := make(map[NodeID]int, total)
-	for _, b := range buffers {
-		for _, d := range b {
-			if d.ID == self || d.ID == InvalidNode {
-				continue
-			}
-			if i, seen := pos[d.ID]; seen {
-				if d.Fresher(out[i]) {
-					out[i] = d
-				}
-				continue
-			}
-			pos[d.ID] = len(out)
-			out = append(out, d)
-		}
-	}
+	var m Merger
+	out := MergeInto(&m, self, buffers...)
 	return out
 }

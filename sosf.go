@@ -233,6 +233,17 @@ func (s *System) Connected() bool {
 	return s.sys.Oracle().RealizedGraph().ConnectedOver(s.sys.Engine().AliveSlots())
 }
 
+// ManagerPorts returns the "component.port" keys of a Managers map in
+// sorted order, for deterministic iteration and reporting.
+func ManagerPorts(managers map[string]int64) []string {
+	ports := make([]string, 0, len(managers))
+	for p := range managers {
+		ports = append(ports, p)
+	}
+	sort.Strings(ports)
+	return ports
+}
+
 // Managers returns the ground-truth manager node of every port, keyed by
 // "component.port". Ports of empty components are omitted.
 func (s *System) Managers() map[string]int64 {
