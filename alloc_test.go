@@ -1,13 +1,16 @@
 package sosf
 
 // Allocation-regression guard for the gossip hot path: a steady-state
-// round must not touch the heap. Protocol exchanges run entirely on the
-// engine's scratch pad (sim.Pad), the alive-slot cache, and the meter's
-// arena, so once buffers have grown to their working size the only way a
-// round allocates is a regression — which this test turns into a failure
-// instead of a slow creep across PRs.
+// round must not touch the heap — at any worker count. Protocol phases run
+// entirely on per-worker scratch pads (sim.Pad), per-slot retained plan
+// records, intrusive inbox lists (sim.Inbox), the alive-slot cache, and the
+// meter's arena; the worker pool parks its goroutines between phases
+// instead of respawning them. Once buffers have grown to their working size
+// the only way a round allocates is a regression — which this test turns
+// into a failure instead of a slow creep across PRs.
 
 import (
+	"fmt"
 	"testing"
 
 	"sosf/internal/core"
@@ -16,53 +19,70 @@ import (
 	"sosf/internal/sim"
 )
 
+// allocWorkerCounts are the pool widths the steady state must stay
+// heap-silent at. Worker counts beyond the core count still shard (the
+// goroutines interleave), so the guard is meaningful even on small runners.
+var allocWorkerCounts = []int{1, 2, 4, 8}
+
 // TestCyclonRoundAllocationFree pins the bottom of the stack: one round of
 // the peer-sampling service (Cyclon) over 1 000 stable nodes performs zero
-// heap allocations.
+// heap allocations, for every worker count.
 func TestCyclonRoundAllocationFree(t *testing.T) {
-	eng := sim.New(1)
-	rps := peersampling.New(peersampling.Options{})
-	eng.Register(rps)
-	for _, slot := range eng.AddNodes(1000) {
-		eng.InitNode(slot)
-	}
-	// Warm past bootstrap so views are full and every scratch buffer has
-	// reached its steady-state capacity.
-	if _, err := eng.Run(30); err != nil {
-		t.Fatal(err)
-	}
-	const rounds = 100
-	eng.Meter().Reserve(rounds + 1)
-	avg := testing.AllocsPerRun(rounds, func() {
-		eng.RunRound()
-	})
-	if avg != 0 {
-		t.Fatalf("steady-state Cyclon round allocates: %v allocs/round, want 0", avg)
+	for _, workers := range allocWorkerCounts {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			eng := sim.New(1)
+			eng.SetWorkers(workers)
+			rps := peersampling.New(peersampling.Options{})
+			eng.Register(rps)
+			for _, slot := range eng.AddNodes(1000) {
+				eng.InitNode(slot)
+			}
+			// Warm past bootstrap so views are full, every scratch buffer
+			// has reached its steady-state capacity, and the worker pool
+			// has spawned its goroutines.
+			if _, err := eng.Run(30); err != nil {
+				t.Fatal(err)
+			}
+			const rounds = 100
+			eng.Meter().Reserve(rounds + 1)
+			avg := testing.AllocsPerRun(rounds, func() {
+				eng.RunRound()
+			})
+			if avg != 0 {
+				t.Fatalf("steady-state Cyclon round allocates: %v allocs/round, want 0", avg)
+			}
+		})
 	}
 }
 
 // TestFullStackRoundAllocationFree bounds the whole runtime stack (peer
 // sampling, UO1, UO2, core overlay, port selection, port connection): a
-// steady-state round over 1 000 nodes performs zero heap allocations —
-// every exchange runs on the engine pad, every table on retained storage.
+// steady-state round over 1 000 nodes performs zero heap allocations at
+// every worker count — every phase runs on worker pads, plan records, and
+// retained tables.
 func TestFullStackRoundAllocationFree(t *testing.T) {
-	sys, err := core.NewSystem(core.Config{
-		Topology: eval.MustTopology(eval.RingOfRingsDSL(4)),
-		Nodes:    1000,
-		Seed:     1,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := sys.Run(30); err != nil {
-		t.Fatal(err)
-	}
-	const rounds = 50
-	sys.Engine().Meter().Reserve(rounds + 1)
-	avg := testing.AllocsPerRun(rounds, func() {
-		sys.Engine().RunRound()
-	})
-	if avg != 0 {
-		t.Fatalf("steady-state full-stack round allocates: %v allocs/round, want 0", avg)
+	for _, workers := range allocWorkerCounts {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			sys, err := core.NewSystem(core.Config{
+				Topology: eval.MustTopology(eval.RingOfRingsDSL(4)),
+				Nodes:    1000,
+				Seed:     1,
+				Workers:  workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sys.Run(30); err != nil {
+				t.Fatal(err)
+			}
+			const rounds = 50
+			sys.Engine().Meter().Reserve(rounds + 1)
+			avg := testing.AllocsPerRun(rounds, func() {
+				sys.Engine().RunRound()
+			})
+			if avg != 0 {
+				t.Fatalf("steady-state full-stack round allocates: %v allocs/round, want 0", avg)
+			}
+		})
 	}
 }

@@ -72,6 +72,7 @@ func TestOptionValidation(t *testing.T) {
 		{WithLoss(-0.1)},
 		{WithLoss(1.0)},
 		{WithChurn(1.5)},
+		{WithWorkers(-3)},
 	}
 	for i, opts := range cases {
 		if _, err := New(pairSrc, opts...); err == nil {

@@ -186,7 +186,8 @@ func BenchmarkAblationRandomness(b *testing.B) {
 // runtime stack (peer sampling, UO1, UO2, core overlay, port selection,
 // port connection) across a population sweep. It is the population-scaling
 // headline of the allocation-free hot path: run with -benchmem and compare
-// allocs/op across PRs (BENCH_PR3.json records the trajectory).
+// allocs/op across PRs (BENCH_PR3.json and BENCH_PR4.json record the
+// trajectory).
 //
 // The system is warmed past convergence before the timer starts, so the
 // measured rounds are steady-state gossip — the regime a long-lived
@@ -194,25 +195,45 @@ func BenchmarkAblationRandomness(b *testing.B) {
 func BenchmarkRound(b *testing.B) {
 	for _, n := range []int{1000, 10_000, 100_000} {
 		b.Run(fmt.Sprintf("n=%dk", n/1000), func(b *testing.B) {
-			sys, err := core.NewSystem(core.Config{
-				Topology: eval.MustTopology(eval.RingOfRingsDSL(20)),
-				Nodes:    n,
-				Seed:     1,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			if _, err := sys.Run(10); err != nil {
-				b.Fatal(err)
-			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := sys.Run(1); err != nil {
-					b.Fatal(err)
-				}
-			}
+			benchRound(b, n, 1)
 		})
+	}
+}
+
+// BenchmarkRoundWorkers is BenchmarkRound across intra-round worker counts:
+// the round results are byte-identical at every width (the per-node RNG
+// streams guarantee it), so the only thing that moves is ns/op — and only
+// as far as the machine has cores.
+func BenchmarkRoundWorkers(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("n=%dk/workers=%d", n/1000, w), func(b *testing.B) {
+				benchRound(b, n, w)
+			})
+		}
+	}
+}
+
+func benchRound(b *testing.B, nodes, workers int) {
+	b.Helper()
+	sys, err := core.NewSystem(core.Config{
+		Topology: eval.MustTopology(eval.RingOfRingsDSL(20)),
+		Nodes:    nodes,
+		Seed:     1,
+		Workers:  workers,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.Run(10); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Run(1); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -14,6 +14,9 @@
 // Flags for run, play, and dot:
 //
 //	-nodes N       population size (default: the file's `nodes` option)
+//	-workers N     shard each simulation round across N workers (default 1;
+//	               0 = GOMAXPROCS). Output is byte-identical for every
+//	               worker count — workers only change the wall clock
 //	-rounds N      maximum rounds to simulate (default 150; play extends
 //	               this to the scenario horizon)
 //	-seed N        random seed (default 1)
@@ -55,6 +58,7 @@ func run(args []string) error {
 	churn := fs.Float64("churn", 0, "fraction of nodes replaced per round")
 	loss := fs.Float64("loss", 0, "probability that an exchange is lost")
 	toEnd := fs.Bool("to-end", false, "keep running after convergence")
+	workers := fs.Int("workers", 1, "workers sharding each round (0 = GOMAXPROCS; output identical for any value)")
 	asJSON := fs.Bool("json", false, "machine-readable final report (run, play)")
 	events := fs.String("events", "jsonl", "play: event stream format, jsonl or csv")
 	if err := fs.Parse(rest); err != nil {
@@ -73,6 +77,7 @@ func run(args []string) error {
 		sosf.WithSeed(*seed),
 		sosf.WithChurn(*churn),
 		sosf.WithLoss(*loss),
+		sosf.WithWorkers(*workers),
 	}
 	if *toEnd {
 		opts = append(opts, sosf.WithRunToEnd())

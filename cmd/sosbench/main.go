@@ -17,6 +17,10 @@
 //	-parallel N  worker goroutines fanning independent runs
 //	             (default GOMAXPROCS; 1 = sequential; output is
 //	             byte-identical either way)
+//	-workers N   shard each simulation round across N workers
+//	             (default 1; 0 = GOMAXPROCS). Per-node RNG streams keep
+//	             every figure and table byte-identical for any value;
+//	             use it to speed up single large runs
 //	-compare     additionally rerun each experiment sequentially,
 //	             report its parallel-vs-sequential speedup, and fail
 //	             if the outputs differ (doubles the total runtime)
@@ -27,10 +31,12 @@
 //	-cpuprofile FILE  write a pprof CPU profile covering every driver
 //	-memprofile FILE  write a pprof heap profile at exit
 //	-benchjson FILE   write machine-readable metrics (wall clock, heap
-//	                  bytes and allocation counts per figure driver, plus
-//	                  steady-state engine-round cost at 1k/10k nodes) —
-//	                  the BENCH_*.json perf-trajectory records committed
-//	                  alongside performance PRs are generated this way
+//	                  bytes and allocation counts per figure driver,
+//	                  steady-state engine-round cost at 1k/10k nodes, and
+//	                  a worker-scaling section: ns/round at 1/2/4/8
+//	                  intra-round workers) — the BENCH_*.json
+//	                  perf-trajectory records committed alongside
+//	                  performance PRs are generated this way
 //
 // Each experiment prints an aligned table and an ASCII chart, plus its
 // wall-clock time; with -out it also writes gnuplot-ready .dat files and
@@ -78,6 +84,8 @@ func run() error {
 	seed := flag.Int64("seed", 1, "base random seed")
 	parallel := flag.Int("parallel", 0,
 		"worker goroutines fanning independent runs (0 = GOMAXPROCS, 1 = sequential)")
+	roundWorkers := flag.Int("workers", 1,
+		"workers sharding each simulation round (0 = GOMAXPROCS; output identical for any value)")
 	compare := flag.Bool("compare", false,
 		"run each experiment sequentially too, report the speedup, and check outputs match")
 	out := flag.String("out", "", "directory for .dat/.svg/.txt outputs")
@@ -112,7 +120,7 @@ func run() error {
 		}()
 	}
 
-	o := eval.Options{Runs: *runs, Seed: *seed, Full: *full, Parallelism: *parallel}
+	o := eval.Options{Runs: *runs, Seed: *seed, Full: *full, Parallelism: *parallel, RoundWorkers: *roundWorkers}
 	workers := *parallel
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -242,37 +250,44 @@ type driverMetric struct {
 // perf-trajectory record is self-contained and regenerable by one command.
 type roundMetric struct {
 	Nodes          int     `json:"nodes"`
+	Workers        int     `json:"workers"`
 	Rounds         int     `json:"rounds_measured"`
 	NSPerRound     float64 `json:"ns_per_round"`
 	BytesPerRound  float64 `json:"bytes_per_round"`
 	AllocsPerRound float64 `json:"allocs_per_round"`
 }
 
-// benchRecord is the BENCH_*.json schema: environment, per-driver costs,
-// and steady-state engine-round costs.
+// benchRecord is the BENCH_*.json schema (sosf-bench/2): environment,
+// per-driver costs, steady-state engine-round costs, and the worker-scaling
+// section (ns/round at 1/2/4/8 intra-round workers — the v2 addition,
+// together with the per-round worker count on every round metric).
 type benchRecord struct {
-	Schema       string         `json:"schema"`
-	Go           string         `json:"go"`
-	GOOS         string         `json:"goos"`
-	GOARCH       string         `json:"goarch"`
-	CPUs         int            `json:"cpus"`
-	Parallelism  int            `json:"parallelism"`
-	Seed         int64          `json:"seed"`
-	Runs         int            `json:"runs"`
-	Full         bool           `json:"full"`
-	EngineRounds []roundMetric  `json:"engine_rounds"`
-	Drivers      []driverMetric `json:"drivers"`
-	TotalWallMS  float64        `json:"total_wall_ms"`
+	Schema        string         `json:"schema"`
+	Go            string         `json:"go"`
+	GOOS          string         `json:"goos"`
+	GOARCH        string         `json:"goarch"`
+	CPUs          int            `json:"cpus"`
+	Parallelism   int            `json:"parallelism"`
+	RoundWorkers  int            `json:"round_workers"`
+	Seed          int64          `json:"seed"`
+	Runs          int            `json:"runs"`
+	Full          bool           `json:"full"`
+	EngineRounds  []roundMetric  `json:"engine_rounds"`
+	WorkerScaling []roundMetric  `json:"worker_scaling"`
+	Drivers       []driverMetric `json:"drivers"`
+	TotalWallMS   float64        `json:"total_wall_ms"`
 }
 
 // measureRound runs a warmed full-stack system (ring of rings, 20
-// components — the BenchmarkRound configuration) for `rounds` rounds and
-// reports per-round wall clock and heap cost.
-func measureRound(nodes, rounds int) (roundMetric, error) {
+// components — the BenchmarkRound configuration) for `rounds` rounds with
+// the given intra-round worker count and reports per-round wall clock and
+// heap cost.
+func measureRound(nodes, rounds, workers int) (roundMetric, error) {
 	sys, err := core.NewSystem(core.Config{
 		Topology: eval.MustTopology(eval.RingOfRingsDSL(20)),
 		Nodes:    nodes,
 		Seed:     1,
+		Workers:  workers,
 	})
 	if err != nil {
 		return roundMetric{}, err
@@ -293,6 +308,7 @@ func measureRound(nodes, rounds int) (roundMetric, error) {
 	r := float64(rounds)
 	return roundMetric{
 		Nodes:          nodes,
+		Workers:        workers,
 		Rounds:         rounds,
 		NSPerRound:     float64(elapsed.Nanoseconds()) / r,
 		BytesPerRound:  float64(after.TotalAlloc-before.TotalAlloc) / r,
@@ -302,24 +318,37 @@ func measureRound(nodes, rounds int) (roundMetric, error) {
 
 func writeBenchJSON(path string, o eval.Options, workers int, metrics []driverMetric, total time.Duration) error {
 	rec := benchRecord{
-		Schema:      "sosf-bench/1",
-		Go:          runtime.Version(),
-		GOOS:        runtime.GOOS,
-		GOARCH:      runtime.GOARCH,
-		CPUs:        runtime.NumCPU(),
-		Parallelism: workers,
-		Seed:        o.Seed,
-		Runs:        o.Runs,
-		Full:        o.Full,
-		Drivers:     metrics,
-		TotalWallMS: float64(total) / float64(time.Millisecond),
+		Schema:       "sosf-bench/2",
+		Go:           runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		CPUs:         runtime.NumCPU(),
+		Parallelism:  workers,
+		RoundWorkers: o.RoundWorkers,
+		Seed:         o.Seed,
+		Runs:         o.Runs,
+		Full:         o.Full,
+		Drivers:      metrics,
+		TotalWallMS:  float64(total) / float64(time.Millisecond),
 	}
 	for _, cfg := range []struct{ nodes, rounds int }{{1000, 50}, {10_000, 10}} {
-		rm, err := measureRound(cfg.nodes, cfg.rounds)
-		if err != nil {
-			return err
+		// Worker-scaling section: the same steady-state rounds sharded
+		// across 1/2/4/8 workers. The results are byte-identical (the
+		// per-node streams guarantee it); only ns_per_round moves, and
+		// only as far as the machine has cores — `cpus` above records
+		// how many this record's runner really had. The workers=1 entry
+		// doubles as the serial engine_rounds record, so the most
+		// expensive measurement runs once.
+		for _, w := range []int{1, 2, 4, 8} {
+			sm, err := measureRound(cfg.nodes, cfg.rounds, w)
+			if err != nil {
+				return err
+			}
+			rec.WorkerScaling = append(rec.WorkerScaling, sm)
+			if w == 1 {
+				rec.EngineRounds = append(rec.EngineRounds, sm)
+			}
 		}
-		rec.EngineRounds = append(rec.EngineRounds, rm)
 	}
 	buf, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

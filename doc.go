@@ -44,6 +44,13 @@
 //	sys.ReconfigureSource(newSrc)
 //	sys.Step(50)
 //
+// Large populations can shard each simulation round across cores with
+// WithWorkers. All in-round randomness flows from counter-based per-node
+// streams, so the run — report, figures, and the streamed round events —
+// is byte-identical for every worker count:
+//
+//	report, err := sosf.Run(src, sosf.WithNodes(100_000), sosf.WithWorkers(0))
+//
 // # Scenario scripting
 //
 // Whole experiments — churn bursts, loss windows, partitions, targeted

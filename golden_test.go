@@ -5,8 +5,16 @@ package sosf
 // keep every figure, table, and event stream byte-identical — this test
 // enforces that by replaying the playdemo scenario (loss window, 30%
 // blast, live reconfiguration, component kill) and byte-comparing the
-// JSONL event stream against a fixture captured before the scratch-buffer
-// refactor of the view/sim/protocol layers.
+// JSONL event stream against the committed fixture.
+//
+// The fixture was regenerated exactly once, when the engine moved from a
+// single shared RNG consumed in shuffled step order to counter-based
+// per-node streams keyed by (seed, node, round, protocol, phase) — the
+// discipline that makes one round shard across workers with byte-identical
+// results for every worker count (see workers_test.go, which replays this
+// same scenario at workers 1/2/4/8 against one another). Since that
+// regeneration the fixture is frozen again: it is the cross-worker-count
+// determinism contract.
 //
 // If this test fails, a change reordered or added random draws. That is
 // a breaking change to the determinism contract, not a fixture refresh:

@@ -377,6 +377,17 @@ func (t *Tracker) ConvergenceRound(s Sub) int {
 	return -1
 }
 
+// Reserve pre-allocates history storage for at least n further rounds, so
+// a tracked run of known length appends its per-round metrics without
+// reallocating the history spine.
+func (t *Tracker) Reserve(n int) {
+	if need := len(t.History) + n; need > cap(t.History) {
+		h := make([]Metrics, len(t.History), need)
+		copy(h, t.History)
+		t.History = h
+	}
+}
+
 // Reset clears history and convergence marks (used around mid-run events
 // such as reconfigurations, to measure re-convergence).
 func (t *Tracker) Reset() {

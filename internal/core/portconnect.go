@@ -18,6 +18,11 @@ import (
 // belief, which the manager adopts (best claim wins, freshest stamp on
 // ties). Answers about a dead manager stop being refreshed, so the belief
 // expires and manager failover propagates to the link layer automatically.
+//
+// PortConnect is a pure lookup protocol: it reads the (frozen) state of the
+// layers below and mutates only its own per-slot beliefs, so the whole
+// resolution runs in the parallel plan phase; the serial Deliver phase just
+// meters the bytes the lookups put on the wire.
 type PortConnect struct {
 	alloc *Allocator
 	ports *PortSelect
@@ -27,6 +32,7 @@ type PortConnect struct {
 	meter int
 
 	states []*connState
+	bytes  []int // planned wire bytes, per slot
 }
 
 type connState struct {
@@ -61,6 +67,7 @@ func (p *PortConnect) SetMeterIndex(i int) { p.meter = i }
 func (p *PortConnect) InitNode(e *sim.Engine, slot int) {
 	for len(p.states) <= slot {
 		p.states = append(p.states, nil)
+		p.bytes = append(p.bytes, 0)
 	}
 	p.states[slot] = &connState{epoch: ^uint32(0)}
 }
@@ -94,20 +101,31 @@ func (p *PortConnect) reset(n *sim.Node, st *connState) {
 	}
 }
 
-// Step implements sim.Protocol: for every link side this node currently
-// manages, query one contact in the remote component for the far-end
-// manager.
-func (p *PortConnect) Step(e *sim.Engine, slot int) {
-	self := e.Node(slot)
+// Refresh implements sim.Protocol: re-sync the belief table with the node's
+// current profile.
+func (p *PortConnect) Refresh(ctx *sim.Ctx) {
+	slot := ctx.Slot()
+	self := ctx.Node()
 	st := p.states[slot]
 	if st.epoch != self.Profile.Epoch || st.comp != self.Profile.Comp {
 		p.reset(self, st)
 	}
+}
+
+// Plan implements sim.Protocol: for every link side this node currently
+// manages, query one contact in the remote component for the far-end
+// manager. Beliefs are slot-private, so they are adopted in place; only the
+// wire bytes are deferred to the serial Deliver phase.
+func (p *PortConnect) Plan(ctx *sim.Ctx) {
+	slot := ctx.Slot()
+	self := ctx.Node()
+	st := p.states[slot]
+	p.bytes[slot] = 0
 	sides := p.alloc.SidesOf(self.Profile.Comp)
 	if len(sides) == 0 {
 		return
 	}
-	now := e.Round()
+	now := ctx.Round()
 	for pos, si := range sides {
 		side := p.alloc.Sides()[si]
 		// Only the (believed) manager of the local port drives the link.
@@ -120,12 +138,25 @@ func (p *PortConnect) Step(e *sim.Engine, slot int) {
 		if r.Valid() && now-r.Stamp > p.ttl {
 			*r = invalidRecord()
 		}
-		p.resolve(e, slot, self, side, r)
+		p.resolve(ctx, slot, self, side, r)
 	}
 }
 
+// Deliver implements sim.Protocol: meter the bytes the slot's lookups put
+// on the wire this round.
+func (p *PortConnect) Deliver(e *sim.Engine, slot int) {
+	if b := p.bytes[slot]; b > 0 {
+		p.count(e, b)
+	}
+}
+
+// Absorb implements sim.Protocol: nothing to fold — lookups are
+// query/response only, nothing is pushed to the queried node.
+func (p *PortConnect) Absorb(ctx *sim.Ctx) {}
+
 // resolve performs one lookup round-trip for a link side.
-func (p *PortConnect) resolve(e *sim.Engine, slot int, self *sim.Node, side LinkSide, r *PortRecord) {
+func (p *PortConnect) resolve(ctx *sim.Ctx, slot int, self *sim.Node, side LinkSide, r *PortRecord) {
+	e := ctx.Engine()
 	if side.RemoteComp == self.Profile.Comp {
 		// A link between two ports of the same component: port selection
 		// already gossips every port of the component to every member, so
@@ -135,13 +166,13 @@ func (p *PortConnect) resolve(e *sim.Engine, slot int, self *sim.Node, side Link
 		}
 		return
 	}
-	contact, ok := p.contactIn(e, slot, self, side.RemoteComp)
+	contact, ok := p.contactIn(ctx, slot, self, side.RemoteComp)
 	if !ok {
 		return
 	}
-	p.count(e, sim.PortQueryPayload())
+	p.bytes[slot] += sim.PortQueryPayload()
 	target := e.Lookup(contact.ID)
-	if target == nil || !target.Alive || !e.DeliverBetween(slot, target.Slot) {
+	if target == nil || !target.Alive || !ctx.Deliver(target.Slot) {
 		return
 	}
 	// The contact answers with its current belief for the remote port —
@@ -150,10 +181,10 @@ func (p *PortConnect) resolve(e *sim.Engine, slot int, self *sim.Node, side Link
 		return
 	}
 	answer := p.ports.Belief(target.Slot, side.RemotePort)
-	if !answer.Valid() || e.Round()-answer.Stamp > p.ttl {
+	if !answer.Valid() || ctx.Round()-answer.Stamp > p.ttl {
 		return
 	}
-	p.count(e, sim.PortRecordPayload(1))
+	p.bytes[slot] += sim.PortRecordPayload(1)
 	adoptBelief(r, answer)
 }
 
@@ -171,15 +202,15 @@ func adoptBelief(r *PortRecord, answer PortRecord) {
 // contactIn finds a contact inside the given (distant) component: normally
 // the UO2 contact; the peer-sampling view serves as a last-resort bootstrap
 // (and as the only path in the UO2-disabled ablation).
-func (p *PortConnect) contactIn(e *sim.Engine, slot int, self *sim.Node, comp view.ComponentID) (view.Descriptor, bool) {
+func (p *PortConnect) contactIn(ctx *sim.Ctx, slot int, self *sim.Node, comp view.ComponentID) (view.Descriptor, bool) {
 	if p.uo2 != nil {
 		if d, ok := p.uo2.Contact(slot, comp); ok {
 			return d, true
 		}
 	}
 	// Fallback: scan the sampling view for a member of the component,
-	// filtering into the engine's scratch pad.
-	pad := e.Pad()
+	// filtering into the worker's scratch pad.
+	pad := ctx.Pad()
 	v := p.rps.View(slot)
 	matches := pad.Same[:0]
 	for i := 0; i < v.Len(); i++ {
@@ -189,7 +220,7 @@ func (p *PortConnect) contactIn(e *sim.Engine, slot int, self *sim.Node, comp vi
 	}
 	pad.Same = matches
 	if len(matches) > 0 {
-		return matches[e.Rand().Intn(len(matches))], true
+		return matches[ctx.Rand().Intn(len(matches))], true
 	}
 	return view.Descriptor{}, false
 }

@@ -58,12 +58,31 @@ type PortSelect struct {
 	meter int
 
 	states []*portState
+	plans  []portPlan
+	inbox  sim.Inbox
+	arena  []PortRecord
 }
 
 type portState struct {
 	epoch   uint32
 	comp    view.ComponentID
 	records []PortRecord // indexed by port
+}
+
+// portPlan is one node's planned record exchange. Both directions are
+// snapshotted at plan time (the live tables mutate concurrently during
+// Absorb), into per-slot retained buffers.
+const (
+	portNone      = iota
+	portSent      // request metered, but lost or answered by a foreign node
+	portDelivered // records merged both ways
+)
+
+type portPlan struct {
+	kind       int
+	targetSlot int
+	send       []PortRecord // snapshot of this node's post-refresh records
+	reply      []PortRecord // snapshot of the partner's post-refresh records
 }
 
 var (
@@ -89,8 +108,18 @@ func (p *PortSelect) SetMeterIndex(i int) { p.meter = i }
 // InitNode implements sim.Protocol.
 func (p *PortSelect) InitNode(e *sim.Engine, slot int) {
 	for len(p.states) <= slot {
+		// Record snapshots are bounded by the node's port count; carve
+		// them from a chunked arena (profile is assigned before InitNode
+		// runs, so the component is known; a reconfiguration that adds
+		// ports falls back to a private heap copy).
+		width := int(p.alloc.Ports(e.Node(slot).Profile.Comp))
+		p.plans = append(p.plans, portPlan{
+			send:  sim.Carve(&p.arena, width),
+			reply: sim.Carve(&p.arena, width),
+		})
 		p.states = append(p.states, nil)
 	}
+	p.inbox.Grow(slot + 1)
 	p.states[slot] = &portState{epoch: ^uint32(0)}
 }
 
@@ -120,20 +149,18 @@ func (p *PortSelect) reset(n *sim.Node, st *portState) {
 	}
 }
 
-// Step implements sim.Protocol.
-func (p *PortSelect) Step(e *sim.Engine, slot int) {
-	self := e.Node(slot)
+// Refresh implements sim.Protocol: re-sync with the node's profile, expire
+// records whose candidate stopped heartbeating, claim any port this node
+// scores better on, and heartbeat ports it currently holds. Slot-local.
+func (p *PortSelect) Refresh(ctx *sim.Ctx) {
+	slot := ctx.Slot()
+	self := ctx.Node()
 	st := p.states[slot]
+	p.inbox.Reset(slot)
 	if st.epoch != self.Profile.Epoch || st.comp != self.Profile.Comp {
 		p.reset(self, st)
 	}
-	if len(st.records) == 0 {
-		return
-	}
-	now := e.Round()
-
-	// Expire records whose candidate stopped heartbeating, claim any port
-	// we score better on, and heartbeat ports we currently hold.
+	now := ctx.Round()
 	for i := range st.records {
 		r := &st.records[i]
 		if r.Valid() && now-r.Stamp > p.ttl {
@@ -151,31 +178,73 @@ func (p *PortSelect) Step(e *sim.Engine, slot int) {
 			r.Stamp = now
 		}
 	}
+}
+
+// Plan implements sim.Protocol: pick a same-component partner and snapshot
+// both sides' records for the merge. Every node refreshed (and re-synced)
+// before any plan runs, so the partner's table is read post-reset.
+func (p *PortSelect) Plan(ctx *sim.Ctx) {
+	slot := ctx.Slot()
+	self := ctx.Node()
+	e := ctx.Engine()
+	st := p.states[slot]
+	pl := &p.plans[slot]
+	pl.kind = portNone
+	if len(st.records) == 0 {
+		return
+	}
 
 	// Gossip over UO1 first: UO1's pairwise-randomized ranking makes it an
 	// expander-like graph inside the component, so election records and
 	// heartbeat stamps diffuse in O(log n) rounds. The core view is only a
 	// fallback — shapes like rings or lines have diameter O(n), and
 	// freshness crawling around a cycle would blow every TTL.
-	partner, ok := sameCompContact(e, slot, self, p.uo1, p.core)
+	partner, ok := sameCompContact(ctx, slot, self, p.uo1, p.core)
 	if !ok {
 		return
 	}
-	p.count(e, sim.PortRecordPayload(len(st.records)))
+	pl.kind = portSent
+	pl.send = append(pl.send[:0], st.records...)
 	target := e.Lookup(partner.ID)
-	if target == nil || !target.Alive || !e.DeliverBetween(slot, target.Slot) {
+	if target == nil || !target.Alive || !ctx.Deliver(target.Slot) {
 		return
-	}
-	tst := p.states[target.Slot]
-	if tst.epoch != target.Profile.Epoch || tst.comp != target.Profile.Comp {
-		p.reset(target, tst)
 	}
 	if target.Profile.Comp != self.Profile.Comp || target.Profile.Epoch != self.Profile.Epoch {
 		return // raced with a reconfiguration; nothing to merge
 	}
-	p.count(e, sim.PortRecordPayload(len(tst.records)))
-	mergeRecords(tst.records, st.records, now, p.ttl)
-	mergeRecords(st.records, tst.records, now, p.ttl)
+	pl.kind = portDelivered
+	pl.targetSlot = target.Slot
+	pl.reply = append(pl.reply[:0], p.states[target.Slot].records...)
+}
+
+// Deliver implements sim.Protocol: meter the exchange (the request is spent
+// even when lost or mismatched) and enqueue it at the partner.
+func (p *PortSelect) Deliver(e *sim.Engine, slot int) {
+	pl := &p.plans[slot]
+	switch pl.kind {
+	case portSent:
+		p.count(e, sim.PortRecordPayload(len(pl.send)))
+	case portDelivered:
+		p.count(e, sim.PortRecordPayload(len(pl.send)))
+		p.count(e, sim.PortRecordPayload(len(pl.reply)))
+		p.inbox.Push(pl.targetSlot, slot)
+	}
+}
+
+// Absorb implements sim.Protocol: fold the snapshots received this round
+// into the slot's live records — the partner's reply first, then every
+// record set that reached it as the passive side, in inbox order.
+func (p *PortSelect) Absorb(ctx *sim.Ctx) {
+	slot := ctx.Slot()
+	st := p.states[slot]
+	now := ctx.Round()
+	pl := &p.plans[slot]
+	if pl.kind == portDelivered {
+		mergeRecords(st.records, pl.reply, now, p.ttl)
+	}
+	for sender := p.inbox.First(slot); sender >= 0; sender = p.inbox.Next(sender) {
+		mergeRecords(st.records, p.plans[sender].send, now, p.ttl)
+	}
 }
 
 // mergeRecords folds src into dst: better claims win; equal claims keep
@@ -204,9 +273,9 @@ func (p *PortSelect) count(e *sim.Engine, bytes int) {
 
 // sameCompContact picks a random same-component, same-epoch contact from
 // the node's core view, falling back to UO1. The candidate filter runs on
-// the engine's scratch pad — no per-call slice.
-func sameCompContact(e *sim.Engine, slot int, self *sim.Node, sources ...*vicinity.Protocol) (view.Descriptor, bool) {
-	pad := e.Pad()
+// the worker's scratch pad — no per-call slice, no view mutation.
+func sameCompContact(ctx *sim.Ctx, slot int, self *sim.Node, sources ...*vicinity.Protocol) (view.Descriptor, bool) {
+	pad := ctx.Pad()
 	for _, src := range sources {
 		if src == nil {
 			continue
@@ -221,7 +290,7 @@ func sameCompContact(e *sim.Engine, slot int, self *sim.Node, sources ...*vicini
 		}
 		pad.Same = same
 		if len(same) > 0 {
-			return same[e.Rand().Intn(len(same))], true
+			return same[ctx.Rand().Intn(len(same))], true
 		}
 	}
 	return view.Descriptor{}, false

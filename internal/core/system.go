@@ -20,6 +20,11 @@ type Config struct {
 	Nodes int
 	// Seed drives all randomness of the run.
 	Seed int64
+	// Workers shards the parallel phases of each round across this many
+	// workers. 0 or 1 runs serially in place; negative selects GOMAXPROCS.
+	// The result is byte-identical for every value — workers only change
+	// how fast a round executes.
+	Workers int
 
 	// RPS configures the peer-sampling layer.
 	RPS peersampling.Options
@@ -120,6 +125,9 @@ func NewSystem(cfg Config) (*System, error) {
 	s := &System{cfg: cfg, alloc: alloc}
 	s.eng = sim.New(cfg.Seed)
 	s.eng.SetLossRate(cfg.LossRate)
+	if cfg.Workers != 0 {
+		s.eng.SetWorkers(cfg.Workers)
+	}
 
 	overlayOpts := vicinity.Options{
 		Gossip:       cfg.OverlayGossip,

@@ -27,6 +27,9 @@ type UO2 struct {
 	maxAge int
 	meter  int
 	states []*uo2State
+	plans  []uo2Plan
+	inbox  sim.Inbox
+	arena  []view.Descriptor
 }
 
 // uo2State is one node's contact table, dense by component ID: component
@@ -44,6 +47,24 @@ type uo2Entry struct {
 	born  int // engine round the descriptor was (age-adjusted) created
 	valid bool
 }
+
+// uo2Plan is one node's planned table swap for the current round. The send
+// and reply buffers are retained per slot so steady-state planning
+// allocates nothing.
+type uo2Plan struct {
+	kind       int
+	partner    view.Descriptor // kept whole: the timeout path needs the component
+	targetSlot int
+	send       []view.Descriptor
+	reply      []view.Descriptor
+}
+
+// plan kinds (shared shape with the other protocols).
+const (
+	uo2None = iota
+	uo2Timeout
+	uo2Delivered
+)
 
 // ensure grows the table to cover at least n components. It never shrinks:
 // out-of-range entries must survive until prune drops them, mirroring the
@@ -85,8 +106,17 @@ func (u *UO2) SetMeterIndex(i int) { u.meter = i }
 // InitNode implements sim.Protocol.
 func (u *UO2) InitNode(e *sim.Engine, slot int) {
 	for len(u.states) <= slot {
+		// A table swap carries at most one descriptor per component plus
+		// the sender's own; carve that capacity up front (a reconfigure
+		// that adds components falls back to a private heap copy).
+		width := u.alloc.Components() + 1
+		u.plans = append(u.plans, uo2Plan{
+			send:  sim.Carve(&u.arena, width),
+			reply: sim.Carve(&u.arena, width),
+		})
 		u.states = append(u.states, nil)
 	}
+	u.inbox.Grow(slot + 1)
 	if st := u.states[slot]; st != nil {
 		st.reset()
 	} else {
@@ -120,53 +150,93 @@ func (u *UO2) Contact(slot int, comp view.ComponentID) (view.Descriptor, bool) {
 // has a contact in.
 func (u *UO2) Coverage(slot int) int { return u.states[slot].count }
 
-// Step implements sim.Protocol: prune the table, ingest free candidates
-// from peer sampling, then swap tables with one partner.
-func (u *UO2) Step(e *sim.Engine, slot int) {
-	self := e.Node(slot)
+// Refresh implements sim.Protocol: prune the table and ingest the free
+// candidates the sampling layer gathered, read in place. Slot-local only.
+func (u *UO2) Refresh(ctx *sim.Ctx) {
+	slot := ctx.Slot()
+	self := ctx.Node()
 	t := u.states[slot]
-	now := e.Round()
+	now := ctx.Round()
+	u.inbox.Reset(slot)
 
 	u.prune(self, t, now)
 
-	// Free candidates from the sampling layer, read in place.
 	rv := u.rps.View(slot)
 	for i := 0; i < rv.Len(); i++ {
 		u.offer(self, t, rv.At(i), now)
 	}
+}
 
-	partner, ok := u.pickPartner(e, slot, t)
+// Plan implements sim.Protocol: pick a partner and serialize both tables
+// against the frozen post-refresh state.
+func (u *UO2) Plan(ctx *sim.Ctx) {
+	slot := ctx.Slot()
+	self := ctx.Node()
+	e := ctx.Engine()
+	t := u.states[slot]
+	now := ctx.Round()
+	pl := &u.plans[slot]
+	pl.kind = uo2None
+
+	partner, ok := u.pickPartner(ctx, slot, t)
 	if !ok {
 		return
 	}
-	pad := e.Pad()
-	send := u.tableToSend(self, t, now, pad.Send[:0])
-	pad.Send = send
-	u.count(e, sim.DescriptorPayload(len(send)))
+	pl.partner = partner
+	pl.send = u.tableToSend(self, t, now, pl.send[:0])
 
 	target := e.Lookup(partner.ID)
-	if target == nil || !target.Alive || !e.DeliverBetween(slot, target.Slot) {
+	if target == nil || !target.Alive || !ctx.Deliver(target.Slot) {
+		pl.kind = uo2Timeout
+		return
+	}
+	pl.kind = uo2Delivered
+	pl.targetSlot = target.Slot
+	pl.reply = u.tableToSend(target, u.states[target.Slot], now, pl.reply[:0])
+}
+
+// Deliver implements sim.Protocol: meter the swap and enqueue it at the
+// partner. Runs serially in slot order.
+func (u *UO2) Deliver(e *sim.Engine, slot int) {
+	pl := &u.plans[slot]
+	switch pl.kind {
+	case uo2Timeout:
+		u.count(e, sim.DescriptorPayload(len(pl.send)))
+	case uo2Delivered:
+		u.count(e, sim.DescriptorPayload(len(pl.send)))
+		u.count(e, sim.DescriptorPayload(len(pl.reply)))
+		u.inbox.Push(pl.targetSlot, slot)
+	}
+}
+
+// Absorb implements sim.Protocol: fold the received tables into the slot's
+// own — the reply to its own swap (or the timeout suspicion), then every
+// table that reached it as the passive side, in inbox order.
+func (u *UO2) Absorb(ctx *sim.Ctx) {
+	slot := ctx.Slot()
+	self := ctx.Node()
+	t := u.states[slot]
+	now := ctx.Round()
+	pl := &u.plans[slot]
+	switch pl.kind {
+	case uo2Timeout:
 		// Suspect the contact: push its birth into the past so dead
 		// contacts expire quickly while contacts behind a lossy link
 		// survive (a fresher descriptor restores them).
-		if c := partner.Profile.Comp; c >= 0 && int(c) < len(t.entries) {
-			if entry := &t.entries[c]; entry.valid && entry.d.ID == partner.ID {
+		if c := pl.partner.Profile.Comp; c >= 0 && int(c) < len(t.entries) {
+			if entry := &t.entries[c]; entry.valid && entry.d.ID == pl.partner.ID {
 				entry.born -= u.maxAge/4 + 1
 			}
 		}
-		return
+	case uo2Delivered:
+		for _, d := range pl.reply {
+			u.offer(self, t, d, now)
+		}
 	}
-
-	// Passive side replies with its own table and merges ours.
-	tt := u.states[target.Slot]
-	reply := u.tableToSend(target, tt, now, pad.Reply[:0])
-	pad.Reply = reply
-	u.count(e, sim.DescriptorPayload(len(reply)))
-	for _, d := range send {
-		u.offer(target, tt, d, now)
-	}
-	for _, d := range reply {
-		u.offer(self, t, d, now)
+	for sender := u.inbox.First(slot); sender >= 0; sender = u.inbox.Next(sender) {
+		for _, d := range u.plans[sender].send {
+			u.offer(self, t, d, now)
+		}
 	}
 }
 
@@ -234,12 +304,13 @@ func (u *UO2) tableToSend(n *sim.Node, t *uo2State, now int, dst []view.Descript
 
 // pickPartner gossips with a random table entry, falling back to a random
 // sampled peer when the table is empty (bootstrap).
-func (u *UO2) pickPartner(e *sim.Engine, slot int, t *uo2State) (view.Descriptor, bool) {
+func (u *UO2) pickPartner(ctx *sim.Ctx, slot int, t *uo2State) (view.Descriptor, bool) {
+	rng := ctx.Rand()
 	// Half the time talk to a random peer: UO2 benefits from global
 	// mixing because fresh entries for *any* component can come from
 	// anywhere.
-	if t.count == 0 || e.Rand().Float64() < 0.5 {
-		if d, ok := u.rps.View(slot).Random(e.Rand()); ok {
+	if t.count == 0 || rng.Float64() < 0.5 {
+		if d, ok := u.rps.View(slot).Random(rng); ok {
 			return d, true
 		}
 	}
@@ -248,7 +319,7 @@ func (u *UO2) pickPartner(e *sim.Engine, slot int, t *uo2State) (view.Descriptor
 	}
 	// The pick-th valid entry in ascending component order — the same
 	// draw the sorted-keys map implementation made.
-	pick := e.Rand().Intn(t.count)
+	pick := rng.Intn(t.count)
 	for ci := range t.entries {
 		if !t.entries[ci].valid {
 			continue

@@ -32,6 +32,7 @@ func AblationUO2(o Options) (*Figure, error) {
 			Topology:   topos[pi],
 			Nodes:      nodes,
 			Seed:       seedFor(o.Seed, 800+pi, run),
+			Workers:    o.RoundWorkers,
 			DisableUO2: variant == 1,
 		}, o.MaxRounds, true)
 		if err != nil {
@@ -84,6 +85,7 @@ func AblationRandomness(o Options) (*Figure, error) {
 			Topology:   topo,
 			Nodes:      nodesSweep[pi],
 			Seed:       seedFor(o.Seed, 900+pi, run),
+			Workers:    o.RoundWorkers,
 			PureGreedy: variant == 1,
 		}, o.MaxRounds, true)
 		if err != nil {
@@ -136,6 +138,7 @@ func AblationGossip(o Options) (*Figure, error) {
 			Topology:      topo,
 			Nodes:         nodes,
 			Seed:          seedFor(o.Seed, 1000+pi, run),
+			Workers:       o.RoundWorkers,
 			OverlayGossip: sweep[pi],
 		}, o.MaxRounds, true)
 		if err != nil {
@@ -190,6 +193,7 @@ func AblationViewSize(o Options) (*Figure, error) {
 			Topology:    topo,
 			Nodes:       nodes,
 			Seed:        seedFor(o.Seed, 1100+pi, run),
+			Workers:     o.RoundWorkers,
 			UO1Capacity: sweep[pi],
 		}, o.MaxRounds, true)
 		if err != nil {

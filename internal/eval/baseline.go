@@ -35,7 +35,7 @@ func Baseline(o Options) (*Result, error) {
 		var out baselineRun
 
 		// Composed framework.
-		sys, err := core.NewSystem(core.Config{Topology: topo, Nodes: nodes, Seed: seed})
+		sys, err := core.NewSystem(core.Config{Topology: topo, Nodes: nodes, Seed: seed, Workers: o.RoundWorkers})
 		if err != nil {
 			return out, fmt.Errorf("baseline composed run=%d: %w", run, err)
 		}
@@ -65,6 +65,9 @@ func Baseline(o Options) (*Result, error) {
 		mono, err := baseline.New(nodes, segments, seed)
 		if err != nil {
 			return out, fmt.Errorf("baseline monolithic run=%d: %w", run, err)
+		}
+		if o.RoundWorkers != 0 {
+			mono.Engine().SetWorkers(o.RoundWorkers)
 		}
 		rounds, err := mono.RoundsToConverge(o.MaxRounds)
 		if err != nil {

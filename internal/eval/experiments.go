@@ -33,6 +33,7 @@ func Gallery(o Options) (*Result, error) {
 			Topology: topos[gi],
 			Nodes:    nodes,
 			Seed:     seedFor(o.Seed, 300+gi, run),
+			Workers:  o.RoundWorkers,
 		})
 		if err != nil {
 			return galleryRun{}, fmt.Errorf("gallery %s: %w", entries[gi].Name, err)
@@ -100,6 +101,7 @@ func Curves(o Options) (*Figure, error) {
 			Topology: topo,
 			Nodes:    nodes,
 			Seed:     seedFor(o.Seed, 400, run),
+			Workers:  o.RoundWorkers,
 		}, rounds, false)
 		if err != nil {
 			return nil, fmt.Errorf("curves run=%d: %w", run, err)
@@ -115,7 +117,7 @@ func Curves(o Options) (*Figure, error) {
 			perSub[sub] = append(perSub[sub], res.Curves[sub])
 		}
 	}
-	series := subSeries()
+	series := subSeries(rounds)
 	for _, sub := range core.Subs() {
 		for r, s := range metrics.AggregateRuns(perSub[sub]) {
 			series[sub].Append(float64(r+1), s)
@@ -164,6 +166,7 @@ func Reconfig(o Options) (*Result, error) {
 			Topology: before,
 			Nodes:    nodes,
 			Seed:     seedFor(o.Seed, 500, run),
+			Workers:  o.RoundWorkers,
 		})
 		if err != nil {
 			return reconfigRun{}, fmt.Errorf("reconfig run=%d: %w", run, err)
@@ -281,6 +284,7 @@ func Churn(o Options) (*Figure, error) {
 			Topology: topo,
 			Nodes:    nodes,
 			Seed:     seedFor(o.Seed, 600+pi, run),
+			Workers:  o.RoundWorkers,
 		})
 		if err != nil {
 			return churnRun{}, fmt.Errorf("churn rate=%f run=%d: %w", rates[pi], run, err)
@@ -355,6 +359,7 @@ func Catastrophe(o Options) (*Result, error) {
 			Topology: topo,
 			Nodes:    nodes,
 			Seed:     seedFor(o.Seed, 700+pi, run),
+			Workers:  o.RoundWorkers,
 		})
 		if err != nil {
 			return catastropheRun{}, fmt.Errorf("catastrophe f=%f run=%d: %w", f, run, err)

@@ -25,6 +25,7 @@ func Fig2(o Options) (*Figure, error) {
 			Topology: topo,
 			Nodes:    nodesSweep[pi],
 			Seed:     seedFor(o.Seed, pi, run),
+			Workers:  o.RoundWorkers,
 		}, o.MaxRounds, true)
 		if err != nil {
 			return nil, fmt.Errorf("fig2 n=%d run=%d: %w", nodesSweep[pi], run, err)
@@ -34,7 +35,7 @@ func Fig2(o Options) (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	series := subSeries()
+	series := subSeries(len(nodesSweep))
 	for pi, n := range nodesSweep {
 		accs := make(map[core.Sub]*metrics.Accumulator, 5)
 		for _, sub := range core.Subs() {
@@ -83,6 +84,7 @@ func Fig3(o Options) (*Figure, error) {
 			Topology: topos[pi],
 			Nodes:    nodes,
 			Seed:     seedFor(o.Seed, 100+pi, run),
+			Workers:  o.RoundWorkers,
 		}, o.MaxRounds, true)
 		if err != nil {
 			return nil, fmt.Errorf("fig3 comps=%d run=%d: %w", compSweep[pi], run, err)
@@ -92,7 +94,7 @@ func Fig3(o Options) (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	series := subSeries()
+	series := subSeries(len(compSweep))
 	for pi, comps := range compSweep {
 		accs := make(map[core.Sub]*metrics.Accumulator, 5)
 		for _, sub := range core.Subs() {
@@ -138,6 +140,7 @@ func Fig4(o Options) (*Figure, error) {
 			Topology: topo,
 			Nodes:    nodes,
 			Seed:     seedFor(o.Seed, 200, run),
+			Workers:  o.RoundWorkers,
 		}, rounds, false)
 		if err != nil {
 			return nil, fmt.Errorf("fig4 run=%d: %w", run, err)

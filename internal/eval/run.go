@@ -24,6 +24,14 @@ type Options struct {
 	Full bool
 	// MaxRounds caps each run (default 150).
 	MaxRounds int
+	// RoundWorkers shards each simulation round across this many workers
+	// (counter-based per-node RNG streams keep the results byte-identical
+	// for every value; see sim.Engine.SetWorkers). 0 — the default — keeps
+	// rounds serial: the harness already fans independent runs across
+	// Parallelism goroutines, so intra-round workers pay off for single
+	// large simulations, not for grids of small ones. Negative selects
+	// GOMAXPROCS per round.
+	RoundWorkers int
 	// Parallelism bounds the worker pool that fans independent
 	// (sweep point, run) simulations across goroutines. Every cell of the
 	// grid owns its engine and derives its seed from (Seed, point, run)
@@ -181,12 +189,17 @@ type RunResult struct {
 
 // RunOnce builds a system from cfg and runs it for at most maxRounds,
 // stopping early (if stopWhenDone) once every sub-procedure converged.
+// History and meter storage are pre-sized to the round budget, so the run
+// itself appends without reallocating — repeated across a sweep grid, the
+// growth-chain garbage the drivers used to shed is gone.
 func RunOnce(cfg core.Config, maxRounds int, stopWhenDone bool) (*RunResult, error) {
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		return nil, err
 	}
 	tracker := core.NewTracker(sys, stopWhenDone)
+	tracker.Reserve(maxRounds)
+	sys.Engine().Meter().Reserve(maxRounds)
 	rounds, err := sys.Run(maxRounds)
 	if err != nil {
 		return nil, err
@@ -217,6 +230,8 @@ func collect(sys *core.System, tracker *core.Tracker, rounds int) *RunResult {
 		n = 1
 	}
 	meterRounds := sys.Engine().Meter().Rounds()
+	res.BaselinePerNode = make([]float64, 0, meterRounds)
+	res.OverheadPerNode = make([]float64, 0, meterRounds)
 	for r := 0; r < meterRounds; r++ {
 		base, over := sys.BandwidthByClass(r)
 		res.BaselinePerNode = append(res.BaselinePerNode, float64(base)/n)
@@ -235,12 +250,14 @@ func convergedOrCap(r *RunResult, sub core.Sub, cap int) float64 {
 	return float64(cap)
 }
 
-// subSeries allocates one empty series per sub-procedure, keyed in
-// presentation order.
-func subSeries() map[core.Sub]*metrics.Series {
+// subSeries allocates one series per sub-procedure, keyed in presentation
+// order, pre-sized for the given number of points.
+func subSeries(points int) map[core.Sub]*metrics.Series {
 	out := make(map[core.Sub]*metrics.Series, 5)
 	for _, sub := range core.Subs() {
-		out[sub] = &metrics.Series{Name: sub.String()}
+		s := &metrics.Series{Name: sub.String()}
+		s.Reserve(points)
+		out[sub] = s
 	}
 	return out
 }

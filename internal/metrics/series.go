@@ -20,6 +20,22 @@ func (s *Series) Append(x float64, p Summary) {
 	s.Points = append(s.Points, p)
 }
 
+// Reserve pre-allocates room for at least n further points, so the next n
+// Append calls do not reallocate. Drivers that know their sweep width call
+// it once instead of growing the series point by point.
+func (s *Series) Reserve(n int) {
+	if need := len(s.X) + n; need > cap(s.X) {
+		x := make([]float64, len(s.X), need)
+		copy(x, s.X)
+		s.X = x
+	}
+	if need := len(s.Points) + n; need > cap(s.Points) {
+		p := make([]Summary, len(s.Points), need)
+		copy(p, s.Points)
+		s.Points = p
+	}
+}
+
 // Len returns the number of points.
 func (s *Series) Len() int { return len(s.X) }
 

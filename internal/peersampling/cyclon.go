@@ -47,6 +47,27 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// plan kinds: what the node's planned turn amounts to.
+const (
+	planNone      = iota // nothing to do (no exchange possible)
+	planBoot             // isolated node re-bootstraps with one contact
+	planTimeout          // exchange attempted, request lost in transit
+	planDelivered        // full request/response exchange
+)
+
+// cyclonPlan is one node's planned shuffle for the current round, computed
+// in the parallel plan phase and consumed by Deliver/Absorb. The send and
+// reply buffers are retained per slot, so steady-state planning allocates
+// nothing.
+type cyclonPlan struct {
+	kind       int
+	partner    view.NodeID
+	targetSlot int
+	boot       view.Descriptor
+	send       []view.Descriptor // what this node sends (self first)
+	reply      []view.Descriptor // what the partner answers with
+}
+
 // Protocol is the peer-sampling service. Create it with New, register it
 // with the engine before any other layer, then treat it as the candidate
 // source for the upper layers.
@@ -54,6 +75,9 @@ type Protocol struct {
 	opts   Options
 	meter  int
 	states []*view.View // per engine slot
+	plans  []cyclonPlan // per engine slot
+	inbox  sim.Inbox    // passive-side routing, Deliver -> Absorb
+	arena  []view.Descriptor
 }
 
 var (
@@ -81,8 +105,17 @@ func (p *Protocol) View(slot int) *view.View { return p.states[slot] }
 // nodes), which is how a fresh node would join a deployed system.
 func (p *Protocol) InitNode(e *sim.Engine, slot int) {
 	for len(p.states) <= slot {
+		// Plan payloads are bounded by the shuffle length, so both
+		// buffers are carved from a chunked arena up front — one
+		// allocation per few hundred slots instead of two lazy ones per
+		// slot on its first exchange.
+		p.plans = append(p.plans, cyclonPlan{
+			send:  sim.Carve(&p.arena, p.opts.Gossip),
+			reply: sim.Carve(&p.arena, p.opts.Gossip),
+		})
 		p.states = append(p.states, nil)
 	}
+	p.inbox.Grow(slot + 1)
 	v := view.New(p.opts.ViewSize)
 	p.states[slot] = v
 	for i := 0; i < p.opts.Bootstrap; i++ {
@@ -94,53 +127,107 @@ func (p *Protocol) InitNode(e *sim.Engine, slot int) {
 	}
 }
 
-// Step implements sim.Protocol: one active Cyclon shuffle. The exchange is
-// allocation-free in steady state: payloads, samples and the replaceable
-// set live in the engine's scratch pad, and all merging happens in place.
-func (p *Protocol) Step(e *sim.Engine, slot int) {
-	self := e.Node(slot)
+// Refresh implements sim.Protocol: age the view and reset the inbox.
+func (p *Protocol) Refresh(ctx *sim.Ctx) {
+	slot := ctx.Slot()
+	p.states[slot].AgeAll()
+	p.inbox.Reset(slot)
+}
+
+// Plan implements sim.Protocol: compute one active Cyclon shuffle against a
+// read-only snapshot of the overlay. Payloads and samples land in the
+// slot's retained plan record; intermediates live on the worker pad — a
+// steady-state plan performs zero heap allocations.
+func (p *Protocol) Plan(ctx *sim.Ctx) {
+	slot := ctx.Slot()
+	self := ctx.Node()
+	e := ctx.Engine()
 	v := p.states[slot]
-	v.AgeAll()
+	pl := &p.plans[slot]
+	pl.kind = planNone
 
 	partner, _, ok := v.Oldest()
 	if !ok {
 		// Isolated (e.g. mass failure took every contact): re-bootstrap.
-		if n := e.RandomAlive(slot); n != nil {
-			v.Add(n.Descriptor())
+		if n := ctx.RandomAlive(slot); n != nil {
+			pl.kind = planBoot
+			pl.boot = n.Descriptor()
 		}
 		return
 	}
-	// The pointer to the partner is consumed by the swap (Cyclon): its
-	// slot will be refilled by the partner's fresh self-descriptor.
-	v.Remove(partner.ID)
+	pl.partner = partner.ID
 
-	pad := e.Pad()
-	sample := v.RandomSampleInto(e.Rand(), p.opts.Gossip-1, pad.Sample[:0], &pad.Sampler)
-	pad.Sample = sample
-	sendBuf := append(pad.Send[:0], self.Descriptor())
-	for _, d := range sample {
-		if d.ID != partner.ID {
-			sendBuf = append(sendBuf, d)
+	// The pointer to the partner is consumed by the swap (Cyclon): its
+	// slot will be refilled by the partner's fresh self-descriptor. The
+	// view itself stays untouched until Absorb; the sample pool is the
+	// view minus the partner, built on the pad.
+	pad := ctx.Pad()
+	pool := v.AppendEntries(pad.Same[:0])
+	for i := range pool {
+		if pool[i].ID == partner.ID {
+			pool[i] = pool[len(pool)-1]
+			pool = pool[:len(pool)-1]
+			break
 		}
 	}
-	pad.Send = sendBuf
-	p.count(e, sim.DescriptorPayload(len(sendBuf)))
+	pad.Same = pool
+
+	sample := view.SampleInto(ctx.Rand(), pool, p.opts.Gossip-1, pad.Sample[:0], &pad.Sampler)
+	pad.Sample = sample
+	send := append(pl.send[:0], self.Descriptor())
+	send = append(send, sample...)
+	pl.send = send
 
 	target := e.Lookup(partner.ID)
-	if target == nil || !target.Alive || !e.DeliverBetween(slot, target.Slot) {
+	if target == nil || !target.Alive || !ctx.Deliver(target.Slot) {
 		// Timeout: the request bytes are spent, the entry stays purged.
+		pl.kind = planTimeout
 		return
 	}
 
-	// Passive side: reply with a random sample, then merge what it got.
-	tv := p.states[target.Slot]
-	replyBuf := tv.RandomSampleInto(e.Rand(), p.opts.Gossip, pad.Reply[:0], &pad.Sampler)
-	pad.Reply = replyBuf
-	p.count(e, sim.DescriptorPayload(len(replyBuf)))
-	mergeCyclon(tv, target.ID, sendBuf, replyBuf, &pad.IDs)
+	// Passive side: the partner answers with a random sample of its own
+	// (still frozen) view. All draws come from the active node's stream.
+	pl.kind = planDelivered
+	pl.targetSlot = target.Slot
+	pl.reply = p.states[target.Slot].RandomSampleInto(ctx.Rand(), p.opts.Gossip, pl.reply[:0], &pad.Sampler)
+}
 
-	// Active side merges the reply, refilling the slots it emptied.
-	mergeCyclon(v, self.ID, replyBuf, sendBuf, &pad.IDs)
+// Deliver implements sim.Protocol: meter the planned exchange and hand the
+// slot to its partner's inbox. Runs serially in slot order.
+func (p *Protocol) Deliver(e *sim.Engine, slot int) {
+	pl := &p.plans[slot]
+	switch pl.kind {
+	case planTimeout:
+		p.count(e, sim.DescriptorPayload(len(pl.send)))
+	case planDelivered:
+		p.count(e, sim.DescriptorPayload(len(pl.send)))
+		p.count(e, sim.DescriptorPayload(len(pl.reply)))
+		p.inbox.Push(pl.targetSlot, slot)
+	}
+}
+
+// Absorb implements sim.Protocol: fold the round's traffic into the slot's
+// view — first the node's own exchange (partner purged, reply merged), then
+// every shuffle that reached it as the passive side, in inbox order.
+func (p *Protocol) Absorb(ctx *sim.Ctx) {
+	slot := ctx.Slot()
+	self := ctx.Node()
+	v := p.states[slot]
+	pad := ctx.Pad()
+	pl := &p.plans[slot]
+	switch pl.kind {
+	case planBoot:
+		v.Add(pl.boot)
+	case planTimeout:
+		v.Remove(pl.partner)
+	case planDelivered:
+		v.Remove(pl.partner)
+		mergeCyclon(v, self.ID, pl.reply, pl.send, &pad.IDs)
+	}
+	for sender := p.inbox.First(slot); sender >= 0; sender = p.inbox.Next(sender) {
+		spl := &p.plans[sender]
+		mergeCyclon(v, self.ID, spl.send, spl.reply, &pad.IDs)
+	}
 }
 
 func (p *Protocol) count(e *sim.Engine, bytes int) {

@@ -4,23 +4,45 @@
 //
 // The engine owns a population of nodes, a stack of protocols, a round
 // scheduler, churn and failure injection, per-protocol bandwidth metering,
-// and per-round observers. Everything is driven from a single seeded random
-// source, so a (seed, configuration) pair fully determines a run — this is
-// what makes the paper's "averaged over 25 runs" methodology reproducible.
+// and per-round observers. All in-round randomness flows from counter-based
+// per-node streams keyed by (seed, node, round, protocol, phase), so a
+// (seed, configuration) pair fully determines a run — for *any* worker
+// count. Setup-time randomness (bootstrap contacts, churn, partitions)
+// flows from a single seeded source consumed serially between rounds.
 package sim
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"sosf/internal/view"
 )
 
 // Protocol is one layer of the per-node gossip stack. The engine calls
-// InitNode when a node joins (or re-joins after a reconfiguration) and Step
-// once per node per round, in registration order, mirroring a PeerSim
-// cycle-driven protocol stack.
+// InitNode when a node joins (or re-joins after a reconfiguration) and then
+// drives each round as four phases per protocol, in registration order —
+// the bulk-synchronous structure that lets one round shard across workers
+// while staying byte-identical to the serial execution:
+//
+//  1. Refresh — parallel over alive slots. Local state maintenance (aging,
+//     pruning, folding in candidates from lower layers). A Refresh may
+//     mutate the protocol's state for ctx.Slot() only, and may read other
+//     protocols' state for ctx.Slot() only.
+//  2. Plan — parallel over alive slots. Compute the slot's gossip exchange
+//     (partner choice, payloads, delivery outcome) into protocol-owned
+//     per-slot plan records, drawing randomness from ctx.Rand(). A Plan
+//     must treat every view and table as read-only — other workers are
+//     reading them too — but may write state that no other slot's Plan
+//     reads (its own plan record, purely slot-private tables).
+//  3. Deliver — serial, in slot order. Route the planned exchange: append
+//     the slot to its target's inbox and meter the bytes put on the wire.
+//     This is the only phase that may touch the Meter.
+//  4. Absorb — parallel over alive slots. Fold everything the slot received
+//     (its own exchange's reply, plus each inbox sender's payload, in inbox
+//     order) into its local state. Plan records of other slots are frozen
+//     by now and safe to read; mutations are again slot-local.
 //
 // Protocols store their per-node state in their own slot-indexed storage;
 // the engine guarantees slots are dense and stable for the lifetime of a
@@ -30,9 +52,14 @@ type Protocol interface {
 	Name() string
 	// InitNode prepares per-node state for the node occupying slot.
 	InitNode(e *Engine, slot int)
-	// Step runs one active cycle for the node occupying slot. The node is
-	// guaranteed alive when Step is invoked.
-	Step(e *Engine, slot int)
+	// Refresh runs the slot's local state maintenance (phase 1).
+	Refresh(ctx *Ctx)
+	// Plan computes the slot's exchange for this round (phase 2).
+	Plan(ctx *Ctx)
+	// Deliver routes the slot's planned exchange and meters it (phase 3).
+	Deliver(e *Engine, slot int)
+	// Absorb folds received payloads into the slot's state (phase 4).
+	Absorb(ctx *Ctx)
 }
 
 // Observer is invoked after every completed round; returning stop=true ends
@@ -66,6 +93,7 @@ func (n *Node) Descriptor() view.Descriptor {
 // Engine is the simulation kernel.
 type Engine struct {
 	rng       *rand.Rand
+	seed      int64
 	nodes     []*Node
 	slotOfID  []int // dense NodeID -> slot index (IDs are monotonic, never reused)
 	protocols []Protocol
@@ -75,7 +103,6 @@ type Engine struct {
 	nextID    view.NodeID
 	lossRate  float64
 	partition []int // group per slot; nil when the network is whole
-	stepOrder []int // scratch buffer reused every round
 
 	// aliveSlots caches the slots of alive nodes in slot order. It is
 	// invalidated by every liveness mutation (AddNodes, Kill, Revive, and
@@ -85,8 +112,18 @@ type Engine struct {
 	aliveOK    bool
 	// randScratch backs RandomAlive's low-liveness fallback filter.
 	randScratch []int
-	// pad is the scratch-buffer bundle handed to protocols (see Pad).
-	pad Pad
+
+	// Worker pool for the parallel phases. ctxs holds one execution
+	// context (scratch pad + stream slot) per worker; the pool's
+	// goroutines park on jobs between phases so a steady-state round
+	// spawns nothing and allocates nothing. poolSize counts goroutines
+	// actually started (they are never stopped while the engine lives;
+	// a finalizer closes jobs so they exit when the engine is collected).
+	workers  int
+	ctxs     []Ctx
+	jobs     chan phaseJob
+	done     chan struct{}
+	poolSize int
 }
 
 // ErrNoProtocols is returned by Run when the engine has no protocol stack.
@@ -95,21 +132,22 @@ var ErrNoProtocols = errors.New("sim: engine has no registered protocols")
 // New creates an engine seeded with the given seed.
 func New(seed int64) *Engine {
 	return &Engine{
-		rng:   rand.New(rand.NewSource(seed)),
-		meter: NewMeter(),
+		rng:     rand.New(rand.NewSource(seed)),
+		seed:    seed,
+		meter:   NewMeter(),
+		workers: 1,
 	}
 }
 
 // Pad is a bundle of reusable scratch buffers the engine lends to protocols
 // so a steady-state gossip exchange performs zero heap allocations. A
-// protocol grabs the pad at the top of Step, slices the buffers it needs
-// from their [:0] prefixes, and writes the grown slices back so capacity is
-// retained for the slot stepped next.
+// protocol grabs the pad from its phase context, slices the buffers it
+// needs from their [:0] prefixes, and writes the grown slices back so
+// capacity is retained for the slot processed next.
 //
-// Rounds are single-threaded, so one pad serves every slot; a protocol must
-// not hold pad buffers across Step calls. When intra-round parallelism
-// lands, the engine will hand out one pad per worker instead — protocol
-// code stays unchanged.
+// There is one pad per worker; a protocol must not hold pad buffers across
+// phase calls — anything that outlives the slot's turn belongs in the
+// protocol's per-slot plan records.
 type Pad struct {
 	// Send and Reply hold the two in-flight gossip payloads of an
 	// exchange (active request, passive response).
@@ -128,12 +166,91 @@ type Pad struct {
 	Sampler view.Sampler
 }
 
-// Pad returns the engine's scratch pad for the currently stepping slot.
-func (e *Engine) Pad() *Pad { return &e.pad }
+// Ctx is the execution context of one parallel phase call: which slot is
+// being processed, that slot's random stream for the phase, and the
+// worker's scratch pad. Ctx values are engine-owned and reused; protocols
+// must not retain them across calls.
+type Ctx struct {
+	e    *Engine
+	slot int
+	rng  Stream
+	pad  Pad
+	// scratch backs RandomAlive's low-liveness fallback filter.
+	scratch []int
+}
 
-// Rand exposes the engine's random source. All randomness in a simulation
-// must flow from here to preserve determinism.
+// Engine returns the engine driving this phase.
+func (c *Ctx) Engine() *Engine { return c.e }
+
+// Slot returns the slot being processed.
+func (c *Ctx) Slot() int { return c.slot }
+
+// Node returns the node occupying the slot being processed.
+func (c *Ctx) Node() *Node { return c.e.nodes[c.slot] }
+
+// Round returns the index of the round currently executing.
+func (c *Ctx) Round() int { return c.e.round }
+
+// Rand returns the slot's random stream for this (protocol, phase). Every
+// random decision of an exchange — partner choice, payload sampling, loss —
+// must draw from here so the round is independent of worker scheduling.
+func (c *Ctx) Rand() *Stream { return &c.rng }
+
+// Pad returns the worker's scratch pad.
+func (c *Ctx) Pad() *Pad { return &c.pad }
+
+// Deliver decides whether one request/response exchange from the current
+// slot to the given slot goes through: the partition (if any) is consulted
+// first, then the loss rate, drawing from the slot's stream.
+func (c *Ctx) Deliver(to int) bool {
+	if !c.e.SameSide(c.slot, to) {
+		return false
+	}
+	if c.e.lossRate <= 0 {
+		return true
+	}
+	return c.rng.Float64() >= c.e.lossRate
+}
+
+// RandomAlive returns a uniformly random alive node other than exclude
+// (pass a negative slot to exclude nothing), or nil if none exists — the
+// phase-context twin of Engine.RandomAlive, drawing from the slot's stream.
+// The low-liveness fallback scans the node table directly rather than
+// going through the engine's alive-slot cache: a lazy cache rebuild would
+// mutate the very backing array other workers' shards alias if a hook
+// killed a node mid-round.
+func (c *Ctx) RandomAlive(exclude int) *Node {
+	e := c.e
+	if len(e.nodes) == 0 {
+		return nil
+	}
+	for tries := 0; tries < 16; tries++ {
+		n := e.nodes[c.rng.Intn(len(e.nodes))]
+		if n.Alive && n.Slot != exclude {
+			return n
+		}
+	}
+	candidates := c.scratch[:0]
+	for _, n := range e.nodes {
+		if n.Alive && n.Slot != exclude {
+			candidates = append(candidates, n.Slot)
+		}
+	}
+	c.scratch = candidates
+	if len(candidates) == 0 {
+		return nil
+	}
+	return e.nodes[candidates[c.rng.Intn(len(candidates))]]
+}
+
+// Rand exposes the engine's serial random source. It drives everything that
+// happens *between* rounds — bootstrap, churn, failure and partition
+// injection — and must not be touched from the parallel phases (phase code
+// draws from Ctx.Rand instead).
 func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Seed returns the seed the engine was created with.
+func (e *Engine) Seed() int64 { return e.seed }
 
 // Round returns the index of the round currently executing (or, between
 // rounds, the number of completed rounds).
@@ -149,6 +266,20 @@ func (e *Engine) SetLossRate(p float64) { e.lossRate = p }
 // LossRate returns the configured message loss probability.
 func (e *Engine) LossRate() float64 { return e.lossRate }
 
+// SetWorkers sets how many workers shard the parallel phases of a round.
+// n <= 0 selects GOMAXPROCS. The result of a run is byte-identical for
+// every worker count; workers only change how fast a round executes.
+// SetWorkers may be called between rounds at any time.
+func (e *Engine) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	e.workers = n
+}
+
+// Workers returns the configured worker count.
+func (e *Engine) Workers() int { return e.workers }
+
 // MeterAware is implemented by protocols that meter their own bandwidth;
 // Register hands them their meter index.
 type MeterAware interface {
@@ -156,7 +287,9 @@ type MeterAware interface {
 }
 
 // Register appends a protocol to the stack. Protocols step in registration
-// order within each node's turn. Register must be called before AddNodes.
+// order within each round, mirroring a PeerSim cycle-driven protocol stack
+// (every protocol's four phases complete before the next protocol starts).
+// Register must be called before AddNodes.
 func (e *Engine) Register(p Protocol) int {
 	e.protocols = append(e.protocols, p)
 	idx := e.meter.AddProtocol(p.Name())
@@ -266,7 +399,9 @@ func (e *Engine) AliveCount() int { return len(e.alive()) }
 // RandomAlive returns a uniformly random alive node other than exclude
 // (pass a negative slot to exclude nothing), or nil if none exists. It is
 // O(1) in the common case and falls back to a scan when the population is
-// mostly dead.
+// mostly dead. It draws from the engine's serial source: use it for setup
+// and inter-round injection only, never from a parallel phase (which has
+// Ctx.RandomAlive).
 func (e *Engine) RandomAlive(exclude int) *Node {
 	if len(e.nodes) == 0 {
 		return nil
@@ -326,7 +461,8 @@ func (e *Engine) KillFraction(f float64) []int {
 }
 
 // DeliverExchange applies the configured loss rate to one request/response
-// exchange, returning false if the exchange is lost in transit.
+// exchange, returning false if the exchange is lost in transit. It draws
+// from the engine's serial source; in-round code uses Ctx.Deliver instead.
 func (e *Engine) DeliverExchange() bool {
 	if e.lossRate <= 0 {
 		return true
@@ -377,8 +513,8 @@ func (e *Engine) SameSide(a, b int) bool {
 
 // DeliverBetween decides whether one request/response exchange between two
 // slots goes through: the partition (if any) is consulted first, then the
-// loss rate. Protocols should prefer this over DeliverExchange whenever both
-// endpoints are known.
+// loss rate. It draws from the engine's serial source; in-round code uses
+// Ctx.Deliver instead.
 func (e *Engine) DeliverBetween(from, to int) bool {
 	if !e.SameSide(from, to) {
 		return false
@@ -386,23 +522,156 @@ func (e *Engine) DeliverBetween(from, to int) bool {
 	return e.DeliverExchange()
 }
 
-// RunRound executes one full round: every alive node, in a freshly
-// shuffled order, steps each protocol in stack order; then observers run.
-// It reports whether any observer requested a stop.
-func (e *Engine) RunRound() (stop bool) {
-	e.stepOrder = append(e.stepOrder[:0], e.alive()...)
-	e.rng.Shuffle(len(e.stepOrder), func(i, j int) {
-		e.stepOrder[i], e.stepOrder[j] = e.stepOrder[j], e.stepOrder[i]
-	})
-	for _, slot := range e.stepOrder {
-		// A node can die mid-round (not in the base model, but hooks may
-		// kill it); re-check before stepping.
-		if !e.nodes[slot].Alive {
+// Phase identifiers, used to salt the per-node streams so a protocol's
+// phases draw from independent streams.
+const (
+	phaseRefresh = iota
+	phasePlan
+	phaseAbsorb
+	phaseCount
+)
+
+// phaseJob is one shard of a parallel phase, handed to a pool worker. The
+// job carries everything the worker needs so parked workers hold no engine
+// reference (which would keep a finalized engine alive forever).
+type phaseJob struct {
+	ctx   *Ctx
+	p     Protocol
+	salt  uint64
+	phase int
+	slots []int
+	done  chan<- struct{}
+}
+
+// poolWorker executes phase shards until the jobs channel closes (when the
+// owning engine is garbage-collected).
+func poolWorker(jobs <-chan phaseJob) {
+	for j := range jobs {
+		runShard(j.ctx, j.p, j.salt, j.phase, j.slots)
+		j.done <- struct{}{}
+	}
+}
+
+// runShard processes one contiguous run of alive slots for one phase,
+// deriving each slot's stream from (seed, node, round, protocol, phase) —
+// the counter-based discipline that makes sharding invisible to the result.
+func runShard(ctx *Ctx, p Protocol, salt uint64, phase int, slots []int) {
+	e := ctx.e
+	for _, slot := range slots {
+		n := e.nodes[slot]
+		if !n.Alive {
+			// A node can die mid-round (not in the base model, but hooks
+			// may kill it); re-check before each phase.
 			continue
 		}
-		for _, p := range e.protocols {
-			p.Step(e, slot)
+		ctx.slot = slot
+		ctx.rng = NewStream(e.seed, n.ID, e.round, salt)
+		switch phase {
+		case phaseRefresh:
+			p.Refresh(ctx)
+		case phasePlan:
+			p.Plan(ctx)
+		default:
+			p.Absorb(ctx)
 		}
+	}
+}
+
+// minShardSlots bounds how finely a phase is sharded: below this many slots
+// per worker the dispatch overhead outweighs the parallelism. Purely a
+// performance knob — sharding never changes results.
+const minShardSlots = 64
+
+// ensureCtxs grows the per-worker context table to the configured worker
+// count, preserving the scratch pads already grown. Called between rounds
+// only, so no phase holds a context pointer across the reallocation.
+func (e *Engine) ensureCtxs() {
+	if len(e.ctxs) >= e.workers {
+		return
+	}
+	ctxs := make([]Ctx, e.workers)
+	copy(ctxs, e.ctxs)
+	e.ctxs = ctxs
+	for i := range e.ctxs {
+		e.ctxs[i].e = e
+	}
+}
+
+// ensurePool tops the worker pool up to the configured worker count. The
+// goroutines park on the jobs channel between phases; a finalizer closes
+// the channel once the engine is unreachable, so abandoned engines (the
+// evaluation harness creates thousands) do not leak their pools.
+func (e *Engine) ensurePool() {
+	if e.jobs == nil {
+		e.jobs = make(chan phaseJob, 64)
+		e.done = make(chan struct{}, 64)
+		jobs := e.jobs
+		runtime.SetFinalizer(e, func(*Engine) { close(jobs) })
+	}
+	for ; e.poolSize < e.workers; e.poolSize++ {
+		go poolWorker(e.jobs)
+	}
+}
+
+// runPhase executes one parallel phase of one protocol over the alive
+// slots: serially in-place for a single worker (or a population too small
+// to shard), otherwise fanned out over the pool in contiguous shards.
+func (e *Engine) runPhase(p Protocol, salt uint64, phase int, alive []int) {
+	w := e.workers
+	if max := len(alive) / minShardSlots; w > max {
+		// Floor division: every dispatched shard carries at least
+		// minShardSlots slots (max 0 collapses to the serial path).
+		w = max
+	}
+	if w <= 1 {
+		runShard(&e.ctxs[0], p, salt, phase, alive)
+		return
+	}
+	e.ensurePool()
+	chunk := (len(alive) + w - 1) / w
+	sent := 0
+	for i := 0; i < w; i++ {
+		lo := i * chunk
+		if lo >= len(alive) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(alive) {
+			hi = len(alive)
+		}
+		e.jobs <- phaseJob{
+			ctx:   &e.ctxs[i],
+			p:     p,
+			salt:  salt,
+			phase: phase,
+			slots: alive[lo:hi],
+			done:  e.done,
+		}
+		sent++
+	}
+	for ; sent > 0; sent-- {
+		<-e.done
+	}
+}
+
+// RunRound executes one full round: for each protocol in registration
+// order, the parallel Refresh and Plan phases, the serial slot-order
+// Deliver phase, and the parallel Absorb phase; then observers run. The
+// result is byte-identical for every worker count. It reports whether any
+// observer requested a stop.
+func (e *Engine) RunRound() (stop bool) {
+	alive := e.alive()
+	e.ensureCtxs()
+	for pi, p := range e.protocols {
+		base := uint64(pi) * phaseCount
+		e.runPhase(p, base+phaseRefresh, phaseRefresh, alive)
+		e.runPhase(p, base+phasePlan, phasePlan, alive)
+		for _, slot := range alive {
+			if e.nodes[slot].Alive {
+				p.Deliver(e, slot)
+			}
+		}
+		e.runPhase(p, base+phaseAbsorb, phaseAbsorb, alive)
 	}
 	e.meter.EndRound()
 	e.round++
@@ -430,6 +699,6 @@ func (e *Engine) Run(maxRounds int) (int, error) {
 
 // String summarizes the engine state.
 func (e *Engine) String() string {
-	return fmt.Sprintf("sim.Engine{round=%d nodes=%d alive=%d protocols=%d}",
-		e.round, len(e.nodes), e.AliveCount(), len(e.protocols))
+	return fmt.Sprintf("sim.Engine{round=%d nodes=%d alive=%d protocols=%d workers=%d}",
+		e.round, len(e.nodes), e.AliveCount(), len(e.protocols), e.workers)
 }

@@ -6,7 +6,9 @@ import (
 	"sosf/internal/view"
 )
 
-// countingProtocol records how many times each slot stepped.
+// countingProtocol records how many times each slot stepped (one step ==
+// one Plan phase call; the counter bumps in the serial Deliver phase so the
+// protocol stays trivially race-free at any worker count).
 type countingProtocol struct {
 	name  string
 	inits []int
@@ -22,12 +24,17 @@ func (c *countingProtocol) InitNode(e *Engine, slot int) {
 	c.inits[slot]++
 }
 
-func (c *countingProtocol) Step(e *Engine, slot int) {
+func (c *countingProtocol) Refresh(ctx *Ctx) {}
+func (c *countingProtocol) Plan(ctx *Ctx)    {}
+
+func (c *countingProtocol) Deliver(e *Engine, slot int) {
 	for len(c.steps) <= slot {
 		c.steps = append(c.steps, 0)
 	}
 	c.steps[slot]++
 }
+
+func (c *countingProtocol) Absorb(ctx *Ctx) {}
 
 func newTestEngine(t *testing.T, n int) (*Engine, *countingProtocol) {
 	t.Helper()

@@ -1,0 +1,48 @@
+package sim
+
+// Inbox routes planned exchanges from active senders to their passive
+// receivers between a round's Deliver and Absorb phases. It is an intrusive
+// singly-linked list over dense slot-indexed arrays: each sender plans at
+// most one exchange per protocol per round, so one next-pointer per slot is
+// enough, and a steady-state round allocates nothing — unlike per-slot
+// append buffers, whose capacities keep growing as new per-round fan-in
+// maxima appear.
+//
+// The phases divide the work exactly like the protocols themselves:
+// Reset runs in the parallel Refresh phase (slot-local), Push in the serial
+// Deliver phase (slot order fixes the list order), and First/Next iterate
+// in the parallel Absorb phase (read-only).
+type Inbox struct {
+	head, tail, next []int32
+}
+
+// Grow extends the inbox to cover at least n slots. Call from InitNode.
+func (b *Inbox) Grow(n int) {
+	for len(b.head) < n {
+		b.head = append(b.head, -1)
+		b.tail = append(b.tail, -1)
+		b.next = append(b.next, -1)
+	}
+}
+
+// Reset empties the given slot's list.
+func (b *Inbox) Reset(slot int) { b.head[slot] = -1 }
+
+// Push appends sender to target's list. Pushes arrive in slot order (the
+// Deliver phase is serial), so iteration yields senders in slot order too.
+func (b *Inbox) Push(target, sender int) {
+	s := int32(sender)
+	b.next[s] = -1
+	if b.head[target] < 0 {
+		b.head[target] = s
+	} else {
+		b.next[b.tail[target]] = s
+	}
+	b.tail[target] = s
+}
+
+// First returns the first sender in slot's list, or -1 when empty.
+func (b *Inbox) First(slot int) int { return int(b.head[slot]) }
+
+// Next returns the sender after the given one, or -1 at the end.
+func (b *Inbox) Next(sender int) int { return int(b.next[sender]) }

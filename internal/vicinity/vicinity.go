@@ -14,8 +14,6 @@
 package vicinity
 
 import (
-	"sort"
-
 	"sosf/internal/peersampling"
 	"sosf/internal/sim"
 	"sosf/internal/view"
@@ -79,6 +77,24 @@ type ViewSource interface {
 	SourceView(slot int) *view.View
 }
 
+// plan kinds.
+const (
+	planNone      = iota // no partner this round
+	planTimeout          // request lost: suspect the contact
+	planDelivered        // full request/response exchange
+)
+
+// vicinityPlan is one node's planned exchange, computed in the parallel
+// plan phase against frozen views and consumed by Deliver/Absorb. Buffers
+// are retained per slot so steady-state planning allocates nothing.
+type vicinityPlan struct {
+	kind       int
+	partner    view.NodeID
+	targetSlot int
+	send       []view.Descriptor // payload for the partner (self first)
+	reply      []view.Descriptor // partner's payload for this node
+}
+
 // Protocol is one self-organizing overlay instance.
 type Protocol struct {
 	name   string
@@ -88,7 +104,9 @@ type Protocol struct {
 	feeds  []CandidateSource
 	meter  int
 	states []*view.View
-	sorter rankSorter
+	plans  []vicinityPlan
+	inbox  sim.Inbox
+	arena  []view.Descriptor
 }
 
 var (
@@ -141,19 +159,29 @@ func (p *Protocol) View(slot int) *view.View { return p.states[slot] }
 // InitNode implements sim.Protocol.
 func (p *Protocol) InitNode(e *sim.Engine, slot int) {
 	for len(p.states) <= slot {
+		// Both payloads are bounded by the gossip budget; carving them
+		// from a chunked arena makes population setup two allocations
+		// per few hundred slots instead of two per slot.
+		p.plans = append(p.plans, vicinityPlan{
+			send:  sim.Carve(&p.arena, p.opts.Gossip),
+			reply: sim.Carve(&p.arena, p.opts.Gossip),
+		})
 		p.states = append(p.states, nil)
 	}
+	p.inbox.Grow(slot + 1)
 	capacity := p.ranker.Capacity(e.Node(slot).Profile)
 	p.states[slot] = view.New(capacity)
 }
 
-// Step implements sim.Protocol: one active gossip exchange plus local
-// candidate injection from the sampling service. Payload selection, merging
-// and re-ranking all run on the engine's scratch pad — a steady-state
-// exchange allocates nothing.
-func (p *Protocol) Step(e *sim.Engine, slot int) {
-	self := e.Node(slot)
+// Refresh implements sim.Protocol: per-slot view maintenance plus the free
+// local candidate injection from the sampling service and any stacked
+// feeds. Mutations touch only this slot's view; feeds are read at this slot
+// only, so refreshes shard across workers safely.
+func (p *Protocol) Refresh(ctx *sim.Ctx) {
+	slot := ctx.Slot()
+	self := ctx.Node()
 	v := p.states[slot]
+	p.inbox.Reset(slot)
 	// Capacity can change across reconfigurations (role differentiation).
 	v.SetCap(p.ranker.Capacity(self.Profile))
 	v.AgeAll()
@@ -163,54 +191,98 @@ func (p *Protocol) Step(e *sim.Engine, slot int) {
 	// stacked feeds into ours. No bandwidth — the candidates are already
 	// on this node.
 	if !p.opts.NoRandomFeed && p.rps != nil {
-		p.applyView(e, self, v, p.rps.View(slot))
+		p.applyView(ctx.Pad(), self, v, p.rps.View(slot))
 	}
 	for _, f := range p.feeds {
 		if vs, ok := f.(ViewSource); ok {
-			p.applyView(e, self, v, vs.SourceView(slot))
+			p.applyView(ctx.Pad(), self, v, vs.SourceView(slot))
 		} else {
-			p.apply(e, self, v, f.Candidates(slot))
+			p.apply(ctx.Pad(), self, v, f.Candidates(slot))
 		}
 	}
+}
 
-	partner, ok := p.pickPartner(e, slot, v)
+// Plan implements sim.Protocol: choose a partner and compute both payloads
+// of the exchange against the frozen post-refresh views. Payload selection
+// and ranking run on the worker pad; the results land in the slot's
+// retained plan record.
+func (p *Protocol) Plan(ctx *sim.Ctx) {
+	slot := ctx.Slot()
+	self := ctx.Node()
+	e := ctx.Engine()
+	v := p.states[slot]
+	pl := &p.plans[slot]
+	pl.kind = planNone
+
+	partner, ok := p.pickPartner(ctx, slot, v)
 	if !ok {
 		return
 	}
-
-	pad := e.Pad()
-	sendBuf := p.selectFor(e, slot, partner.Profile, partner.ID, pad.Send[:0])
-	pad.Send = sendBuf
-	p.count(e, sim.DescriptorPayload(len(sendBuf)))
+	pl.partner = partner.ID
+	pl.send = p.selectFor(ctx, slot, partner.Profile, partner.ID, pl.send[:0])
 
 	target := e.Lookup(partner.ID)
-	if target == nil || !target.Alive || !e.DeliverBetween(slot, target.Slot) {
+	if target == nil || !target.Alive || !ctx.Deliver(target.Slot) {
 		// Timeout: suspect the contact rather than evicting it — message
 		// loss must not empty views, but dead peers accumulate penalties
 		// (they keep being selected as the oldest entry) and age out.
-		v.Penalize(partner.ID, uint16(p.opts.MaxAge/4+1))
+		pl.kind = planTimeout
 		return
 	}
 
-	// Passive side replies with its best candidates for us, then merges.
-	replyBuf := p.selectFor(e, target.Slot, self.Profile, self.ID, pad.Reply[:0])
-	pad.Reply = replyBuf
-	p.count(e, sim.DescriptorPayload(len(replyBuf)))
-	p.apply(e, target, p.states[target.Slot], sendBuf)
-	p.apply(e, self, v, replyBuf)
+	// Passive side replies with its best candidates for us, drawn from its
+	// frozen views with the active node's stream.
+	pl.kind = planDelivered
+	pl.targetSlot = target.Slot
+	pl.reply = p.selectFor(ctx, target.Slot, self.Profile, self.ID, pl.reply[:0])
+}
+
+// Deliver implements sim.Protocol: meter the exchange and enqueue it at the
+// partner. Runs serially in slot order.
+func (p *Protocol) Deliver(e *sim.Engine, slot int) {
+	pl := &p.plans[slot]
+	switch pl.kind {
+	case planTimeout:
+		p.count(e, sim.DescriptorPayload(len(pl.send)))
+	case planDelivered:
+		p.count(e, sim.DescriptorPayload(len(pl.send)))
+		p.count(e, sim.DescriptorPayload(len(pl.reply)))
+		p.inbox.Push(pl.targetSlot, slot)
+	}
+}
+
+// Absorb implements sim.Protocol: fold the round's incoming payloads into
+// the slot's view — the reply to its own exchange (or the timeout penalty),
+// then every payload that reached it as the passive side, in inbox order.
+func (p *Protocol) Absorb(ctx *sim.Ctx) {
+	slot := ctx.Slot()
+	self := ctx.Node()
+	v := p.states[slot]
+	pad := ctx.Pad()
+	pl := &p.plans[slot]
+	switch pl.kind {
+	case planTimeout:
+		v.Penalize(pl.partner, uint16(p.opts.MaxAge/4+1))
+	case planDelivered:
+		p.apply(pad, self, v, pl.reply)
+	}
+	for sender := p.inbox.First(slot); sender >= 0; sender = p.inbox.Next(sender) {
+		p.apply(pad, self, v, p.plans[sender].send)
+	}
 }
 
 // pickPartner chooses the exchange partner: usually the oldest view entry
 // (so every link is refreshed round-robin), sometimes a random peer.
-func (p *Protocol) pickPartner(e *sim.Engine, slot int, v *view.View) (view.Descriptor, bool) {
+func (p *Protocol) pickPartner(ctx *sim.Ctx, slot int, v *view.View) (view.Descriptor, bool) {
+	rng := ctx.Rand()
 	useRandom := false
 	if !p.opts.NoRandomFeed && p.rps != nil {
-		if v.Len() == 0 || e.Rand().Float64() < p.opts.RandomContact {
+		if v.Len() == 0 || rng.Float64() < p.opts.RandomContact {
 			useRandom = true
 		}
 	}
 	if useRandom {
-		if d, ok := p.rps.View(slot).Random(e.Rand()); ok {
+		if d, ok := p.rps.View(slot).Random(rng); ok {
 			return d, true
 		}
 	}
@@ -218,7 +290,7 @@ func (p *Protocol) pickPartner(e *sim.Engine, slot int, v *view.View) (view.Desc
 		return d, true
 	}
 	if p.rps != nil && !p.opts.NoRandomFeed {
-		if d, ok := p.rps.View(slot).Random(e.Rand()); ok {
+		if d, ok := p.rps.View(slot).Random(rng); ok {
 			return d, true
 		}
 	}
@@ -228,10 +300,11 @@ func (p *Protocol) pickPartner(e *sim.Engine, slot int, v *view.View) (view.Desc
 // selectFor builds, in dst, the gossip payload a node sends to a peer: its
 // own fresh descriptor plus the best candidates *from the peer's point of
 // view* drawn from the node's overlay view and sampling-service view. The
-// candidate pool and ranked list live in the engine's scratch pad.
-func (p *Protocol) selectFor(e *sim.Engine, slot int, owner view.Profile, ownerID view.NodeID, dst []view.Descriptor) []view.Descriptor {
-	self := e.Node(slot)
-	pad := e.Pad()
+// candidate pool and ranked list live on the worker pad; every view is read
+// in place, never written.
+func (p *Protocol) selectFor(ctx *sim.Ctx, slot int, owner view.Profile, ownerID view.NodeID, dst []view.Descriptor) []view.Descriptor {
+	self := ctx.Engine().Node(slot)
+	pad := ctx.Pad()
 	m := &pad.Merger
 	m.Begin(ownerID)
 	m.AddView(p.states[slot])
@@ -258,7 +331,7 @@ func (p *Protocol) selectFor(e *sim.Engine, slot int, owner view.Profile, ownerI
 		}
 	}
 	pad.Sample = ranked
-	p.sortByRank(owner, ranked)
+	sortByRank(p.ranker, owner, ranked)
 	out := append(dst, self.Descriptor())
 	for _, d := range ranked {
 		if len(out) >= p.opts.Gossip {
@@ -273,26 +346,26 @@ func (p *Protocol) selectFor(e *sim.Engine, slot int, owner view.Profile, ownerI
 	// for a uniformly random rankable candidate closes that tail.
 	if !p.opts.NoRandomFeed && len(ranked) >= len(out) {
 		spare := ranked[len(out)-1:]
-		out[len(out)-1] = spare[e.Rand().Intn(len(spare))]
+		out[len(out)-1] = spare[ctx.Rand().Intn(len(spare))]
 	}
 	return out
 }
 
 // apply folds incoming descriptors into the node's view, keeping the
 // best-ranked `capacity` entries.
-func (p *Protocol) apply(e *sim.Engine, n *sim.Node, v *view.View, incoming []view.Descriptor) {
-	m := &e.Pad().Merger
+func (p *Protocol) apply(pad *sim.Pad, n *sim.Node, v *view.View, incoming []view.Descriptor) {
+	m := &pad.Merger
 	m.Begin(n.ID)
 	m.AddView(v)
 	m.AddSlice(incoming)
 	p.applyMerged(m, n, v)
 }
 
-// applyView is apply for candidates that live in another layer's view,
-// read in place. A nil inView still re-filters and re-ranks the view, like
-// apply with an empty incoming buffer.
-func (p *Protocol) applyView(e *sim.Engine, n *sim.Node, v *view.View, inView *view.View) {
-	m := &e.Pad().Merger
+// applyView is apply for candidates that live in another layer's view, read
+// in place. A nil inView still re-filters and re-ranks the view, like apply
+// with an empty incoming buffer.
+func (p *Protocol) applyView(pad *sim.Pad, n *sim.Node, v *view.View, inView *view.View) {
+	m := &pad.Merger
 	m.Begin(n.ID)
 	m.AddView(v)
 	if inView != nil {
@@ -311,7 +384,7 @@ func (p *Protocol) applyMerged(m *view.Merger, n *sim.Node, v *view.View) {
 			kept = append(kept, d)
 		}
 	}
-	p.sortByRank(n.Profile, kept)
+	sortByRank(p.ranker, n.Profile, kept)
 	v.ReplaceAll(kept)
 }
 
@@ -329,36 +402,39 @@ func (p *Protocol) count(e *sim.Engine, bytes int) {
 	}
 }
 
-// sortByRank orders descriptors by (rank, age, id). The comparator is a
-// total order (IDs are unique within a buffer), so the sorted result is
-// unique regardless of sorting algorithm — swapping sort.Slice for a
-// persistent sort.Interface value changes no run. The sorter lives on the
-// protocol so the interface conversion allocates nothing.
-func (p *Protocol) sortByRank(owner view.Profile, ds []view.Descriptor) {
-	p.sorter.ranker = p.ranker
-	p.sorter.owner = owner
-	p.sorter.ds = ds
-	sort.Sort(&p.sorter)
-	p.sorter.ds = nil
+// sortByRank orders descriptors by (rank, age, id), in place. The
+// comparator is a total order (IDs are unique within a buffer), so the
+// sorted result is unique regardless of sorting algorithm. It is a plain
+// binary-insertion sort: stateless (parallel plan shards sort
+// concurrently), allocation-free, and the buffers are gossip-sized, so
+// the quadratic move cost never bites.
+func sortByRank(ranker Ranker, owner view.Profile, ds []view.Descriptor) {
+	for i := 1; i < len(ds); i++ {
+		d := ds[i]
+		rd := ranker.Rank(owner, d.Profile)
+		lo, hi := 0, i
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if rankLess(ranker, owner, rd, d, ds[mid]) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		copy(ds[lo+1:i+1], ds[lo:i])
+		ds[lo] = d
+	}
 }
 
-// rankSorter sorts a descriptor buffer by (rank, age, id) for a fixed
-// owner profile.
-type rankSorter struct {
-	ranker Ranker
-	owner  view.Profile
-	ds     []view.Descriptor
-}
-
-func (s *rankSorter) Len() int      { return len(s.ds) }
-func (s *rankSorter) Swap(i, j int) { s.ds[i], s.ds[j] = s.ds[j], s.ds[i] }
-func (s *rankSorter) Less(i, j int) bool {
-	ri, rj := s.ranker.Rank(s.owner, s.ds[i].Profile), s.ranker.Rank(s.owner, s.ds[j].Profile)
-	if ri != rj {
-		return ri < rj
+// rankLess reports whether d (with precomputed rank rd) orders strictly
+// before other under (rank, age, id).
+func rankLess(ranker Ranker, owner view.Profile, rd float64, d, other view.Descriptor) bool {
+	ro := ranker.Rank(owner, other.Profile)
+	if rd != ro {
+		return rd < ro
 	}
-	if s.ds[i].Age != s.ds[j].Age {
-		return s.ds[i].Age < s.ds[j].Age
+	if d.Age != other.Age {
+		return d.Age < other.Age
 	}
-	return s.ds[i].ID < s.ds[j].ID
+	return d.ID < other.ID
 }

@@ -1,9 +1,17 @@
 package view
 
 import (
-	"math/rand"
 	"sort"
 )
+
+// Rand is the minimal random-source interface view selection draws from.
+// Both *math/rand.Rand and the simulation engine's counter-based per-node
+// streams satisfy it, so the same selection code serves the serial and the
+// worker-sharded engine.
+type Rand interface {
+	Intn(n int) int
+	Shuffle(n int, swap func(i, j int))
+}
 
 // View is a bounded partial view: an ordered collection of descriptors with
 // unique node IDs, bounded by a capacity. The zero value is unusable; create
@@ -198,7 +206,7 @@ func (v *View) oldestIndex() int {
 
 // Random returns a uniformly random descriptor. ok is false for an empty
 // view.
-func (v *View) Random(rng *rand.Rand) (Descriptor, bool) {
+func (v *View) Random(rng Rand) (Descriptor, bool) {
 	if len(v.entries) == 0 {
 		return Descriptor{}, false
 	}
@@ -207,7 +215,7 @@ func (v *View) Random(rng *rand.Rand) (Descriptor, bool) {
 
 // RandomSample returns up to n distinct descriptors chosen uniformly at
 // random, in random order. n <= 0 returns nil without consuming randomness.
-func (v *View) RandomSample(rng *rand.Rand, n int) []Descriptor {
+func (v *View) RandomSample(rng Rand, n int) []Descriptor {
 	if n <= 0 || len(v.entries) == 0 {
 		return nil
 	}
@@ -232,29 +240,39 @@ type Sampler struct {
 // view, a Perm-equivalent otherwise), so the two are interchangeable without
 // perturbing a seeded run. n <= 0 appends nothing and consumes no
 // randomness.
-func (v *View) RandomSampleInto(rng *rand.Rand, n int, dst []Descriptor, s *Sampler) []Descriptor {
-	if n <= 0 || len(v.entries) == 0 {
+func (v *View) RandomSampleInto(rng Rand, n int, dst []Descriptor, s *Sampler) []Descriptor {
+	return SampleInto(rng, v.entries, n, dst, s)
+}
+
+// SampleInto is RandomSampleInto over a raw descriptor buffer: it appends up
+// to n distinct elements of src, chosen uniformly at random and in random
+// order, to dst and returns the extended slice. src is not modified.
+// Protocols use it to sample from ad-hoc candidate pools (e.g. "the view
+// minus the exchange partner") without mutating the view they were built
+// from — the read-only discipline the parallel plan phase requires.
+func SampleInto(rng Rand, src []Descriptor, n int, dst []Descriptor, s *Sampler) []Descriptor {
+	if n <= 0 || len(src) == 0 {
 		return dst
 	}
-	if n >= len(v.entries) {
+	if n >= len(src) {
 		base := len(dst)
-		dst = append(dst, v.entries...)
+		dst = append(dst, src...)
 		out := dst[base:]
 		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
 		return dst
 	}
 	// Replicate rand.Perm draw-for-draw into the reusable buffer.
-	if cap(s.perm) < len(v.entries) {
-		s.perm = make([]int, len(v.entries))
+	if cap(s.perm) < len(src) {
+		s.perm = make([]int, len(src))
 	}
-	perm := s.perm[:len(v.entries)]
+	perm := s.perm[:len(src)]
 	for i := range perm {
 		j := rng.Intn(i + 1)
 		perm[i] = perm[j]
 		perm[j] = i
 	}
 	for _, p := range perm[:n] {
-		dst = append(dst, v.entries[p])
+		dst = append(dst, src[p])
 	}
 	return dst
 }
@@ -315,8 +333,8 @@ func (v *View) Merge(self NodeID, incoming []Descriptor) {
 // Merger is the reusable scratch state behind descriptor-buffer merging: a
 // deduplication index plus an output buffer, both retained across calls so
 // steady-state merges allocate nothing. The zero value is ready to use.
-// A Merger is not safe for concurrent use; future parallel engines shard
-// one per worker.
+// A Merger is not safe for concurrent use; the parallel engine keeps one
+// per worker (inside each sim.Pad), never sharing a merger across shards.
 type Merger struct {
 	self NodeID
 	out  []Descriptor

@@ -34,6 +34,7 @@ type config struct {
 	seedSet     bool
 	runToEnd    bool
 	runToEndSet bool
+	workers     int
 	lossRate    float64
 	churnRate   float64
 	scenario    Scenario
@@ -104,6 +105,26 @@ func WithSeed(seed int64) Option {
 // (by default runs stop at convergence).
 func WithRunToEnd() Option {
 	return optionFunc(func(c *config) { c.runToEnd, c.runToEndSet = true, true })
+}
+
+// WithWorkers shards each simulation round across n workers. Randomness is
+// drawn from counter-based per-node streams, so the run — figures, reports,
+// and the streamed round events — is byte-identical for every worker count;
+// workers only change how fast a round executes. n = 1 (the default) runs
+// rounds serially in place; n = 0 selects GOMAXPROCS; larger n pins the
+// worker count explicitly.
+func WithWorkers(n int) Option {
+	return optionFunc(func(c *config) {
+		if n < 0 {
+			c.fail("sosf.WithWorkers: workers must be >= 0, got %d", n)
+			return
+		}
+		if n == 0 {
+			c.workers = -1 // GOMAXPROCS, resolved by the engine
+			return
+		}
+		c.workers = n
+	})
 }
 
 // WithLoss drops each gossip exchange with the given probability.

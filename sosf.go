@@ -140,6 +140,7 @@ func New(src string, opts ...Option) (*System, error) {
 		Topology: topo,
 		Nodes:    cfg.nodes,
 		Seed:     cfg.seed,
+		Workers:  cfg.workers,
 		LossRate: cfg.lossRate,
 	})
 	if err != nil {
