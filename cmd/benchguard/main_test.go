@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: sosf
+cpu: whatever
+BenchmarkRound/n=1k-4         	       3	  25000000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkRound/n=10k-4        	       3	 290000000 ns/op	      16 B/op	       0 allocs/op
+BenchmarkRound/n=100k-4       	       3	3100000000 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func sampleBaseline() map[int]float64 {
+	return map[int]float64{1000: 24787944, 10000: 288788594}
+}
+
+func TestParseBench(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+	if results[0].nodes != 1000 || results[0].nsOp != 25000000 || results[0].allocs != 0 {
+		t.Fatalf("first result = %+v", results[0])
+	}
+	if results[2].nodes != 100000 {
+		t.Fatalf("third result nodes = %d", results[2].nodes)
+	}
+}
+
+func TestCompareWithinBudgetPasses(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, failures := compare(results, sampleBaseline(), 25)
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+	for _, want := range []string{"BenchmarkRound/n=1k-4", "no baseline (not gated)", "| ok |"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestCompareFlagsNSRegression(t *testing.T) {
+	bench := "BenchmarkRound/n=1k-4  3  40000000 ns/op  0 B/op  0 allocs/op\n"
+	results, err := parseBench(strings.NewReader(bench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, failures := compare(results, sampleBaseline(), 25)
+	if len(failures) != 1 || !strings.Contains(failures[0], "over the") {
+		t.Fatalf("failures = %v, want one ns/op regression", failures)
+	}
+}
+
+func TestCompareFlagsAllocations(t *testing.T) {
+	bench := "BenchmarkRound/n=1k-4  3  25000000 ns/op  128 B/op  2 allocs/op\n"
+	results, err := parseBench(strings.NewReader(bench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, failures := compare(results, sampleBaseline(), 25)
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocation-free") {
+		t.Fatalf("failures = %v, want one allocation failure", failures)
+	}
+}
+
+func TestLoadBaselineFromRepoRecord(t *testing.T) {
+	base, err := loadBaseline("../../BENCH_PR4.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base[1000] == 0 || base[10000] == 0 {
+		t.Fatalf("baseline = %v, want 1k and 10k serial entries", base)
+	}
+}

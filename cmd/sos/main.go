@@ -1,5 +1,5 @@
-// Command sos runs, validates, plays, or renders a topology described in
-// the framework's DSL.
+// Command sos runs, validates, plays, checkpoints, or renders a topology
+// described in the framework's DSL.
 //
 // Usage:
 //
@@ -8,25 +8,38 @@
 //	sos play [flags] file.sos      simulate to the end of the file's
 //	                               scenario timeline, streaming one round
 //	                               event per round to stdout
+//	sos snapshot [flags] file.sos  simulate exactly -rounds rounds,
+//	                               streaming events like play, then write a
+//	                               checkpoint of the complete run state to
+//	                               -snap
+//	sos resume [flags] file.sos    restore the run state from -snap and
+//	                               continue to round -rounds (absolute),
+//	                               streaming events like play — the
+//	                               concatenated snapshot+resume streams are
+//	                               byte-identical to one uninterrupted run,
+//	                               at any -workers value on either side
 //	sos dot [flags] file.sos       simulate, then emit the realized
 //	                               topology as Graphviz DOT on stdout
 //
-// Flags for run, play, and dot:
+// Flags for run, play, snapshot, resume, and dot:
 //
 //	-nodes N       population size (default: the file's `nodes` option)
 //	-workers N     shard each simulation round across N workers (default 1;
 //	               0 = GOMAXPROCS). Output is byte-identical for every
 //	               worker count — workers only change the wall clock
 //	-rounds N      maximum rounds to simulate (default 150; play extends
-//	               this to the scenario horizon)
+//	               this to the scenario horizon; for resume it is the
+//	               absolute target round, counted from round 0)
 //	-seed N        random seed (default 1)
 //	-churn F       replace F of the population per round (e.g. 0.01)
 //	-loss F        drop each exchange with probability F
 //	-to-end        keep running after convergence (play always does)
-//	-json          (run, play) print the final report as JSON with stable
-//	               field names; for play it goes to stderr so stdout stays
-//	               a pure event stream
-//	-events FORMAT (play) event stream format: jsonl (default) or csv
+//	-snap FILE     (snapshot, resume) checkpoint file to write / read
+//	-json          (run, play, snapshot, resume) print the final report as
+//	               JSON with stable field names; where an event stream owns
+//	               stdout it goes to stderr
+//	-events FORMAT (play, snapshot, resume) event stream format:
+//	               jsonl (default) or csv
 package main
 
 import (
@@ -47,7 +60,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: sos <check|run|play|dot> [flags] file.sos")
+		return fmt.Errorf("usage: sos <check|run|play|snapshot|resume|dot> [flags] file.sos")
 	}
 	cmd, rest := args[0], args[1:]
 
@@ -59,8 +72,9 @@ func run(args []string) error {
 	loss := fs.Float64("loss", 0, "probability that an exchange is lost")
 	toEnd := fs.Bool("to-end", false, "keep running after convergence")
 	workers := fs.Int("workers", 1, "workers sharding each round (0 = GOMAXPROCS; output identical for any value)")
-	asJSON := fs.Bool("json", false, "machine-readable final report (run, play)")
-	events := fs.String("events", "jsonl", "play: event stream format, jsonl or csv")
+	asJSON := fs.Bool("json", false, "machine-readable final report (run, play, snapshot, resume)")
+	events := fs.String("events", "jsonl", "play/snapshot/resume: event stream format, jsonl or csv")
+	snapFile := fs.String("snap", "", "snapshot/resume: checkpoint file to write/read")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -98,6 +112,10 @@ func run(args []string) error {
 		return printReport(os.Stdout, rep, *asJSON)
 	case "play":
 		return play(string(src), opts, *events, *rounds, *asJSON)
+	case "snapshot":
+		return snapshot(string(src), opts, *events, *rounds, *asJSON, *snapFile)
+	case "resume":
+		return resume(string(src), opts, *events, *rounds, *asJSON, *snapFile)
 	case "dot":
 		sys, err := sosf.New(string(src), opts...)
 		if err != nil {
@@ -109,8 +127,72 @@ func run(args []string) error {
 		fmt.Print(sys.DOT())
 		return nil
 	default:
-		return fmt.Errorf("unknown command %q (want check, run, play, or dot)", cmd)
+		return fmt.Errorf("unknown command %q (want check, run, play, snapshot, resume, or dot)", cmd)
 	}
+}
+
+// subscribeEvents attaches the chosen event sink to stdout.
+func subscribeEvents(sys *sosf.System, format string) error {
+	switch format {
+	case "jsonl":
+		sys.Subscribe(sosf.JSONLSink(os.Stdout))
+	case "csv":
+		sys.Subscribe(sosf.CSVSink(os.Stdout))
+	default:
+		return fmt.Errorf("unknown -events format %q (want jsonl or csv)", format)
+	}
+	return nil
+}
+
+// snapshot plays exactly `rounds` rounds (no horizon extension: the
+// checkpoint round must land where asked), streams the rounds' events to
+// stdout, then writes the checkpoint. Together with resume it splits one
+// run in two: the two commands' concatenated event streams are
+// byte-identical to an uninterrupted `sos play` of the same file.
+func snapshot(src string, opts []sosf.Option, format string, rounds int, asJSON bool, snapFile string) error {
+	if snapFile == "" {
+		return fmt.Errorf("snapshot: -snap FILE is required")
+	}
+	sys, err := sosf.New(src, append(opts, sosf.WithRunToEnd())...)
+	if err != nil {
+		return err
+	}
+	if err := subscribeEvents(sys, format); err != nil {
+		return err
+	}
+	if _, err := sys.Step(rounds); err != nil {
+		return err
+	}
+	if err := sys.WriteSnapshot(snapFile); err != nil {
+		return err
+	}
+	return printReport(os.Stderr, sys.Report(), asJSON)
+}
+
+// resume restores the run state from the checkpoint and continues to the
+// absolute round `rounds` (extended to the scenario horizon, like play),
+// streaming the resumed rounds' events to stdout.
+func resume(src string, opts []sosf.Option, format string, rounds int, asJSON bool, snapFile string) error {
+	if snapFile == "" {
+		return fmt.Errorf("resume: -snap FILE is required")
+	}
+	sys, err := sosf.New(src, append(opts, sosf.WithRunToEnd(), sosf.WithRestoreFrom(snapFile))...)
+	if err != nil {
+		return err
+	}
+	if err := subscribeEvents(sys, format); err != nil {
+		return err
+	}
+	if h := sys.ScenarioHorizon(); h > rounds {
+		rounds = h
+	}
+	if rounds < sys.Round() {
+		return fmt.Errorf("resume: checkpoint is at round %d, past the -rounds %d target", sys.Round(), rounds)
+	}
+	if _, err := sys.Step(rounds - sys.Round()); err != nil {
+		return err
+	}
+	return printReport(os.Stderr, sys.Report(), asJSON)
 }
 
 // play executes the file's scenario timeline (plus any -churn/-loss flags),

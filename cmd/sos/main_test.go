@@ -209,3 +209,64 @@ func TestPlayRejectsUnknownFormat(t *testing.T) {
 		t.Fatal("unknown -events format accepted")
 	}
 }
+
+const playdemoTopo = "../../testdata/playdemo.sos"
+
+// TestSnapshotResumeSplitMatchesPlay: the CI resume-equivalence gate in
+// process — snapshot at 75, resume to 150, concatenated streams must be
+// byte-identical to one uninterrupted play (the frozen golden fixture).
+func TestSnapshotResumeSplitMatchesPlay(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "ck.sosnap")
+
+	first, err := capture(t, func() error {
+		return run([]string{"snapshot", "-rounds", "75", "-snap", ckpt, playdemoTopo})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(first, "\n"); got != 75 {
+		t.Fatalf("snapshot streamed %d events, want 75", got)
+	}
+
+	second, err := capture(t, func() error {
+		return run([]string{"resume", "-snap", ckpt, "-rounds", "150", "-workers", "4", playdemoTopo})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(second, "\n"); got != 75 {
+		t.Fatalf("resume streamed %d events, want 75", got)
+	}
+
+	golden, err := os.ReadFile("../../testdata/golden/playdemo.events.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first+second != string(golden) {
+		t.Fatal("snapshot+resume streams differ from the uninterrupted golden run")
+	}
+}
+
+func TestSnapshotRequiresSnapFlag(t *testing.T) {
+	if err := run([]string{"snapshot", "-rounds", "5", playdemoTopo}); err == nil {
+		t.Fatal("snapshot without -snap should fail")
+	}
+	if err := run([]string{"resume", "-rounds", "5", playdemoTopo}); err == nil {
+		t.Fatal("resume without -snap should fail")
+	}
+}
+
+func TestResumeRejectsPastTarget(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "ck.sosnap")
+	if _, err := capture(t, func() error {
+		return run([]string{"snapshot", "-rounds", "80", "-snap", ckpt, playdemoTopo})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Horizon (70) < checkpoint round (80) > target (75): must refuse.
+	if _, err := capture(t, func() error {
+		return run([]string{"resume", "-snap", ckpt, "-rounds", "75", playdemoTopo})
+	}); err == nil || !strings.Contains(err.Error(), "past the") {
+		t.Fatalf("err = %v, want past-target refusal", err)
+	}
+}

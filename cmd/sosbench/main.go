@@ -89,10 +89,19 @@ func run() error {
 	compare := flag.Bool("compare", false,
 		"run each experiment sequentially too, report the speedup, and check outputs match")
 	out := flag.String("out", "", "directory for .dat/.svg/.txt outputs")
+	checkpoints := flag.String("checkpoints", "",
+		"directory for per-cell system checkpoints from the figure sweeps (warm states for -resume)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	benchjson := flag.String("benchjson", "", "write machine-readable benchmark metrics (BENCH_*.json) to this file")
+	resume := flag.String("resume", "",
+		"warm-start benchmarking: restore a system checkpoint (written by `sos snapshot` or sosf.System.Snapshot) and measure steady-state rounds on it, skipping population build and convergence warmup")
+	resumeRounds := flag.Int("resume-rounds", 20, "rounds to measure with -resume")
 	flag.Parse()
+
+	if *resume != "" {
+		return warmStart(*resume, *roundWorkers, *resumeRounds)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -120,7 +129,19 @@ func run() error {
 		}()
 	}
 
-	o := eval.Options{Runs: *runs, Seed: *seed, Full: *full, Parallelism: *parallel, RoundWorkers: *roundWorkers}
+	o := eval.Options{
+		Runs:          *runs,
+		Seed:          *seed,
+		Full:          *full,
+		Parallelism:   *parallel,
+		RoundWorkers:  *roundWorkers,
+		CheckpointDir: *checkpoints,
+	}
+	if *checkpoints != "" {
+		if err := os.MkdirAll(*checkpoints, 0o755); err != nil {
+			return err
+		}
+	}
 	workers := *parallel
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -237,6 +258,45 @@ func run() error {
 	return nil
 }
 
+// warmStart implements -resume: restore a checkpointed system and measure
+// steady-state round cost from exactly where the checkpoint left off — the
+// long-horizon benchmarking loop (snapshot once at scale, then measure many
+// candidate builds against the same warm state without re-simulating the
+// convergence prefix).
+func warmStart(path string, workers, rounds int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sys, err := core.RestoreSystem(f, workers)
+	if err != nil {
+		return fmt.Errorf("resume: %w", err)
+	}
+	eng := sys.Engine()
+	fmt.Printf("resumed %q at round %d: %d nodes (%d alive), %d components\n",
+		sys.Allocator().Topology().Name, eng.Round(), eng.Size(), eng.AliveCount(),
+		sys.Allocator().Components())
+	eng.Meter().Reserve(rounds + 1)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	if _, err := sys.Run(rounds); err != nil {
+		return err
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	r := float64(rounds)
+	fmt.Printf("%d warm rounds: %.2f ms/round, %.0f B/round, %.1f allocs/round (workers=%d)\n",
+		rounds,
+		float64(elapsed.Nanoseconds())/r/1e6,
+		float64(after.TotalAlloc-before.TotalAlloc)/r,
+		float64(after.Mallocs-before.Mallocs)/r,
+		eng.Workers())
+	return nil
+}
+
 // driverMetric is one figure driver's cost in a BENCH_*.json record.
 type driverMetric struct {
 	Name   string  `json:"name"`
@@ -316,9 +376,66 @@ func measureRound(nodes, rounds, workers int) (roundMetric, error) {
 	}, nil
 }
 
+// benchSchema is the schema identifier every BENCH_*.json record carries.
+const benchSchema = "sosf-bench/2"
+
+// validateBenchRecord checks a record against the sosf-bench/2 schema
+// before it is written: a crashed or partial run must not overwrite a good
+// perf-trajectory record with half-empty JSON (the failure mode this guards
+// against: CI and the benchmark-regression gate consume these files).
+func validateBenchRecord(rec *benchRecord) error {
+	if rec.Schema != benchSchema {
+		return fmt.Errorf("schema is %q, want %q", rec.Schema, benchSchema)
+	}
+	if rec.Go == "" || rec.GOOS == "" || rec.GOARCH == "" {
+		return fmt.Errorf("environment fields must be set (go=%q goos=%q goarch=%q)", rec.Go, rec.GOOS, rec.GOARCH)
+	}
+	if rec.CPUs < 1 {
+		return fmt.Errorf("cpus must be >= 1, got %d", rec.CPUs)
+	}
+	if len(rec.EngineRounds) == 0 {
+		return fmt.Errorf("engine_rounds must not be empty")
+	}
+	validRound := func(section string, m roundMetric) error {
+		if m.Nodes < 1 || m.Rounds < 1 || m.Workers < 1 {
+			return fmt.Errorf("%s: nodes/rounds/workers must be >= 1, got %d/%d/%d", section, m.Nodes, m.Rounds, m.Workers)
+		}
+		if m.NSPerRound <= 0 || m.BytesPerRound < 0 || m.AllocsPerRound < 0 {
+			return fmt.Errorf("%s (nodes=%d workers=%d): metrics out of range (ns=%g B=%g allocs=%g)",
+				section, m.Nodes, m.Workers, m.NSPerRound, m.BytesPerRound, m.AllocsPerRound)
+		}
+		return nil
+	}
+	for _, m := range rec.EngineRounds {
+		if err := validRound("engine_rounds", m); err != nil {
+			return err
+		}
+	}
+	for _, m := range rec.WorkerScaling {
+		if err := validRound("worker_scaling", m); err != nil {
+			return err
+		}
+	}
+	if len(rec.Drivers) == 0 {
+		return fmt.Errorf("drivers must not be empty")
+	}
+	for i, d := range rec.Drivers {
+		if d.Name == "" {
+			return fmt.Errorf("driver %d has no name", i)
+		}
+		if d.WallMS <= 0 {
+			return fmt.Errorf("driver %q: wall_ms must be > 0, got %g", d.Name, d.WallMS)
+		}
+	}
+	if rec.TotalWallMS <= 0 {
+		return fmt.Errorf("total_wall_ms must be > 0, got %g", rec.TotalWallMS)
+	}
+	return nil
+}
+
 func writeBenchJSON(path string, o eval.Options, workers int, metrics []driverMetric, total time.Duration) error {
 	rec := benchRecord{
-		Schema:       "sosf-bench/2",
+		Schema:       benchSchema,
 		Go:           runtime.Version(),
 		GOOS:         runtime.GOOS,
 		GOARCH:       runtime.GOARCH,
@@ -349,6 +466,9 @@ func writeBenchJSON(path string, o eval.Options, workers int, metrics []driverMe
 				rec.EngineRounds = append(rec.EngineRounds, sm)
 			}
 		}
+	}
+	if err := validateBenchRecord(&rec); err != nil {
+		return fmt.Errorf("benchjson: refusing to write %s: %w", path, err)
 	}
 	buf, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

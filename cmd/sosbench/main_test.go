@@ -86,3 +86,55 @@ func TestWriterTableFiles(t *testing.T) {
 		t.Fatalf("table file:\n%s", txt)
 	}
 }
+
+// validRecord builds a minimal record that passes the sosf-bench/2 schema
+// check; the failure cases below each break exactly one field.
+func validRecord() benchRecord {
+	round := roundMetric{Nodes: 1000, Workers: 1, Rounds: 50, NSPerRound: 1e6}
+	return benchRecord{
+		Schema:       benchSchema,
+		Go:           "go1.22.0",
+		GOOS:         "linux",
+		GOARCH:       "amd64",
+		CPUs:         1,
+		EngineRounds: []roundMetric{round},
+		WorkerScaling: []roundMetric{
+			round,
+			{Nodes: 1000, Workers: 4, Rounds: 50, NSPerRound: 5e5},
+		},
+		Drivers:     []driverMetric{{Name: "fig2", WallMS: 12.5}},
+		TotalWallMS: 100,
+	}
+}
+
+func TestValidateBenchRecordAcceptsValid(t *testing.T) {
+	rec := validRecord()
+	if err := validateBenchRecord(&rec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateBenchRecordRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name   string
+		break_ func(*benchRecord)
+	}{
+		{"wrong schema", func(r *benchRecord) { r.Schema = "sosf-bench/1" }},
+		{"missing go version", func(r *benchRecord) { r.Go = "" }},
+		{"zero cpus", func(r *benchRecord) { r.CPUs = 0 }},
+		{"no engine rounds", func(r *benchRecord) { r.EngineRounds = nil }},
+		{"zero-node round", func(r *benchRecord) { r.EngineRounds[0].Nodes = 0 }},
+		{"negative ns", func(r *benchRecord) { r.WorkerScaling[1].NSPerRound = -1 }},
+		{"no drivers", func(r *benchRecord) { r.Drivers = nil }},
+		{"unnamed driver", func(r *benchRecord) { r.Drivers[0].Name = "" }},
+		{"zero driver wall", func(r *benchRecord) { r.Drivers[0].WallMS = 0 }},
+		{"zero total", func(r *benchRecord) { r.TotalWallMS = 0 }},
+	}
+	for _, tc := range cases {
+		rec := validRecord()
+		tc.break_(&rec)
+		if err := validateBenchRecord(&rec); err == nil {
+			t.Errorf("%s: malformed record passed validation", tc.name)
+		}
+	}
+}

@@ -77,6 +77,38 @@
 //	sys.Subscribe(sosf.JSONLSink(os.Stdout))
 //	sys.Step(150)
 //
+// # Checkpoint and resume
+//
+// Long-horizon runs checkpoint and resume deterministically: a snapshot
+// captures the complete run state (population, round counter, the serial
+// RNG's position, every protocol layer's per-node state, bandwidth history,
+// convergence tracking, and in-flight scenario windows), and a restored run
+// replays the uninterrupted one byte for byte — events, figures, and
+// reports — at any worker count:
+//
+//	sys.Step(1_000_000)
+//	sys.WriteSnapshot("warm.sosnap")               // explicit checkpoint
+//
+//	sys2, _ := sosf.New(src, sosf.WithRestoreFrom("warm.sosnap"))
+//	sys2.Step(1_000_000)                           // rounds 1M+1 .. 2M
+//
+// WithSnapshotEvery(n, path) checkpoints periodically from inside the run;
+// a `snapshot at <round> "path"` directive inside a DSL scenario block does
+// the same from the timeline. One warm state can seed many continuations
+// (different scenarios, different worker counts), which makes long runs
+// branchable and regressions bisectable by round.
+//
+// Protocol implementations participate through the sim.Snapshotter hook:
+// a protocol serializes its complete inter-round per-slot state in
+// SnapshotState and rebuilds it — without drawing randomness — in
+// RestoreState. Every protocol in the engine must implement the hook for a
+// snapshot to be taken; partial checkpoints are refused rather than
+// silently written. The counter-based per-node RNG streams are what make
+// the contract cheap: in-round randomness is keyed by
+// (seed, node, round, protocol, phase) and needs no serialization at all,
+// while the engine's serial source is captured as a (seed, draw count)
+// pair and fast-forwarded on restore.
+//
 // Everything underneath lives in internal packages: internal/core (the
 // runtime), internal/scenario (the timeline executor), internal/vicinity
 // and internal/peersampling (the overlay substrate), internal/shapes (the

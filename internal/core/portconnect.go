@@ -1,8 +1,11 @@
 package core
 
 import (
+	"fmt"
+
 	"sosf/internal/peersampling"
 	"sosf/internal/sim"
+	"sosf/internal/snap"
 	"sosf/internal/view"
 )
 
@@ -42,8 +45,9 @@ type connState struct {
 }
 
 var (
-	_ sim.Protocol   = (*PortConnect)(nil)
-	_ sim.MeterAware = (*PortConnect)(nil)
+	_ sim.Protocol    = (*PortConnect)(nil)
+	_ sim.MeterAware  = (*PortConnect)(nil)
+	_ sim.Snapshotter = (*PortConnect)(nil)
 )
 
 // NewPortConnect creates the port-connection protocol. uo2 may be nil (the
@@ -63,13 +67,56 @@ func (p *PortConnect) Name() string { return "portconnect" }
 // SetMeterIndex implements sim.MeterAware.
 func (p *PortConnect) SetMeterIndex(i int) { p.meter = i }
 
-// InitNode implements sim.Protocol.
-func (p *PortConnect) InitNode(e *sim.Engine, slot int) {
+// ensureSlot grows the per-slot storage to cover slot. Shared by InitNode
+// and the restore path.
+func (p *PortConnect) ensureSlot(slot int) {
 	for len(p.states) <= slot {
 		p.states = append(p.states, nil)
 		p.bytes = append(p.bytes, 0)
 	}
+}
+
+// InitNode implements sim.Protocol.
+func (p *PortConnect) InitNode(e *sim.Engine, slot int) {
+	p.ensureSlot(slot)
 	p.states[slot] = &connState{epoch: ^uint32(0)}
+}
+
+// SnapshotState implements sim.Snapshotter: per slot, the belief-table sync
+// key (epoch, component) and the remote-manager beliefs per link side.
+func (p *PortConnect) SnapshotState(w *snap.Writer) {
+	w.Len(len(p.states))
+	for _, st := range p.states {
+		w.U32(st.epoch)
+		w.Varint(int64(st.comp))
+		writeRecords(w, st.remotes)
+	}
+}
+
+// RestoreState implements sim.Snapshotter.
+func (p *PortConnect) RestoreState(e *sim.Engine, r *snap.Reader) error {
+	n := r.Len()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != e.Size() {
+		return fmt.Errorf("portconnect: snapshot covers %d slots, engine has %d", n, e.Size())
+	}
+	if n > 0 {
+		p.ensureSlot(n - 1)
+	}
+	p.states = p.states[:n]
+	p.bytes = p.bytes[:n]
+	for slot := 0; slot < n; slot++ {
+		epoch := r.U32()
+		comp := view.ComponentID(r.Varint())
+		remotes, err := readRecords(r)
+		if err != nil {
+			return err
+		}
+		p.states[slot] = &connState{epoch: epoch, comp: comp, remotes: remotes}
+	}
+	return r.Err()
 }
 
 // Remote returns the node's belief about the far-end manager of the given

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"fmt"
+
 	"sosf/internal/sim"
+	"sosf/internal/snap"
 	"sosf/internal/vicinity"
 	"sosf/internal/view"
 )
@@ -86,8 +89,9 @@ type portPlan struct {
 }
 
 var (
-	_ sim.Protocol   = (*PortSelect)(nil)
-	_ sim.MeterAware = (*PortSelect)(nil)
+	_ sim.Protocol    = (*PortSelect)(nil)
+	_ sim.MeterAware  = (*PortSelect)(nil)
+	_ sim.Snapshotter = (*PortSelect)(nil)
 )
 
 // NewPortSelect creates the port-selection protocol. ttl bounds manager
@@ -105,14 +109,11 @@ func (p *PortSelect) Name() string { return "portselect" }
 // SetMeterIndex implements sim.MeterAware.
 func (p *PortSelect) SetMeterIndex(i int) { p.meter = i }
 
-// InitNode implements sim.Protocol.
-func (p *PortSelect) InitNode(e *sim.Engine, slot int) {
+// ensureSlot grows the per-slot storage to cover slot. width bounds the
+// carved plan buffers; InitNode derives it from the node's port count, the
+// restore path from the serialized record width.
+func (p *PortSelect) ensureSlot(slot, width int) {
 	for len(p.states) <= slot {
-		// Record snapshots are bounded by the node's port count; carve
-		// them from a chunked arena (profile is assigned before InitNode
-		// runs, so the component is known; a reconfiguration that adds
-		// ports falls back to a private heap copy).
-		width := int(p.alloc.Ports(e.Node(slot).Profile.Comp))
 		p.plans = append(p.plans, portPlan{
 			send:  sim.Carve(&p.arena, width),
 			reply: sim.Carve(&p.arena, width),
@@ -120,7 +121,78 @@ func (p *PortSelect) InitNode(e *sim.Engine, slot int) {
 		p.states = append(p.states, nil)
 	}
 	p.inbox.Grow(slot + 1)
+}
+
+// InitNode implements sim.Protocol.
+func (p *PortSelect) InitNode(e *sim.Engine, slot int) {
+	// Record snapshots are bounded by the node's port count; carve
+	// them from a chunked arena (profile is assigned before InitNode
+	// runs, so the component is known; a reconfiguration that adds
+	// ports falls back to a private heap copy).
+	p.ensureSlot(slot, int(p.alloc.Ports(e.Node(slot).Profile.Comp)))
 	p.states[slot] = &portState{epoch: ^uint32(0)}
+}
+
+// SnapshotState implements sim.Snapshotter: per slot, the election-state
+// sync key (epoch, component) and the per-port best-known records.
+func (p *PortSelect) SnapshotState(w *snap.Writer) {
+	w.Len(len(p.states))
+	for _, st := range p.states {
+		w.U32(st.epoch)
+		w.Varint(int64(st.comp))
+		writeRecords(w, st.records)
+	}
+}
+
+// RestoreState implements sim.Snapshotter.
+func (p *PortSelect) RestoreState(e *sim.Engine, r *snap.Reader) error {
+	n := r.Len()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != e.Size() {
+		return fmt.Errorf("portselect: snapshot covers %d slots, engine has %d", n, e.Size())
+	}
+	for slot := 0; slot < n; slot++ {
+		epoch := r.U32()
+		comp := view.ComponentID(r.Varint())
+		records, err := readRecords(r)
+		if err != nil {
+			return err
+		}
+		p.ensureSlot(slot, len(records))
+		p.states[slot] = &portState{epoch: epoch, comp: comp, records: records}
+	}
+	p.states = p.states[:n]
+	p.plans = p.plans[:n]
+	return r.Err()
+}
+
+// writeRecords encodes a PortRecord slice (shared with PortConnect).
+func writeRecords(w *snap.Writer, records []PortRecord) {
+	w.Len(len(records))
+	for _, rec := range records {
+		w.U64(rec.Score)
+		w.Varint(int64(rec.ID))
+		w.Int(rec.Stamp)
+	}
+}
+
+// readRecords decodes a PortRecord slice written by writeRecords.
+func readRecords(r *snap.Reader) ([]PortRecord, error) {
+	n := r.Len()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	records := make([]PortRecord, n)
+	for i := range records {
+		records[i] = PortRecord{
+			Score: r.U64(),
+			ID:    view.NodeID(r.Varint()),
+			Stamp: r.Int(),
+		}
+	}
+	return records, r.Err()
 }
 
 // Belief returns the node's current best-known record for the given port

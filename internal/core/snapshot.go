@@ -1,0 +1,230 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sosf/internal/peersampling"
+	"sosf/internal/snap"
+	"sosf/internal/spec"
+)
+
+// systemSnapKind tags full-system snapshots (engine + allocator + active
+// topology + behavior-defining configuration).
+const systemSnapKind = "system"
+
+// snapConfig is Config minus the Topology pointer, for JSON embedding in a
+// snapshot. Every field here changes protocol behavior, so Restore verifies
+// them against the restoring system's configuration: resuming under
+// different knobs would silently diverge from the uninterrupted run.
+type snapConfig struct {
+	RPS           peersampling.Options `json:"rps"`
+	UO1Capacity   int                  `json:"uo1_capacity"`
+	OverlayGossip int                  `json:"overlay_gossip"`
+	OverlayMaxAge int                  `json:"overlay_max_age"`
+	UO2MaxAge     int                  `json:"uo2_max_age"`
+	PortTTL       int                  `json:"port_ttl"`
+	DisableUO2    bool                 `json:"disable_uo2"`
+	PureGreedy    bool                 `json:"pure_greedy"`
+	Nodes         int                  `json:"nodes"`
+	Seed          int64                `json:"seed"`
+}
+
+func snapConfigOf(cfg Config) snapConfig {
+	return snapConfig{
+		RPS:           cfg.RPS,
+		UO1Capacity:   cfg.UO1Capacity,
+		OverlayGossip: cfg.OverlayGossip,
+		OverlayMaxAge: cfg.OverlayMaxAge,
+		UO2MaxAge:     cfg.UO2MaxAge,
+		PortTTL:       cfg.PortTTL,
+		DisableUO2:    cfg.DisableUO2,
+		PureGreedy:    cfg.PureGreedy,
+		Nodes:         cfg.Nodes,
+		Seed:          cfg.Seed,
+	}
+}
+
+// behaviorEqual compares the knobs that shape protocol behavior. Nodes and
+// Seed are informational (the restored engine state is authoritative for
+// both), so they are excluded.
+func (c snapConfig) behaviorEqual(o snapConfig) bool {
+	c.Nodes, o.Nodes = 0, 0
+	c.Seed, o.Seed = 0, 0
+	return c == o
+}
+
+// Snapshot serializes the full system — effective configuration, the
+// *active* topology (which differs from the boot topology after a
+// Reconfigure), allocator bookkeeping, and the complete engine state — so
+// that Restore on a compatible system resumes the run byte-identically.
+// Call it between rounds only.
+func (s *System) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w)
+	sw.Header(systemSnapKind)
+
+	cfgJSON, err := json.Marshal(snapConfigOf(s.cfg))
+	if err != nil {
+		return fmt.Errorf("core: snapshot config: %w", err)
+	}
+	sw.Bytes(cfgJSON)
+
+	// The active topology travels without its scenario: timelines belong
+	// to the embedding layer (they are re-bound from source on resume),
+	// and reconfigure targets nested inside events must not recurse here.
+	topo := *s.alloc.Topology()
+	topo.Scenario = nil
+	topoJSON, err := json.Marshal(&topo)
+	if err != nil {
+		return fmt.Errorf("core: snapshot topology: %w", err)
+	}
+	sw.Bytes(topoJSON)
+
+	s.alloc.snapshot(sw)
+	if err := s.eng.SnapshotState(sw); err != nil {
+		return err
+	}
+	return sw.Err()
+}
+
+// Restore rebuilds the system's state from a Snapshot stream. The receiving
+// system must have been built with the same behavior-defining configuration
+// (protocol knobs, UO2 ablation); population, topology, epoch, RNG position
+// and all per-node protocol state are replaced by the snapshot's. Worker
+// configuration is untouched — resuming at a different worker count yields
+// the same results.
+func (s *System) Restore(r io.Reader) error {
+	sr := snap.NewReader(r)
+	sr.Header(systemSnapKind)
+	if err := s.restoreBody(sr); err != nil {
+		return err
+	}
+	return sr.Err()
+}
+
+// restoreBody decodes everything after the header (shared with the sosf
+// layer, which appends its own trailer to the same stream).
+func (s *System) restoreBody(sr *snap.Reader) error {
+	cfgJSON := sr.Bytes()
+	topoJSON := sr.Bytes()
+	if err := sr.Err(); err != nil {
+		return err
+	}
+
+	var snapCfg snapConfig
+	if err := json.Unmarshal(cfgJSON, &snapCfg); err != nil {
+		return fmt.Errorf("core: restore config: %w", err)
+	}
+	if have := snapConfigOf(s.cfg); !have.behaviorEqual(snapCfg) {
+		return fmt.Errorf("core: snapshot was taken under different protocol configuration (snapshot %+v, system %+v)", snapCfg, have)
+	}
+
+	topo := new(spec.Topology)
+	if err := json.Unmarshal(topoJSON, topo); err != nil {
+		return fmt.Errorf("core: restore topology: %w", err)
+	}
+	if err := topo.Validate(); err != nil {
+		return fmt.Errorf("core: restore topology: %w", err)
+	}
+
+	if err := s.alloc.restore(sr, topo); err != nil {
+		return err
+	}
+	return s.eng.RestoreState(sr)
+}
+
+// RestoreSystem builds a fresh system directly from a Snapshot stream: the
+// embedded configuration and active topology boot the stack, then the
+// snapshot state replaces the bootstrapped population. workers overrides the
+// intra-round worker count (0 keeps rounds serial; it never changes
+// results). This is what warm-start tooling (`sosbench -resume`) uses when
+// no DSL source is around.
+func RestoreSystem(r io.Reader, workers int) (*System, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	sr := snap.NewReader(bytes.NewReader(data))
+	sr.Header(systemSnapKind)
+	var snapCfg snapConfig
+	if err := json.Unmarshal(sr.Bytes(), &snapCfg); err != nil {
+		return nil, fmt.Errorf("core: restore config: %w", err)
+	}
+	topo := new(spec.Topology)
+	if err := json.Unmarshal(sr.Bytes(), topo); err != nil {
+		return nil, fmt.Errorf("core: restore topology: %w", err)
+	}
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	sys, err := NewSystem(Config{
+		Topology:      topo,
+		Nodes:         snapCfg.Nodes,
+		Seed:          snapCfg.Seed,
+		Workers:       workers,
+		RPS:           snapCfg.RPS,
+		UO1Capacity:   snapCfg.UO1Capacity,
+		OverlayGossip: snapCfg.OverlayGossip,
+		OverlayMaxAge: snapCfg.OverlayMaxAge,
+		UO2MaxAge:     snapCfg.UO2MaxAge,
+		PortTTL:       snapCfg.PortTTL,
+		DisableUO2:    snapCfg.DisableUO2,
+		PureGreedy:    snapCfg.PureGreedy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Restore(bytes.NewReader(data)); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// snapshot serializes the allocator's mutable bookkeeping. The structural
+// parts (shapes, sides, port counts) are derived from the topology, which
+// the system snapshot carries separately.
+func (a *Allocator) snapshot(w *snap.Writer) {
+	w.U32(a.epoch)
+	w.Len(len(a.nextIndex))
+	for c := range a.nextIndex {
+		w.Varint(int64(a.nextIndex[c]))
+		w.Varint(int64(a.sizes[c]))
+		w.Len(len(a.freeIndex[c]))
+		for _, idx := range a.freeIndex[c] {
+			w.Varint(int64(idx))
+		}
+	}
+}
+
+// restore installs the active topology and rebuilds the allocator's
+// bookkeeping from a snapshot.
+func (a *Allocator) restore(r *snap.Reader, topo *spec.Topology) error {
+	epoch := r.U32()
+	ncomps := r.Len()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if ncomps != len(topo.Components) {
+		return fmt.Errorf("core: allocator snapshot covers %d components, topology has %d", ncomps, len(topo.Components))
+	}
+	if err := a.install(topo); err != nil {
+		return err
+	}
+	a.epoch = epoch
+	for c := 0; c < ncomps; c++ {
+		a.nextIndex[c] = int32(r.Varint())
+		a.sizes[c] = int32(r.Varint())
+		nfree := r.Len()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		free := make([]int32, nfree)
+		for i := range free {
+			free[i] = int32(r.Varint())
+		}
+		a.freeIndex[c] = free
+	}
+	return r.Err()
+}

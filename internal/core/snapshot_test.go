@@ -1,0 +1,193 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"sosf/internal/spec"
+)
+
+// snapTopo builds a small two-ring topology with a link, programmatically
+// (core tests cannot import the DSL compiler without a cycle).
+func snapTopo() *spec.Topology {
+	return &spec.Topology{
+		Name: "snaptest",
+		Components: []spec.Component{
+			{Name: "a", Shape: "ring", Weight: 1, Ports: []string{"p"}},
+			{Name: "b", Shape: "ring", Weight: 1, Ports: []string{"q"}},
+		},
+		Links: []spec.Link{{
+			A: spec.PortRef{Component: "a", Port: "p"},
+			B: spec.PortRef{Component: "b", Port: "q"},
+		}},
+	}
+}
+
+// traceRounds runs n rounds and fingerprints each: oracle accuracies plus
+// the round's bandwidth split — dense enough that any drift shows.
+func traceRounds(t *testing.T, sys *System, n int) []string {
+	t.Helper()
+	trace := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if _, err := sys.Run(1); err != nil {
+			t.Fatal(err)
+		}
+		m := sys.Oracle().Measure()
+		var b strings.Builder
+		fmt.Fprintf(&b, "round=%d alive=%d", sys.Engine().Round(), sys.Engine().AliveCount())
+		for _, sub := range Subs() {
+			fmt.Fprintf(&b, " %v=%.6f", sub, m.Fraction[sub])
+		}
+		r := sys.Engine().Meter().Rounds() - 1
+		base, over := sys.BandwidthByClass(r)
+		fmt.Fprintf(&b, " bw=%d/%d", base, over)
+		trace = append(trace, b.String())
+	}
+	return trace
+}
+
+func snapSystem(t *testing.T, seed int64, workers int) *System {
+	t.Helper()
+	sys, err := NewSystem(Config{
+		Topology: snapTopo(),
+		Nodes:    80,
+		Seed:     seed,
+		Workers:  workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestSystemSnapshotResumeEquivalence: run 25 + 15 rounds with mid-run
+// damage; snapshot at 25; restore into a fresh system and onto RestoreSystem;
+// both must replay the last 15 rounds identically to the uninterrupted run.
+func TestSystemSnapshotResumeEquivalence(t *testing.T) {
+	ref := snapSystem(t, 42, 1)
+	if _, err := ref.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	ref.Kill(0.2)
+	ref.AddNodes(10)
+	ref.Engine().SetLossRate(0.05)
+	if _, err := ref.Run(5); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := ref.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snapBytes := append([]byte(nil), buf.Bytes()...)
+	want := traceRounds(t, ref, 15)
+
+	// Restore into a freshly booted system (different seed: the snapshot
+	// is authoritative for all randomness).
+	cont := snapSystem(t, 7, 1)
+	if err := cont.Restore(bytes.NewReader(snapBytes)); err != nil {
+		t.Fatal(err)
+	}
+	if got := cont.Engine().Round(); got != 25 {
+		t.Fatalf("restored round = %d, want 25", got)
+	}
+	if got := traceRounds(t, cont, 15); !equalTrace(got, want) {
+		t.Fatalf("restored run diverged:\n got %v\nwant %v", got, want)
+	}
+
+	// RestoreSystem boots entirely from the snapshot, sharded across 4
+	// workers — the worker count must stay invisible.
+	warm, err := RestoreSystem(bytes.NewReader(snapBytes), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := traceRounds(t, warm, 15); !equalTrace(got, want) {
+		t.Fatalf("RestoreSystem run diverged:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestSystemSnapshotAfterReconfigure: the snapshot must carry the *active*
+// topology, not the boot one, or the allocator restores against the wrong
+// shapes and sides.
+func TestSystemSnapshotAfterReconfigure(t *testing.T) {
+	ref := snapSystem(t, 3, 1)
+	if _, err := ref.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	next := snapTopo()
+	next.Name = "snaptest2"
+	next.Components = append(next.Components,
+		spec.Component{Name: "c", Shape: "ring", Weight: 1, Ports: []string{"r"}})
+	next.Links = append(next.Links, spec.Link{
+		A: spec.PortRef{Component: "b", Port: "q"},
+		B: spec.PortRef{Component: "c", Port: "r"},
+	})
+	if err := ref.Reconfigure(next); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Run(10); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := ref.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := traceRounds(t, ref, 10)
+
+	cont := snapSystem(t, 3, 1)
+	if err := cont.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := cont.Allocator().Topology().Name; got != "snaptest2" {
+		t.Fatalf("restored topology = %q, want the active one", got)
+	}
+	if got := cont.Allocator().Epoch(); got != 1 {
+		t.Fatalf("restored epoch = %d, want 1", got)
+	}
+	if got := traceRounds(t, cont, 10); !equalTrace(got, want) {
+		t.Fatalf("post-reconfigure resume diverged:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestRestoreRejectsMismatchedKnobs: resuming under different protocol
+// parameters would silently diverge, so it must be refused.
+func TestRestoreRejectsMismatchedKnobs(t *testing.T) {
+	ref := snapSystem(t, 1, 1)
+	if _, err := ref.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ref.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	other, err := NewSystem(Config{
+		Topology:    snapTopo(),
+		Nodes:       80,
+		Seed:        1,
+		UO1Capacity: 12, // differs from the snapshot's default 8
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("restore under different UO1Capacity succeeded")
+	} else if !strings.Contains(err.Error(), "configuration") {
+		t.Fatalf("err = %v, want configuration mismatch", err)
+	}
+}
+
+func equalTrace(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"fmt"
+
 	"sosf/internal/peersampling"
 	"sosf/internal/sim"
+	"sosf/internal/snap"
 	"sosf/internal/view"
 )
 
@@ -84,8 +87,9 @@ func (t *uo2State) reset() {
 }
 
 var (
-	_ sim.Protocol   = (*UO2)(nil)
-	_ sim.MeterAware = (*UO2)(nil)
+	_ sim.Protocol    = (*UO2)(nil)
+	_ sim.MeterAware  = (*UO2)(nil)
+	_ sim.Snapshotter = (*UO2)(nil)
 )
 
 // NewUO2 creates the distant-component overlay. maxAge bounds how long a
@@ -103,8 +107,9 @@ func (u *UO2) Name() string { return "uo2" }
 // SetMeterIndex implements sim.MeterAware.
 func (u *UO2) SetMeterIndex(i int) { u.meter = i }
 
-// InitNode implements sim.Protocol.
-func (u *UO2) InitNode(e *sim.Engine, slot int) {
+// ensureSlot grows the per-slot storage to cover slot without resetting
+// any table. Shared by InitNode and the restore path.
+func (u *UO2) ensureSlot(slot int) {
 	for len(u.states) <= slot {
 		// A table swap carries at most one descriptor per component plus
 		// the sender's own; carve that capacity up front (a reconfigure
@@ -117,11 +122,78 @@ func (u *UO2) InitNode(e *sim.Engine, slot int) {
 		u.states = append(u.states, nil)
 	}
 	u.inbox.Grow(slot + 1)
+}
+
+// InitNode implements sim.Protocol.
+func (u *UO2) InitNode(e *sim.Engine, slot int) {
+	u.ensureSlot(slot)
 	if st := u.states[slot]; st != nil {
 		st.reset()
 	} else {
 		u.states[slot] = &uo2State{}
 	}
+}
+
+// SnapshotState implements sim.Snapshotter: per slot, the dense contact
+// table — valid flags, descriptors, and absolute birth rounds (which can go
+// negative under timeout suspicion, hence the signed encoding).
+func (u *UO2) SnapshotState(w *snap.Writer) {
+	w.Len(len(u.states))
+	for _, t := range u.states {
+		w.Len(len(t.entries))
+		for ci := range t.entries {
+			entry := &t.entries[ci]
+			w.Bool(entry.valid)
+			if entry.valid {
+				snap.WriteDescriptor(w, entry.d)
+				w.Int(entry.born)
+			}
+		}
+	}
+}
+
+// RestoreState implements sim.Snapshotter.
+func (u *UO2) RestoreState(e *sim.Engine, r *snap.Reader) error {
+	n := r.Len()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != e.Size() {
+		return fmt.Errorf("uo2: snapshot covers %d slots, engine has %d", n, e.Size())
+	}
+	if n > 0 {
+		u.ensureSlot(n - 1)
+	}
+	u.states = u.states[:n]
+	u.plans = u.plans[:n]
+	for slot := 0; slot < n; slot++ {
+		width := r.Len()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		st := u.states[slot]
+		if st == nil {
+			st = &uo2State{}
+			u.states[slot] = st
+		}
+		st.reset()
+		st.ensure(width)
+		st.entries = st.entries[:width]
+		for ci := 0; ci < width; ci++ {
+			if r.Bool() {
+				st.entries[ci] = uo2Entry{
+					d:     snap.ReadDescriptor(r),
+					born:  r.Int(),
+					valid: true,
+				}
+				st.count++
+			}
+		}
+		if err := r.Err(); err != nil {
+			return err
+		}
+	}
+	return r.Err()
 }
 
 // Contacts returns the node's current foreign-component contact table as a

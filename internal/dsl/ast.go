@@ -79,6 +79,8 @@ type ScenarioEventStmt struct {
 	Count Expr
 	// Component is the kill-component target (possibly indexed).
 	Component NameRef
+	// Path is the checkpoint destination of a snapshot action.
+	Path string
 	// Body is the inline topology body of a reconfigure action.
 	Body []Stmt
 }

@@ -144,6 +144,8 @@ func (c *compiler) scenarioEvent(ev *ScenarioEventStmt) (spec.ScenarioEvent, err
 		Fraction: ev.Fraction,
 	}
 	switch out.Kind {
+	case spec.ScenSnapshot:
+		out.Path = ev.Path
 	case spec.ScenKillComponent:
 		name, err := c.instanceName(ev.Component)
 		if err != nil {

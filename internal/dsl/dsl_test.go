@@ -530,3 +530,48 @@ func TestLexFloats(t *testing.T) {
 		}
 	}
 }
+
+func TestParseSnapshotDirective(t *testing.T) {
+	topo, err := ParseTopology(`topology t {
+	    nodes 50
+	    component a ring { port p }
+	    component b ring { port q }
+	    link a.p b.q
+	    scenario { at 75 snapshot "ck-%d.sosnap" }
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Scenario) != 1 {
+		t.Fatalf("scenario = %+v", topo.Scenario)
+	}
+	ev := topo.Scenario[0]
+	if ev.Kind != "snapshot" || ev.From != 75 || ev.To != 75 || ev.Path != "ck-%d.sosnap" {
+		t.Fatalf("event = %+v", ev)
+	}
+}
+
+func TestSnapshotDirectiveErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{
+			"missing path",
+			`topology t { nodes 50 component a ring {} scenario { at 5 snapshot } }`,
+			"expected string",
+		},
+		{
+			"empty path",
+			`topology t { nodes 50 component a ring {} scenario { at 5 snapshot "" } }`,
+			"destination path",
+		},
+		{
+			"window form",
+			`topology t { nodes 50 component a ring {} scenario { during 5 9 snapshot "x" } }`,
+			"point event",
+		},
+	}
+	for _, tc := range cases {
+		if _, err := ParseTopology(tc.src); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -203,12 +203,22 @@ func (p *parser) parseScenarioEvent() (*ScenarioEventStmt, error) {
 	case "heal":
 		ev.Kind = "heal"
 		return ev, nil
+	case "snapshot":
+		// `snapshot "checkpoints/ck-%d.snap"` — the path is a string
+		// literal; a %d verb is replaced by the round number at write time.
+		ev.Kind = "snapshot"
+		path, err := p.expect(TokString)
+		if err != nil {
+			return nil, err
+		}
+		ev.Path = path.Text
+		return ev, nil
 	case "reconfigure":
 		ev.Kind = "reconfigure"
 		ev.Body, err = p.parseBlock()
 		return ev, err
 	default:
-		return nil, errf(act.Pos, "unknown scenario action %q (expected kill, join, loss, churn, partition, heal, or reconfigure)", act.Text)
+		return nil, errf(act.Pos, "unknown scenario action %q (expected kill, join, loss, churn, partition, heal, snapshot, or reconfigure)", act.Text)
 	}
 }
 

@@ -21,12 +21,12 @@ func Fig2(o Options) (*Figure, error) {
 	topo := MustTopology(RingOfRingsDSL(components))
 
 	grid, err := runGrid(o, len(nodesSweep), func(pi, run int) (*RunResult, error) {
-		res, err := RunOnce(core.Config{
+		res, err := RunOnceCheckpoint(core.Config{
 			Topology: topo,
 			Nodes:    nodesSweep[pi],
 			Seed:     seedFor(o.Seed, pi, run),
 			Workers:  o.RoundWorkers,
-		}, o.MaxRounds, true)
+		}, o.MaxRounds, true, o.checkpointPath("fig2", fmt.Sprintf("n%d", nodesSweep[pi]), run))
 		if err != nil {
 			return nil, fmt.Errorf("fig2 n=%d run=%d: %w", nodesSweep[pi], run, err)
 		}
@@ -80,12 +80,12 @@ func Fig3(o Options) (*Figure, error) {
 		topos[pi] = MustTopology(RingOfRingsDSL(comps))
 	}
 	grid, err := runGrid(o, len(compSweep), func(pi, run int) (*RunResult, error) {
-		res, err := RunOnce(core.Config{
+		res, err := RunOnceCheckpoint(core.Config{
 			Topology: topos[pi],
 			Nodes:    nodes,
 			Seed:     seedFor(o.Seed, 100+pi, run),
 			Workers:  o.RoundWorkers,
-		}, o.MaxRounds, true)
+		}, o.MaxRounds, true, o.checkpointPath("fig3", fmt.Sprintf("c%d", compSweep[pi]), run))
 		if err != nil {
 			return nil, fmt.Errorf("fig3 comps=%d run=%d: %w", compSweep[pi], run, err)
 		}
@@ -136,12 +136,12 @@ func Fig4(o Options) (*Figure, error) {
 	topo := MustTopology(RingOfRingsDSL(comps))
 
 	results, err := runRuns(o, func(run int) (*RunResult, error) {
-		res, err := RunOnce(core.Config{
+		res, err := RunOnceCheckpoint(core.Config{
 			Topology: topo,
 			Nodes:    nodes,
 			Seed:     seedFor(o.Seed, 200, run),
 			Workers:  o.RoundWorkers,
-		}, rounds, false)
+		}, rounds, false, o.checkpointPath("fig4", fmt.Sprintf("n%d", nodes), run))
 		if err != nil {
 			return nil, fmt.Errorf("fig4 run=%d: %w", run, err)
 		}

@@ -15,7 +15,10 @@
 package peersampling
 
 import (
+	"fmt"
+
 	"sosf/internal/sim"
+	"sosf/internal/snap"
 	"sosf/internal/view"
 )
 
@@ -81,8 +84,9 @@ type Protocol struct {
 }
 
 var (
-	_ sim.Protocol   = (*Protocol)(nil)
-	_ sim.MeterAware = (*Protocol)(nil)
+	_ sim.Protocol    = (*Protocol)(nil)
+	_ sim.MeterAware  = (*Protocol)(nil)
+	_ sim.Snapshotter = (*Protocol)(nil)
 )
 
 // New creates a peer-sampling protocol with the given options.
@@ -100,10 +104,10 @@ func (p *Protocol) SetMeterIndex(i int) { p.meter = i }
 // live protocol state: callers must treat it as read-only.
 func (p *Protocol) View(slot int) *view.View { return p.states[slot] }
 
-// InitNode implements sim.Protocol: it allocates the node's view and seeds
-// it from the simulated bootstrap service (a few uniformly random alive
-// nodes), which is how a fresh node would join a deployed system.
-func (p *Protocol) InitNode(e *sim.Engine, slot int) {
+// ensureSlot grows the per-slot storage (plan records, state table, inbox)
+// to cover slot. It draws no randomness, so both InitNode and the restore
+// path share it.
+func (p *Protocol) ensureSlot(slot int) {
 	for len(p.states) <= slot {
 		// Plan payloads are bounded by the shuffle length, so both
 		// buffers are carved from a chunked arena up front — one
@@ -116,6 +120,13 @@ func (p *Protocol) InitNode(e *sim.Engine, slot int) {
 		p.states = append(p.states, nil)
 	}
 	p.inbox.Grow(slot + 1)
+}
+
+// InitNode implements sim.Protocol: it allocates the node's view and seeds
+// it from the simulated bootstrap service (a few uniformly random alive
+// nodes), which is how a fresh node would join a deployed system.
+func (p *Protocol) InitNode(e *sim.Engine, slot int) {
+	p.ensureSlot(slot)
 	v := view.New(p.opts.ViewSize)
 	p.states[slot] = v
 	for i := 0; i < p.opts.Bootstrap; i++ {
@@ -125,6 +136,35 @@ func (p *Protocol) InitNode(e *sim.Engine, slot int) {
 		}
 		v.Add(n.Descriptor())
 	}
+}
+
+// SnapshotState implements sim.Snapshotter: the only inter-round state is
+// the per-slot partial view (plans and inboxes live inside one round).
+func (p *Protocol) SnapshotState(w *snap.Writer) {
+	w.Len(len(p.states))
+	for _, v := range p.states {
+		snap.WriteView(w, v)
+	}
+}
+
+// RestoreState implements sim.Snapshotter.
+func (p *Protocol) RestoreState(e *sim.Engine, r *snap.Reader) error {
+	n := r.Len()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != e.Size() {
+		return fmt.Errorf("peersampling: snapshot covers %d slots, engine has %d", n, e.Size())
+	}
+	if n > 0 {
+		p.ensureSlot(n - 1)
+	}
+	p.states = p.states[:n]
+	p.plans = p.plans[:n]
+	for slot := 0; slot < n; slot++ {
+		p.states[slot] = snap.ReadView(r)
+	}
+	return r.Err()
 }
 
 // Refresh implements sim.Protocol: age the view and reset the inbox.

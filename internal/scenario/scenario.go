@@ -16,14 +16,16 @@
 //   - loss and partition are window actions: state changes at From and is
 //     restored at To (when To > From); a point event changes state
 //     permanently.
-//   - reconfigure and heal fire once, at From.
+//   - reconfigure, heal, and snapshot fire once, at From.
 package scenario
 
 import (
 	"fmt"
+	"sort"
 
 	"sosf/internal/core"
 	"sosf/internal/sim"
+	"sosf/internal/snap"
 	"sosf/internal/spec"
 )
 
@@ -73,6 +75,13 @@ type Bound struct {
 	// OnReconfigure, when set, runs after every successful scheduled
 	// reconfiguration — embedders hook convergence-tracker resets here.
 	OnReconfigure func()
+	// OnSnapshot, when set, writes a checkpoint for a scheduled `snapshot`
+	// action. The embedding layer owns the sink so the checkpoint captures
+	// its full state (engine, allocator, tracker, and this timeline's own
+	// window bookkeeping), not just what the scenario package can see. A
+	// scheduled snapshot with no sink is a runtime error, never a silent
+	// skip.
+	OnSnapshot func(round int, path string) error
 
 	sys       *core.System
 	events    []spec.ScenarioEvent
@@ -153,6 +162,18 @@ func (b *Bound) tick(t int) {
 				eng.Heal()
 				b.note("heal")
 			}
+		case spec.ScenSnapshot:
+			if t == ev.From {
+				if b.OnSnapshot == nil {
+					b.err = fmt.Errorf("scenario: snapshot at round %d: no snapshot sink bound", t)
+					return
+				}
+				if err := b.OnSnapshot(t, ev.Path); err != nil {
+					b.err = fmt.Errorf("scenario: snapshot at round %d: %w", t, err)
+					return
+				}
+				b.note("snapshot %s", ev.Path)
+			}
 		case spec.ScenReconfigure:
 			if t == ev.From {
 				if err := b.sys.Reconfigure(ev.Reconfigure); err != nil {
@@ -170,4 +191,39 @@ func (b *Bound) tick(t int) {
 
 func (b *Bound) note(format string, args ...any) {
 	b.fired = append(b.fired, fmt.Sprintf(format, args...))
+}
+
+// SnapshotState serializes the timeline's window bookkeeping — the saved
+// loss rates of in-flight `during ... loss` windows — so a run restored
+// mid-window restores the correct rate when the window closes. Event
+// indices are written in ascending order for a deterministic stream.
+func (b *Bound) SnapshotState(w *snap.Writer) {
+	keys := make([]int, 0, len(b.savedLoss))
+	for i := range b.savedLoss {
+		keys = append(keys, i)
+	}
+	sort.Ints(keys)
+	w.Len(len(keys))
+	for _, i := range keys {
+		w.Int(i)
+		w.F64(b.savedLoss[i])
+	}
+}
+
+// RestoreState rebuilds the window bookkeeping from SnapshotState.
+func (b *Bound) RestoreState(r *snap.Reader) error {
+	n := r.Len()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	clear(b.savedLoss)
+	for j := 0; j < n; j++ {
+		i := r.Int()
+		rate := r.F64()
+		if r.Err() == nil && (i < 0 || i >= len(b.events)) {
+			return fmt.Errorf("scenario: snapshot names event %d, timeline has %d events", i, len(b.events))
+		}
+		b.savedLoss[i] = rate
+	}
+	return r.Err()
 }

@@ -92,7 +92,11 @@ func (n *Node) Descriptor() view.Descriptor {
 
 // Engine is the simulation kernel.
 type Engine struct {
-	rng       *rand.Rand
+	rng *rand.Rand
+	// src is rng's underlying source, wrapped to count draws: the count is
+	// what lets Snapshot capture the serial RNG's position and Restore
+	// replay it against a fresh source (see snapshot.go).
+	src       *countedSource
 	seed      int64
 	nodes     []*Node
 	slotOfID  []int // dense NodeID -> slot index (IDs are monotonic, never reused)
@@ -131,8 +135,10 @@ var ErrNoProtocols = errors.New("sim: engine has no registered protocols")
 
 // New creates an engine seeded with the given seed.
 func New(seed int64) *Engine {
+	src := newCountedSource(seed)
 	return &Engine{
-		rng:     rand.New(rand.NewSource(seed)),
+		rng:     rand.New(src),
+		src:     src,
 		seed:    seed,
 		meter:   NewMeter(),
 		workers: 1,

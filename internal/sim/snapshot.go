@@ -1,0 +1,337 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"sosf/internal/snap"
+	"sosf/internal/view"
+)
+
+// Snapshotter is the checkpoint/restore hook of the Protocol interface:
+// protocols that implement it can serialize their complete per-slot state
+// into a snapshot and rebuild it later, such that a restored run replays
+// the uninterrupted one byte for byte.
+//
+// SnapshotState and RestoreState are called between rounds only, so plan
+// records, inboxes, and scratch pads — state that lives strictly inside one
+// round — are never serialized. RestoreState must rebuild per-slot storage
+// for exactly the engine's (already restored) population without drawing
+// from any random source: the engine's serial RNG is part of the snapshot,
+// and a stray draw during restore would desynchronize every round that
+// follows.
+//
+// Engine.Snapshot fails if a registered protocol does not implement
+// Snapshotter — a partial snapshot could not honor the resume-equivalence
+// contract, so there is no silent skip.
+type Snapshotter interface {
+	// SnapshotState serializes the protocol's complete inter-round state.
+	SnapshotState(w *snap.Writer)
+	// RestoreState rebuilds the protocol's state from a snapshot taken by
+	// SnapshotState, against the engine's already-restored population.
+	RestoreState(e *Engine, r *snap.Reader) error
+}
+
+// countedSource wraps the engine's serial random source and counts every
+// draw. The count is what makes the source snapshottable: math/rand's
+// generator advances exactly one internal step per Int63/Uint64 call, so
+// (seed, draw count) fully determines its state, and restore replays the
+// count against a fresh source instead of capturing opaque internals.
+type countedSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+// newCountedSource seeds a counted source. rand.NewSource's concrete
+// generator has implemented Source64 since Go 1.8; the engine relies on
+// that so rand.New takes the exact same Uint64 fast path it took before
+// the wrapper existed (falling back would change the draw sequence).
+func newCountedSource(seed int64) *countedSource {
+	return &countedSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Int63 implements rand.Source.
+func (s *countedSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (s *countedSource) Uint64() uint64 {
+	s.n++
+	return s.src.Uint64()
+}
+
+// Seed implements rand.Source.
+func (s *countedSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.n = 0
+}
+
+// skip advances the source by n draws (restore's fast-forward). Each draw
+// is a few integer operations, so replaying even millions of inter-round
+// draws costs milliseconds.
+func (s *countedSource) skip(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		s.src.Uint64()
+	}
+	s.n = n
+}
+
+// engineSnapKind tags engine-level snapshots; core.System wraps the same
+// body in its own "system" container.
+const engineSnapKind = "engine"
+
+// maxSerialDraws bounds the serial-RNG draw count Restore will replay
+// (2^44 ≈ 1.8e13 draws — hours of fast-forward, far past any plausible
+// run: between-round draws scale with churn and partition activity, not
+// raw rounds). Every other field of the format fails fast on corruption;
+// without this bound, a corrupted count near 2^64 would make restore spin
+// for centuries instead of returning an error.
+const maxSerialDraws = 1 << 44
+
+// Snapshot serializes the engine's complete state — round counter, node
+// table, partition and loss state, serial-RNG position, bandwidth history,
+// and every protocol's per-slot state — such that Restore followed by M
+// rounds replays rounds N+1..N+M of the uninterrupted run byte for byte,
+// at any worker count. Call it between rounds only (mid-phase state is
+// deliberately not serializable).
+func (e *Engine) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w)
+	sw.Header(engineSnapKind)
+	if err := e.SnapshotState(sw); err != nil {
+		return err
+	}
+	return sw.Err()
+}
+
+// Restore rebuilds the engine from a Snapshot stream. The engine must
+// carry the same registered protocol stack (same names, same order) as the
+// one snapshotted; everything else — population, round, RNG position — is
+// replaced by the snapshot's state. Worker configuration is untouched:
+// resuming with a different worker count yields the same results.
+func (e *Engine) Restore(r io.Reader) error {
+	sr := snap.NewReader(r)
+	sr.Header(engineSnapKind)
+	if err := e.RestoreState(sr); err != nil {
+		return err
+	}
+	return sr.Err()
+}
+
+// SnapshotState writes the engine body without a container header, for
+// embedding in higher-level snapshots (core.System). It fails up front if
+// any registered protocol cannot checkpoint itself.
+func (e *Engine) SnapshotState(w *snap.Writer) error {
+	for _, p := range e.protocols {
+		if _, ok := p.(Snapshotter); !ok {
+			return fmt.Errorf("sim: protocol %q does not implement Snapshotter", p.Name())
+		}
+	}
+	w.I64(e.seed)
+	w.Uvarint(e.src.n)
+	w.Int(e.round)
+	w.Varint(int64(e.nextID))
+	w.F64(e.lossRate)
+
+	w.Len(len(e.nodes))
+	for _, n := range e.nodes {
+		w.Varint(int64(n.ID))
+		w.Bool(n.Alive)
+		w.Int(n.Joined)
+		snap.WriteProfile(w, n.Profile)
+	}
+
+	w.Bool(e.partition != nil)
+	if e.partition != nil {
+		w.Len(len(e.partition))
+		for _, g := range e.partition {
+			w.Int(g)
+		}
+	}
+
+	e.meter.snapshot(w)
+
+	w.Len(len(e.protocols))
+	var body bytes.Buffer
+	for _, p := range e.protocols {
+		body.Reset()
+		bw := snap.NewWriter(&body)
+		p.(Snapshotter).SnapshotState(bw)
+		if err := bw.Err(); err != nil {
+			return err
+		}
+		w.String(p.Name())
+		w.Bytes(body.Bytes())
+	}
+	return w.Err()
+}
+
+// RestoreState reads the engine body written by SnapshotState.
+func (e *Engine) RestoreState(r *snap.Reader) error {
+	for _, p := range e.protocols {
+		if _, ok := p.(Snapshotter); !ok {
+			return fmt.Errorf("sim: protocol %q does not implement Snapshotter", p.Name())
+		}
+	}
+
+	seed := r.I64()
+	draws := r.Uvarint()
+	round := r.Int()
+	nextID := r.Varint()
+	lossRate := r.F64()
+	nodeCount := r.Len()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if round < 0 || nextID < 0 || nodeCount != int(nextID) {
+		return fmt.Errorf("snap: inconsistent engine state (round %d, %d nodes, next ID %d)", round, nodeCount, nextID)
+	}
+	if draws > maxSerialDraws {
+		return fmt.Errorf("snap: serial RNG draw count %d exceeds the %d replay bound (corrupt snapshot?)", draws, uint64(maxSerialDraws))
+	}
+
+	nodes := make([]*Node, 0, nodeCount)
+	slotOfID := make([]int, nodeCount)
+	for i := range slotOfID {
+		slotOfID[i] = -1
+	}
+	for slot := 0; slot < nodeCount; slot++ {
+		id := r.Varint()
+		alive := r.Bool()
+		joined := r.Int()
+		profile := snap.ReadProfile(r)
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if id < 0 || id >= nextID || slotOfID[id] >= 0 {
+			return fmt.Errorf("snap: invalid or duplicate node ID %d", id)
+		}
+		slotOfID[id] = slot
+		nodes = append(nodes, &Node{
+			Slot:    slot,
+			ID:      view.NodeID(id),
+			Alive:   alive,
+			Joined:  joined,
+			Profile: profile,
+		})
+	}
+
+	var partition []int
+	if r.Bool() {
+		n := r.Len()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		partition = make([]int, n)
+		for i := range partition {
+			partition[i] = r.Int()
+		}
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+
+	// All fixed-size state decoded: commit, then restore the variable
+	// sections (meter, protocols) that validate against the stack.
+	src := newCountedSource(seed)
+	src.skip(draws)
+	e.seed = seed
+	e.src = src
+	e.rng = rand.New(src)
+	e.round = round
+	e.nextID = view.NodeID(nextID)
+	e.lossRate = lossRate
+	e.nodes = nodes
+	e.slotOfID = slotOfID
+	e.partition = partition
+	e.aliveOK = false
+
+	if err := e.meter.restore(r); err != nil {
+		return err
+	}
+
+	np := r.Len()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if np != len(e.protocols) {
+		return fmt.Errorf("snap: snapshot has %d protocols, engine has %d", np, len(e.protocols))
+	}
+	for i, p := range e.protocols {
+		name := r.String()
+		body := r.Bytes()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if name != p.Name() {
+			return fmt.Errorf("snap: protocol %d is %q in the snapshot but %q in the engine", i, name, p.Name())
+		}
+		br := snap.NewReader(bytes.NewReader(body))
+		if err := p.(Snapshotter).RestoreState(e, br); err != nil {
+			return fmt.Errorf("snap: protocol %q: %w", name, err)
+		}
+		br.ExpectEOF()
+		if err := br.Err(); err != nil {
+			return fmt.Errorf("snap: protocol %q: %w", name, err)
+		}
+	}
+	return r.Err()
+}
+
+// snapshot serializes the meter: protocol names (validated on restore),
+// in-flight round counters, and the full per-round history — the history
+// keeps resumed runs' bandwidth figures and reports identical to the
+// uninterrupted run's.
+func (m *Meter) snapshot(w *snap.Writer) {
+	w.Len(len(m.names))
+	for _, name := range m.names {
+		w.String(name)
+	}
+	for _, c := range m.current {
+		w.Varint(c)
+	}
+	w.Len(len(m.history))
+	for _, row := range m.history {
+		for _, v := range row {
+			w.Varint(v)
+		}
+	}
+}
+
+// restore rebuilds the meter from snapshot, validating that the registered
+// protocol set matches.
+func (m *Meter) restore(r *snap.Reader) error {
+	n := r.Len()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != len(m.names) {
+		return fmt.Errorf("snap: meter has %d protocols, snapshot has %d", len(m.names), n)
+	}
+	for i, want := range m.names {
+		if got := r.String(); r.Err() == nil && got != want {
+			return fmt.Errorf("snap: meter protocol %d is %q in the snapshot but %q in the engine", i, got, want)
+		}
+	}
+	for i := range m.current {
+		m.current[i] = r.Varint()
+	}
+	rounds := r.Len()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	np := len(m.names)
+	m.history = m.history[:0]
+	m.arena = make([]int64, 0, rounds*np)
+	for i := 0; i < rounds; i++ {
+		start := len(m.arena)
+		for j := 0; j < np; j++ {
+			m.arena = append(m.arena, r.Varint())
+		}
+		m.history = append(m.history, m.arena[start:len(m.arena):len(m.arena)])
+	}
+	return r.Err()
+}

@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sosf/internal/snap"
+)
+
+// TestCountedSourceReplay is the foundation of serial-RNG restore: after an
+// arbitrary mix of draws, a fresh source fast-forwarded by the recorded
+// count must continue with exactly the same values.
+func TestCountedSourceReplay(t *testing.T) {
+	src := newCountedSource(12345)
+	rng := rand.New(src)
+	// A deliberately mixed diet: every entry point the engine uses between
+	// rounds (Shuffle and Intn reject-sample, so the draw count is not
+	// simply the call count — exactly what the counter must absorb).
+	for i := 0; i < 1000; i++ {
+		rng.Uint64()
+		rng.Intn(7)
+		rng.Float64()
+		rng.Shuffle(13, func(a, b int) {})
+		rng.Int63n(1<<62 + 3)
+	}
+
+	replaySrc := newCountedSource(12345)
+	replaySrc.skip(src.n)
+	replay := rand.New(replaySrc)
+	for i := 0; i < 100; i++ {
+		if a, b := rng.Uint64(), replay.Uint64(); a != b {
+			t.Fatalf("draw %d diverged after replay: %d != %d", i, a, b)
+		}
+	}
+}
+
+// snapProbe is a minimal protocol with per-slot state and random draws in
+// every phase, to exercise engine snapshot/restore without the full stack.
+type snapProbe struct {
+	marks []uint64
+	inbox Inbox
+}
+
+func (p *snapProbe) Name() string { return "probe" }
+func (p *snapProbe) InitNode(e *Engine, slot int) {
+	for len(p.marks) <= slot {
+		p.marks = append(p.marks, 0)
+	}
+	p.inbox.Grow(slot + 1)
+}
+func (p *snapProbe) Refresh(ctx *Ctx) { p.inbox.Reset(ctx.Slot()) }
+func (p *snapProbe) Plan(ctx *Ctx) {
+	p.marks[ctx.Slot()] = p.marks[ctx.Slot()]*31 + ctx.Rand().Uint64()
+}
+func (p *snapProbe) Deliver(e *Engine, slot int) {}
+func (p *snapProbe) Absorb(ctx *Ctx)             {}
+
+func (p *snapProbe) SnapshotState(w *snap.Writer) {
+	w.Len(len(p.marks))
+	for _, m := range p.marks {
+		w.U64(m)
+	}
+}
+
+func (p *snapProbe) RestoreState(e *Engine, r *snap.Reader) error {
+	n := r.Len()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	p.marks = p.marks[:0]
+	for i := 0; i < n; i++ {
+		p.marks = append(p.marks, r.U64())
+		p.inbox.Grow(i + 1)
+	}
+	return r.Err()
+}
+
+func buildProbeEngine(t *testing.T, seed int64) (*Engine, *snapProbe) {
+	t.Helper()
+	e := New(seed)
+	probe := &snapProbe{}
+	e.Register(probe)
+	for _, slot := range e.AddNodes(64) {
+		e.Node(slot).Profile.Key = e.Rand().Uint64()
+		e.InitNode(slot)
+	}
+	return e, probe
+}
+
+// runChaos drives rounds with inter-round churn, partitions and loss — all
+// the serial-RNG consumers — so restore must reproduce every dimension.
+func runChaos(t *testing.T, e *Engine, rounds int) {
+	t.Helper()
+	for i := 0; i < rounds; i++ {
+		e.RunRound()
+		switch e.Round() % 7 {
+		case 2:
+			e.KillFraction(0.05)
+		case 3:
+			for _, slot := range e.AddNodes(2) {
+				e.Node(slot).Profile.Key = e.Rand().Uint64()
+				e.InitNode(slot)
+			}
+		case 4:
+			e.Partition(2)
+		case 5:
+			e.Heal()
+			e.SetLossRate(0.1)
+		case 6:
+			e.SetLossRate(0)
+		}
+	}
+}
+
+func TestEngineSnapshotRestoreEquivalence(t *testing.T) {
+	// Uninterrupted reference: 20 + 15 chaotic rounds.
+	ref, refProbe := buildProbeEngine(t, 99)
+	runChaos(t, ref, 20)
+
+	var buf bytes.Buffer
+	if err := ref.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snapBytes := append([]byte(nil), buf.Bytes()...)
+	runChaos(t, ref, 15)
+
+	// Restored run: a *differently seeded* fresh engine (restore must
+	// replace everything, including the seed) continuing the same 15.
+	cont, contProbe := buildProbeEngine(t, 7)
+	runChaos(t, cont, 3) // arbitrary pre-restore state, wiped by Restore
+	if err := cont.Restore(bytes.NewReader(snapBytes)); err != nil {
+		t.Fatal(err)
+	}
+	if cont.Round() != 20 {
+		t.Fatalf("restored round = %d, want 20", cont.Round())
+	}
+	runChaos(t, cont, 15)
+
+	if ref.Round() != cont.Round() || ref.Size() != cont.Size() {
+		t.Fatalf("round/size: ref %d/%d, cont %d/%d", ref.Round(), ref.Size(), cont.Round(), cont.Size())
+	}
+	if ref.AliveCount() != cont.AliveCount() {
+		t.Fatalf("alive: ref %d, cont %d", ref.AliveCount(), cont.AliveCount())
+	}
+	for slot := 0; slot < ref.Size(); slot++ {
+		a, b := ref.Node(slot), cont.Node(slot)
+		if a.ID != b.ID || a.Alive != b.Alive || a.Joined != b.Joined || a.Profile != b.Profile {
+			t.Fatalf("node %d: ref %+v, cont %+v", slot, a, b)
+		}
+	}
+	if len(refProbe.marks) != len(contProbe.marks) {
+		t.Fatalf("mark counts differ: %d vs %d", len(refProbe.marks), len(contProbe.marks))
+	}
+	for i := range refProbe.marks {
+		if refProbe.marks[i] != contProbe.marks[i] {
+			t.Fatalf("mark %d: ref %d, cont %d", i, refProbe.marks[i], contProbe.marks[i])
+		}
+	}
+	// The serial RNGs must be in the same position too.
+	if a, b := ref.Rand().Uint64(), cont.Rand().Uint64(); a != b {
+		t.Fatalf("serial RNG diverged after resume: %d != %d", a, b)
+	}
+}
+
+// TestSnapshotRequiresSnapshotter: an engine with a plain protocol cannot
+// checkpoint — partial snapshots are refused loudly, never written quietly.
+type plainProbe struct{}
+
+func (plainProbe) Name() string          { return "plain" }
+func (plainProbe) InitNode(*Engine, int) {}
+func (plainProbe) Refresh(*Ctx)          {}
+func (plainProbe) Plan(*Ctx)             {}
+func (plainProbe) Deliver(*Engine, int)  {}
+func (plainProbe) Absorb(*Ctx)           {}
+
+func TestSnapshotRequiresSnapshotter(t *testing.T) {
+	e := New(1)
+	e.Register(plainProbe{})
+	e.AddNodes(4)
+	var buf bytes.Buffer
+	err := e.Snapshot(&buf)
+	if err == nil || !strings.Contains(err.Error(), "plain") {
+		t.Fatalf("err = %v, want Snapshotter complaint naming the protocol", err)
+	}
+}
+
+// TestRestoreRejectsAbsurdDrawCount: a corrupted draw count must produce
+// an error, not an effectively infinite fast-forward loop.
+func TestRestoreRejectsAbsurdDrawCount(t *testing.T) {
+	// Hand-build a stream whose fixed prefix is self-consistent (an empty
+	// population) but whose draw count is far past the replay bound.
+	var buf bytes.Buffer
+	w := snap.NewWriter(&buf)
+	w.Header("engine")
+	w.I64(1)           // seed
+	w.Uvarint(1 << 50) // draws: absurd
+	w.Int(1)           // round
+	w.Varint(0)        // nextID
+	w.F64(0)           // loss rate
+	w.Len(0)           // node count
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	e := New(1)
+	e.Register(&snapProbe{})
+	err := e.Restore(bytes.NewReader(buf.Bytes()))
+	if err == nil || !strings.Contains(err.Error(), "replay bound") {
+		t.Fatalf("err = %v, want draw-count bound rejection", err)
+	}
+}
+
+// TestRestoreRejectsMismatchedStack: a snapshot taken under one protocol
+// stack must not restore into another.
+func TestRestoreRejectsMismatchedStack(t *testing.T) {
+	e, _ := buildProbeEngine(t, 1)
+	runChaos(t, e, 5)
+	var buf bytes.Buffer
+	if err := e.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	other := New(1)
+	other.Register(&snapProbe{})
+	other.Register(&snapProbe{})
+	if err := other.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("restore into a two-protocol engine succeeded")
+	}
+}
+
+// TestMeterSnapshotRoundTrip: bandwidth history must survive a checkpoint
+// so resumed runs report the same per-round and whole-run figures.
+func TestMeterSnapshotRoundTrip(t *testing.T) {
+	m := NewMeter()
+	m.AddProtocol("a")
+	m.AddProtocol("b")
+	for r := 0; r < 10; r++ {
+		m.Count(0, r*3+1)
+		m.Count(1, r*5+2)
+		m.EndRound()
+	}
+
+	var buf bytes.Buffer
+	w := snap.NewWriter(&buf)
+	m.snapshot(w)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	n := NewMeter()
+	n.AddProtocol("a")
+	n.AddProtocol("b")
+	r := snap.NewReader(&buf)
+	if err := n.restore(r); err != nil {
+		t.Fatal(err)
+	}
+	if n.Rounds() != m.Rounds() {
+		t.Fatalf("rounds = %d, want %d", n.Rounds(), m.Rounds())
+	}
+	for round := 0; round < m.Rounds(); round++ {
+		for p := 0; p < 2; p++ {
+			if n.RoundTotal(round, p) != m.RoundTotal(round, p) {
+				t.Fatalf("round %d protocol %d: %d != %d", round, p, n.RoundTotal(round, p), m.RoundTotal(round, p))
+			}
+		}
+	}
+}

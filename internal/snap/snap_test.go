@@ -1,0 +1,142 @@
+package snap
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sosf/internal/view"
+)
+
+func TestPrimitiveRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Header("test")
+	w.U16(0xbeef)
+	w.U32(0xdeadbeef)
+	w.U64(1<<63 + 17)
+	w.I64(-42)
+	w.F64(3.5)
+	w.Bool(true)
+	w.Bool(false)
+	w.Uvarint(1 << 40)
+	w.Varint(-(1 << 40))
+	w.Int(-7)
+	w.Len(3)
+	w.Bytes([]byte{1, 2, 3})
+	w.String("hello")
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	r.Header("test")
+	if got := r.U16(); got != 0xbeef {
+		t.Fatalf("U16 = %#x", got)
+	}
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Fatalf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 1<<63+17 {
+		t.Fatalf("U64 = %d", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Fatalf("I64 = %d", got)
+	}
+	if got := r.F64(); got != 3.5 {
+		t.Fatalf("F64 = %g", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("Bool round-trip failed")
+	}
+	if got := r.Uvarint(); got != 1<<40 {
+		t.Fatalf("Uvarint = %d", got)
+	}
+	if got := r.Varint(); got != -(1 << 40) {
+		t.Fatalf("Varint = %d", got)
+	}
+	if got := r.Int(); got != -7 {
+		t.Fatalf("Int = %d", got)
+	}
+	if got := r.Len(); got != 3 {
+		t.Fatalf("Len = %d", got)
+	}
+	if got := r.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("Bytes = %v", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Fatalf("String = %q", got)
+	}
+	r.ExpectEOF()
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderRejectsWrongKind(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Header("engine")
+	r := NewReader(&buf)
+	r.Header("system")
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), `"engine"`) {
+		t.Fatalf("err = %v, want kind mismatch", err)
+	}
+}
+
+func TestHeaderRejectsGarbage(t *testing.T) {
+	r := NewReader(strings.NewReader("this is not a snapshot at all"))
+	r.Header("system")
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("err = %v, want bad magic", err)
+	}
+}
+
+func TestTruncatedStreamIsCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Header("test")
+	w.U64(7)
+	data := buf.Bytes()[:buf.Len()-3]
+	r := NewReader(bytes.NewReader(data))
+	r.Header("test")
+	_ = r.U64()
+	if r.Err() == nil {
+		t.Fatal("truncated stream decoded without error")
+	}
+}
+
+func TestExpectEOFRejectsTrailingBytes(t *testing.T) {
+	r := NewReader(strings.NewReader("x"))
+	r.ExpectEOF()
+	if r.Err() == nil {
+		t.Fatal("trailing byte not rejected")
+	}
+}
+
+func TestViewRoundTrip(t *testing.T) {
+	v := view.New(8)
+	v.Add(view.Descriptor{ID: 3, Age: 2, Profile: view.Profile{Comp: 1, Index: 4, Size: 9, Key: 77, Epoch: 2}})
+	v.Add(view.Descriptor{ID: 9, Age: 0})
+	v.Add(view.Descriptor{ID: 1, Age: 65535})
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	WriteView(w, v)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	got := ReadView(r)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Cap() != v.Cap() || got.Len() != v.Len() {
+		t.Fatalf("cap/len = %d/%d, want %d/%d", got.Cap(), got.Len(), v.Cap(), v.Len())
+	}
+	for i := 0; i < v.Len(); i++ {
+		if got.At(i) != v.At(i) {
+			t.Fatalf("entry %d = %+v, want %+v (order is state)", i, got.At(i), v.At(i))
+		}
+	}
+}

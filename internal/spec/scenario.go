@@ -19,6 +19,7 @@ const (
 	ScenPartition     ScenarioKind = "partition"
 	ScenHeal          ScenarioKind = "heal"
 	ScenReconfigure   ScenarioKind = "reconfigure"
+	ScenSnapshot      ScenarioKind = "snapshot"
 )
 
 // ScenarioEvent is one scheduled action of a scenario timeline. Time is
@@ -36,6 +37,9 @@ type ScenarioEvent struct {
 	Count int
 	// Component names the kill-component target.
 	Component string
+	// Path is the checkpoint destination of a snapshot action; a "%d" verb
+	// in it is replaced by the round number at write time.
+	Path string
 	// Reconfigure is the target topology of a reconfigure action.
 	Reconfigure *Topology
 }
@@ -60,6 +64,8 @@ func (ev ScenarioEvent) String() string {
 			name = " " + ev.Reconfigure.Name
 		}
 		return fmt.Sprintf("%s reconfigure%s", when, name)
+	case ScenSnapshot:
+		return fmt.Sprintf("%s snapshot %q", when, ev.Path)
 	default:
 		return fmt.Sprintf("%s %s", when, ev.Kind)
 	}
@@ -142,6 +148,13 @@ func (t *Topology) validateEvent(ev ScenarioEvent) error {
 		}
 	case ScenHeal:
 		// No arguments.
+	case ScenSnapshot:
+		if ev.Path == "" {
+			return fmt.Errorf("snapshot needs a destination path")
+		}
+		if ev.To != ev.From {
+			return fmt.Errorf("snapshot is a point event; use `at`, not a window")
+		}
 	case ScenReconfigure:
 		if ev.Reconfigure == nil {
 			return fmt.Errorf("reconfigure needs a target topology")

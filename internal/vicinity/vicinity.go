@@ -14,8 +14,11 @@
 package vicinity
 
 import (
+	"fmt"
+
 	"sosf/internal/peersampling"
 	"sosf/internal/sim"
+	"sosf/internal/snap"
 	"sosf/internal/view"
 )
 
@@ -112,6 +115,7 @@ type Protocol struct {
 var (
 	_ sim.Protocol    = (*Protocol)(nil)
 	_ sim.MeterAware  = (*Protocol)(nil)
+	_ sim.Snapshotter = (*Protocol)(nil)
 	_ CandidateSource = (*Protocol)(nil)
 	_ ViewSource      = (*Protocol)(nil)
 )
@@ -156,8 +160,10 @@ func (p *Protocol) SetMeterIndex(i int) { p.meter = i }
 // View returns the overlay view of the node at slot (treat as read-only).
 func (p *Protocol) View(slot int) *view.View { return p.states[slot] }
 
-// InitNode implements sim.Protocol.
-func (p *Protocol) InitNode(e *sim.Engine, slot int) {
+// ensureSlot grows the per-slot storage (plan records, state table, inbox)
+// to cover slot, without touching any view. Shared by InitNode and the
+// restore path (which must not draw randomness or consult profiles).
+func (p *Protocol) ensureSlot(slot int) {
 	for len(p.states) <= slot {
 		// Both payloads are bounded by the gossip budget; carving them
 		// from a chunked arena makes population setup two allocations
@@ -169,8 +175,43 @@ func (p *Protocol) InitNode(e *sim.Engine, slot int) {
 		p.states = append(p.states, nil)
 	}
 	p.inbox.Grow(slot + 1)
+}
+
+// InitNode implements sim.Protocol.
+func (p *Protocol) InitNode(e *sim.Engine, slot int) {
+	p.ensureSlot(slot)
 	capacity := p.ranker.Capacity(e.Node(slot).Profile)
 	p.states[slot] = view.New(capacity)
+}
+
+// SnapshotState implements sim.Snapshotter: the inter-round state is the
+// per-slot overlay view (capacities included — they are re-derived from the
+// ranker on the next Refresh anyway, but the view's entry order is state).
+func (p *Protocol) SnapshotState(w *snap.Writer) {
+	w.Len(len(p.states))
+	for _, v := range p.states {
+		snap.WriteView(w, v)
+	}
+}
+
+// RestoreState implements sim.Snapshotter.
+func (p *Protocol) RestoreState(e *sim.Engine, r *snap.Reader) error {
+	n := r.Len()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != e.Size() {
+		return fmt.Errorf("vicinity %s: snapshot covers %d slots, engine has %d", p.name, n, e.Size())
+	}
+	if n > 0 {
+		p.ensureSlot(n - 1)
+	}
+	p.states = p.states[:n]
+	p.plans = p.plans[:n]
+	for slot := 0; slot < n; slot++ {
+		p.states[slot] = snap.ReadView(r)
+	}
+	return r.Err()
 }
 
 // Refresh implements sim.Protocol: per-slot view maintenance plus the free

@@ -39,6 +39,9 @@ type config struct {
 	churnRate   float64
 	scenario    Scenario
 	events      []func(RoundEvent)
+	restorePath string
+	snapEvery   int
+	snapPath    string
 	err         error // first invalid option, surfaced by New
 }
 
@@ -156,6 +159,43 @@ func WithChurn(rate float64) Option {
 // so the whole timeline plays out; bound the run with WithRounds.
 func WithScenario(sc Scenario) Option {
 	return optionFunc(func(c *config) { c.scenario = append(c.scenario, sc...) })
+}
+
+// WithSnapshotEvery writes a checkpoint of the full run state to path after
+// every n-th completed round. A "%d" verb in path is replaced by the round
+// number (keep every checkpoint); without one the same file is rolled
+// (always the latest). The checkpoint is written after all of the round's
+// observers — scenario actions, churn, convergence tracking, event
+// emission — so restoring it resumes exactly where the next round would
+// have started. A failed write stops the run; the error surfaces from Step.
+func WithSnapshotEvery(n int, path string) Option {
+	return optionFunc(func(c *config) {
+		if n < 1 {
+			c.fail("sosf.WithSnapshotEvery: interval must be >= 1, got %d", n)
+			return
+		}
+		if path == "" {
+			c.fail("sosf.WithSnapshotEvery: path must not be empty")
+			return
+		}
+		c.snapEvery, c.snapPath = n, path
+	})
+}
+
+// WithRestoreFrom restores the run state from a checkpoint file written by
+// System.Snapshot (or WithSnapshotEvery, or the DSL's `snapshot` action)
+// once the system is built. The DSL source and behavior options must match
+// the checkpointed run's; population, round counter, RNG position, and all
+// protocol state come from the checkpoint. Stepping the restored system
+// replays the uninterrupted run byte for byte, at any worker count.
+func WithRestoreFrom(path string) Option {
+	return optionFunc(func(c *config) {
+		if path == "" {
+			c.fail("sosf.WithRestoreFrom: path must not be empty")
+			return
+		}
+		c.restorePath = path
+	})
 }
 
 // WithEvents subscribes fn to the per-round event stream at construction

@@ -1,0 +1,197 @@
+package sosf
+
+// The resume-equivalence contract: `run N rounds → snapshot → restore → run
+// M rounds` must produce an event stream byte-identical to the
+// uninterrupted N+M-round run, for any worker count. These tests enforce it
+// against the frozen golden fixture — the same fixture the plain
+// determinism tests compare against — so a checkpoint/restore cycle is
+// provably invisible to a run's output. CI enforces the same property
+// end-to-end through the `sos snapshot` / `sos resume` subcommands.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+const resumeSplit = 75 // snapshot round: mid-run, after the reconfiguration at 45
+
+// playdemoSystem builds the playdemo scenario system with the golden run's
+// options plus any extras (worker counts, restore sources).
+func playdemoSystem(t *testing.T, extra ...Option) *System {
+	t.Helper()
+	src, err := os.ReadFile("testdata/playdemo.sos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := append([]Option{
+		WithNodes(0),
+		WithRounds(DefaultRounds),
+		WithSeed(DefaultSeed),
+		WithRunToEnd(),
+	}, extra...)
+	sys, err := New(string(src), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// resumeStream replays the golden scenario split at resumeSplit with the
+// given worker counts for the two halves, returning the concatenated event
+// stream and both halves' final reports.
+func resumeStream(t *testing.T, snapWorkers, resumeWorkers int) (stream []byte, snapRep, resumeRep *Report) {
+	t.Helper()
+	ckpt := filepath.Join(t.TempDir(), "ck.sosnap")
+
+	first := playdemoSystem(t, WithWorkers(snapWorkers))
+	var buf bytes.Buffer
+	first.Subscribe(JSONLSink(&buf))
+	if _, err := first.Step(resumeSplit); err != nil {
+		t.Fatal(err)
+	}
+	if err := first.WriteSnapshot(ckpt); err != nil {
+		t.Fatal(err)
+	}
+
+	second := playdemoSystem(t, WithWorkers(resumeWorkers), WithRestoreFrom(ckpt))
+	if got := second.Round(); got != resumeSplit {
+		t.Fatalf("restored round = %d, want %d", got, resumeSplit)
+	}
+	second.Subscribe(JSONLSink(&buf))
+	if _, err := second.Step(DefaultRounds - resumeSplit); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), first.Report(), second.Report()
+}
+
+func TestResumeEquivalenceGolden(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden/playdemo.events.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []struct{ snap, resume int }{
+		{1, 1},
+		{4, 4},
+		{1, 4}, // a snapshot is worker-count-free: mix the halves too
+	} {
+		got, _, _ := resumeStream(t, workers.snap, workers.resume)
+		if !bytes.Equal(got, want) {
+			gotLines := bytes.Split(got, []byte("\n"))
+			wantLines := bytes.Split(want, []byte("\n"))
+			for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+				if !bytes.Equal(gotLines[i], wantLines[i]) {
+					t.Fatalf("workers %d→%d: resumed stream diverges from the golden fixture at line %d:\n got: %s\nwant: %s",
+						workers.snap, workers.resume, i+1, gotLines[i], wantLines[i])
+				}
+			}
+			t.Fatalf("workers %d→%d: resumed stream differs in length (got %d, want %d bytes)",
+				workers.snap, workers.resume, len(got), len(want))
+		}
+	}
+}
+
+// TestResumeReportEquivalence: the resumed run's final report — including
+// convergence rounds (tracker state) and whole-run bandwidth averages
+// (meter history) — must match the uninterrupted run's byte for byte.
+func TestResumeReportEquivalence(t *testing.T) {
+	uninterrupted := playdemoSystem(t)
+	if _, err := uninterrupted.Step(DefaultRounds); err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(uninterrupted.Report())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, resumedRep := resumeStream(t, 1, 1)
+	got, err := json.Marshal(resumedRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed report differs:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestSnapshotEvery: periodic checkpoints land where configured, and the
+// newest one resumes to the same stream tail as the uninterrupted run.
+func TestSnapshotEvery(t *testing.T) {
+	dir := t.TempDir()
+	tmpl := filepath.Join(dir, "ck-%d.sosnap")
+
+	sys := playdemoSystem(t, WithSnapshotEvery(25, tmpl))
+	var full bytes.Buffer
+	sys.Subscribe(JSONLSink(&full))
+	if _, err := sys.Step(DefaultRounds); err != nil {
+		t.Fatal(err)
+	}
+	for _, round := range []int{25, 50, 75, 100, 125, 150} {
+		if _, err := os.Stat(filepath.Join(dir, "ck-"+strconv.Itoa(round)+".sosnap")); err != nil {
+			t.Fatalf("checkpoint for round %d missing: %v", round, err)
+		}
+	}
+
+	resumed := playdemoSystem(t, WithRestoreFrom(filepath.Join(dir, "ck-100.sosnap")))
+	var tail bytes.Buffer
+	resumed.Subscribe(JSONLSink(&tail))
+	if _, err := resumed.Step(DefaultRounds - 100); err != nil {
+		t.Fatal(err)
+	}
+	fullLines := bytes.Split(full.Bytes(), []byte("\n"))
+	wantTail := bytes.Join(fullLines[100:], []byte("\n"))
+	if !bytes.Equal(tail.Bytes(), wantTail) {
+		t.Fatal("resume from a periodic checkpoint diverged from the uninterrupted tail")
+	}
+}
+
+// TestScenarioSnapshotDirective: a `snapshot at R "path"` action in the DSL
+// writes a checkpoint that resumes byte-identically.
+func TestScenarioSnapshotDirective(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "dsl.sosnap")
+	src := `topology snapdemo {
+	    nodes 120
+	    component a ring { port p }
+	    component b ring { port q }
+	    link a.p b.q
+	    scenario {
+	        during 10 20 loss 0.1
+	        at 15 snapshot "` + ckpt + `"
+	        at 30 kill 0.2
+	    }
+	}`
+
+	sys, err := New(src, WithSeed(5), WithRounds(60), WithRunToEnd())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full bytes.Buffer
+	sys.Subscribe(JSONLSink(&full))
+	if _, err := sys.Step(60); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("scheduled snapshot missing: %v", err)
+	}
+
+	// The snapshot fired at round 15, inside the loss window: the restored
+	// run must restore the pre-window rate at round 20 (Bound state).
+	resumed, err := New(src, WithSeed(5), WithRounds(60), WithRunToEnd(), WithRestoreFrom(ckpt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tail bytes.Buffer
+	resumed.Subscribe(JSONLSink(&tail))
+	if _, err := resumed.Step(60 - 15); err != nil {
+		t.Fatal(err)
+	}
+	fullLines := bytes.Split(full.Bytes(), []byte("\n"))
+	wantTail := bytes.Join(fullLines[15:], []byte("\n"))
+	if !bytes.Equal(tail.Bytes(), wantTail) {
+		t.Fatal("resume from a DSL-scheduled snapshot diverged from the uninterrupted tail")
+	}
+}

@@ -1,0 +1,162 @@
+package sosf
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sosf/internal/core"
+	"sosf/internal/sim"
+	"sosf/internal/snap"
+)
+
+// Snapshot writes a checkpoint of the complete run state: the engine
+// (population, round counter, RNG position, partition/loss state, bandwidth
+// history), every protocol layer's per-node state, the allocator and the
+// *active* topology, the convergence tracker, and any in-flight scenario
+// window state. Restoring it and stepping M more rounds replays rounds
+// N+1..N+M of the uninterrupted run byte for byte — events, figures, and
+// reports — at any worker count.
+//
+// Call Snapshot between Steps only (the engine cannot checkpoint
+// mid-round). The format is versioned; see the README's "Checkpoint &
+// resume" section for the compatibility policy.
+func (s *System) Snapshot(w io.Writer) error {
+	if err := s.sys.Snapshot(w); err != nil {
+		return err
+	}
+	// The sosf trailer rides behind the core snapshot in the same stream:
+	// convergence-tracker state (so resumed reports carry the same
+	// converged_at rounds) and the scenario timeline's window bookkeeping.
+	sw := snap.NewWriter(w)
+	sw.String("sosf-trailer")
+	sw.Len(len(s.tracker.FirstDone))
+	for _, sub := range core.Subs() {
+		if round, ok := s.tracker.FirstDone[sub]; ok {
+			sw.Int(int(sub))
+			sw.Int(round)
+		}
+	}
+	sw.Len(len(s.tracker.History))
+	for _, m := range s.tracker.History {
+		sw.Int(m.Round)
+		for _, sub := range core.Subs() {
+			sw.F64(m.Fraction[sub])
+		}
+	}
+	sw.Bool(s.bound != nil)
+	if s.bound != nil {
+		s.bound.SnapshotState(sw)
+	}
+	return sw.Err()
+}
+
+// WriteSnapshot writes Snapshot to a file, atomically: the stream lands in
+// a temp file next to path and is renamed over it only once fully written.
+// Rolling checkpoints (WithSnapshotEvery without a "%d" verb) depend on
+// this — a crash or full disk mid-write must not destroy the previous good
+// checkpoint, which is exactly the file a crashed run recovers from.
+func (s *System) WriteSnapshot(path string) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if err := s.Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return fmt.Errorf("sosf: snapshot to %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
+}
+
+// Restore rebuilds the system's run state from a Snapshot stream. The
+// system must have been built from the same DSL source and behavior
+// configuration (protocol knobs are verified; topology follows the
+// snapshot, which matters after mid-run reconfigurations). Typically used
+// through WithRestoreFrom rather than called directly.
+func (s *System) Restore(r io.Reader) error {
+	if err := s.sys.Restore(r); err != nil {
+		return err
+	}
+	sr := snap.NewReader(r)
+	if tag := sr.String(); sr.Err() == nil && tag != "sosf-trailer" {
+		return fmt.Errorf("sosf: snapshot trailer is %q, want \"sosf-trailer\"", tag)
+	}
+	nDone := sr.Len()
+	if err := sr.Err(); err != nil {
+		return err
+	}
+	s.tracker.FirstDone = make(map[core.Sub]int, nDone)
+	for i := 0; i < nDone; i++ {
+		sub := core.Sub(sr.Int())
+		round := sr.Int()
+		s.tracker.FirstDone[sub] = round
+	}
+	nHist := sr.Len()
+	if err := sr.Err(); err != nil {
+		return err
+	}
+	s.tracker.History = make([]core.Metrics, 0, nHist)
+	for i := 0; i < nHist; i++ {
+		m := core.Metrics{Round: sr.Int(), Fraction: make(map[core.Sub]float64, 5)}
+		for _, sub := range core.Subs() {
+			m.Fraction[sub] = sr.F64()
+		}
+		s.tracker.History = append(s.tracker.History, m)
+	}
+	hasBound := sr.Bool()
+	if err := sr.Err(); err != nil {
+		return err
+	}
+	if hasBound {
+		if s.bound == nil {
+			return fmt.Errorf("sosf: snapshot carries scenario state but this source has no scenario timeline")
+		}
+		if err := s.bound.RestoreState(sr); err != nil {
+			return err
+		}
+	}
+	return sr.Err()
+}
+
+// Round returns the number of completed simulation rounds — after a
+// restore, the round the snapshot was taken at.
+func (s *System) Round() int { return s.sys.Engine().Round() }
+
+// snapshotPath expands the "%d" verb (if any) in a checkpoint path template
+// with the round number, so periodic snapshots can keep every checkpoint
+// ("ck-%d.snap") or roll a single one ("latest.snap").
+func snapshotPath(template string, round int) string {
+	if strings.Contains(template, "%d") {
+		return fmt.Sprintf(template, round)
+	}
+	return template
+}
+
+// snapshotObserver implements WithSnapshotEvery: after every `every`-th
+// round it writes a checkpoint. It runs after all other observers (scenario
+// actions, churn, tracker, event emitters), so the checkpoint captures
+// exactly the state the next round starts from. A write failure stops the
+// run and surfaces from Step.
+func (s *System) snapshotObserver(every int, path string) sim.Observer {
+	return sim.ObserverFunc(func(e *sim.Engine) bool {
+		if e.Round()%every != 0 {
+			return false
+		}
+		if err := s.WriteSnapshot(snapshotPath(path, e.Round())); err != nil {
+			s.snapErr = err
+			return true
+		}
+		return false
+	})
+}

@@ -1,7 +1,9 @@
 package sosf
 
 import (
+	"bytes"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 
@@ -106,6 +108,7 @@ type System struct {
 	bound   *scenario.Bound
 	horizon int
 	events  []func(RoundEvent)
+	snapErr error // first periodic-snapshot write failure, surfaced by Step
 }
 
 // New compiles the DSL source and boots the full runtime stack over a
@@ -174,6 +177,29 @@ func New(src string, opts ...Option) (*System, error) {
 		s.bound.OnReconfigure = s.tracker.Reset
 	}
 	sys.Engine().Observe(sim.ObserverFunc(s.emit))
+	if s.bound != nil {
+		// Scheduled `snapshot` actions write the full sosf-level
+		// checkpoint (engine + allocator + tracker + timeline windows).
+		s.bound.OnSnapshot = func(round int, path string) error {
+			return s.WriteSnapshot(snapshotPath(path, round))
+		}
+	}
+	if cfg.snapEvery > 0 {
+		// Registered last: the checkpoint must capture the post-observer
+		// state of the round, including everything emitted above.
+		sys.Engine().Observe(s.snapshotObserver(cfg.snapEvery, cfg.snapPath))
+	}
+	if cfg.restorePath != "" {
+		// Buffer the checkpoint so the layered readers (core body, sosf
+		// trailer) decode from an in-memory stream.
+		data, err := os.ReadFile(cfg.restorePath)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Restore(bytes.NewReader(data)); err != nil {
+			return nil, fmt.Errorf("sosf: restore from %s: %w", cfg.restorePath, err)
+		}
+	}
 	return s, nil
 }
 
@@ -189,6 +215,9 @@ func (s *System) Step(n int) (int, error) {
 		if serr := s.bound.Err(); serr != nil {
 			return executed, serr
 		}
+	}
+	if s.snapErr != nil {
+		return executed, s.snapErr
 	}
 	return executed, nil
 }
