@@ -20,6 +20,31 @@
 //	                               at any -workers value on either side
 //	sos dot [flags] file.sos       simulate, then emit the realized
 //	                               topology as Graphviz DOT on stdout
+//	sos fuzz [flags]               run a deterministic generative campaign:
+//	                               sample randomized fault timelines over a
+//	                               seed × topology × population matrix,
+//	                               check invariants (reconvergence, orphan
+//	                               tail, bandwidth, resume equivalence), and
+//	                               shrink every violation to a minimal .sos
+//	                               reproducer; exits non-zero on findings
+//
+// Flags for fuzz (it takes no file argument):
+//
+//	-seed N        campaign master seed (default 1); the same seed always
+//	               reproduces the same runs and the same reproducer bytes
+//	-runs N        number of generated runs (default 8)
+//	-horizon N     last round a sampled fault may touch (default 60)
+//	-within N      rounds the system gets to re-converge after the last
+//	               fault (default 40)
+//	-bandwidth B   per-node per-round byte ceiling (default 12288)
+//	-pop-floor F   require the population to stay above F of its initial
+//	               size — deliberately strict, for seeding failures
+//	-no-repair     sample kill blasts without replacement joins or the
+//	               trailing rebalance (exposes the known index-hole gap)
+//	-no-resume     skip the per-run resume-equivalence check
+//	-corpus DIR    write each finding as a NAME.in/NAME.out reproducer
+//	               pair under DIR (see testdata/corpus)
+//	-workers N     shard each simulated round (default 1; 0 = GOMAXPROCS)
 //
 // Flags for run, play, snapshot, resume, and dot:
 //
@@ -49,6 +74,7 @@ import (
 	"os"
 
 	"sosf"
+	"sosf/internal/campaign"
 )
 
 func main() {
@@ -63,6 +89,10 @@ func run(args []string) error {
 		return fmt.Errorf("usage: sos <check|run|play|snapshot|resume|dot> [flags] file.sos")
 	}
 	cmd, rest := args[0], args[1:]
+	if cmd == "fuzz" {
+		// fuzz has its own flag set and takes no DSL file.
+		return fuzz(rest)
+	}
 
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	nodes := fs.Int("nodes", 0, "population size (default: the file's nodes option)")
@@ -85,13 +115,23 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// -rounds and -seed are only forwarded when the user actually typed
+	// them: left alone, the file's own `option rounds` / `option seed`
+	// apply (and the usual defaults after that), so a self-contained .sos
+	// reproducer replays its exact run with no flags at all.
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	opts := []sosf.Option{
 		sosf.WithNodes(*nodes),
-		sosf.WithRounds(*rounds),
-		sosf.WithSeed(*seed),
 		sosf.WithChurn(*churn),
 		sosf.WithLoss(*loss),
 		sosf.WithWorkers(*workers),
+	}
+	if explicit["rounds"] {
+		opts = append(opts, sosf.WithRounds(*rounds))
+	}
+	if explicit["seed"] {
+		opts = append(opts, sosf.WithSeed(*seed))
 	}
 	if *toEnd {
 		opts = append(opts, sosf.WithRunToEnd())
@@ -111,24 +151,79 @@ func run(args []string) error {
 		}
 		return printReport(os.Stdout, rep, *asJSON)
 	case "play":
-		return play(string(src), opts, *events, *rounds, *asJSON)
+		return play(string(src), opts, *events, *asJSON)
 	case "snapshot":
-		return snapshot(string(src), opts, *events, *rounds, *asJSON, *snapFile)
+		return snapshot(string(src), opts, *events, *asJSON, *snapFile)
 	case "resume":
-		return resume(string(src), opts, *events, *rounds, *asJSON, *snapFile)
+		return resume(string(src), opts, *events, *asJSON, *snapFile)
 	case "dot":
 		sys, err := sosf.New(string(src), opts...)
 		if err != nil {
 			return err
 		}
-		if _, err := sys.Step(*rounds); err != nil {
+		if _, err := sys.Step(sys.RoundBudget()); err != nil {
 			return err
 		}
 		fmt.Print(sys.DOT())
 		return nil
 	default:
-		return fmt.Errorf("unknown command %q (want check, run, play, snapshot, resume, or dot)", cmd)
+		return fmt.Errorf("unknown command %q (want check, run, play, snapshot, resume, dot, or fuzz)", cmd)
 	}
+}
+
+// fuzz runs a generative campaign and reports every minimized finding:
+// the violation and reproducer source on stdout, progress on stderr, and
+// optionally a committed-corpus pair per finding. Any finding makes the
+// command fail, so a CI step can gate on a clean campaign.
+func fuzz(args []string) error {
+	fs := flag.NewFlagSet("fuzz", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "campaign master seed")
+	runs := fs.Int("runs", 8, "number of generated runs")
+	horizon := fs.Int("horizon", 60, "last round a sampled fault may touch")
+	within := fs.Int("within", 40, "reconvergence budget after the last fault")
+	bandwidth := fs.Float64("bandwidth", 12288, "per-node per-round byte ceiling")
+	popFloor := fs.Float64("pop-floor", 0, "population floor as a fraction of the initial size (0 = off; strict values seed failures)")
+	noRepair := fs.Bool("no-repair", false, "sample kills without replacement joins or the trailing rebalance")
+	noResume := fs.Bool("no-resume", false, "skip the per-run resume-equivalence check")
+	corpusDir := fs.String("corpus", "", "write each finding as a NAME.in/NAME.out pair under this directory")
+	workers := fs.Int("workers", 1, "workers sharding each round (0 = GOMAXPROCS; results identical for any value)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("fuzz: unexpected argument %q (the campaign generates its own topologies)", fs.Arg(0))
+	}
+	findings, err := campaign.New(campaign.Config{
+		Seed:             *seed,
+		Runs:             *runs,
+		Horizon:          *horizon,
+		ReconvergeWithin: *within,
+		BandwidthCeiling: *bandwidth,
+		PopulationFloor:  *popFloor,
+		NoRepair:         *noRepair,
+		SkipResumeCheck:  *noResume,
+		Workers:          *workers,
+		Log:              os.Stderr,
+	}).Run()
+	if err != nil {
+		return err
+	}
+	for i, f := range findings {
+		fmt.Printf("finding %d: %s\nminimal reproducer (%d shrink steps, %d candidate runs):\n%s",
+			i+1, f.Violation, f.ShrinkSteps, f.CandidateRuns, f.Source)
+		if *corpusDir != "" {
+			in, out, err := f.Write(*corpusDir)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s and %s\n", in, out)
+		}
+	}
+	if len(findings) > 0 {
+		return fmt.Errorf("fuzz: %d invariant violation(s) in %d runs (campaign seed %d)", len(findings), *runs, *seed)
+	}
+	fmt.Printf("ok: %d runs, 0 violations (campaign seed %d)\n", *runs, *seed)
+	return nil
 }
 
 // subscribeEvents attaches the chosen event sink to stdout.
@@ -149,7 +244,7 @@ func subscribeEvents(sys *sosf.System, format string) error {
 // stdout, then writes the checkpoint. Together with resume it splits one
 // run in two: the two commands' concatenated event streams are
 // byte-identical to an uninterrupted `sos play` of the same file.
-func snapshot(src string, opts []sosf.Option, format string, rounds int, asJSON bool, snapFile string) error {
+func snapshot(src string, opts []sosf.Option, format string, asJSON bool, snapFile string) error {
 	if snapFile == "" {
 		return fmt.Errorf("snapshot: -snap FILE is required")
 	}
@@ -160,7 +255,7 @@ func snapshot(src string, opts []sosf.Option, format string, rounds int, asJSON 
 	if err := subscribeEvents(sys, format); err != nil {
 		return err
 	}
-	if _, err := sys.Step(rounds); err != nil {
+	if _, err := sys.Step(sys.RoundBudget()); err != nil {
 		return err
 	}
 	if err := sys.WriteSnapshot(snapFile); err != nil {
@@ -172,7 +267,7 @@ func snapshot(src string, opts []sosf.Option, format string, rounds int, asJSON 
 // resume restores the run state from the checkpoint and continues to the
 // absolute round `rounds` (extended to the scenario horizon, like play),
 // streaming the resumed rounds' events to stdout.
-func resume(src string, opts []sosf.Option, format string, rounds int, asJSON bool, snapFile string) error {
+func resume(src string, opts []sosf.Option, format string, asJSON bool, snapFile string) error {
 	if snapFile == "" {
 		return fmt.Errorf("resume: -snap FILE is required")
 	}
@@ -183,6 +278,7 @@ func resume(src string, opts []sosf.Option, format string, rounds int, asJSON bo
 	if err := subscribeEvents(sys, format); err != nil {
 		return err
 	}
+	rounds := sys.RoundBudget()
 	if h := sys.ScenarioHorizon(); h > rounds {
 		rounds = h
 	}
@@ -200,7 +296,7 @@ func resume(src string, opts []sosf.Option, format string, rounds int, asJSON bo
 // stderr. The run never stops at convergence — a timeline only makes sense
 // played to the end — and -rounds is extended to the scenario horizon so
 // the last scheduled action always fires.
-func play(src string, opts []sosf.Option, format string, rounds int, asJSON bool) error {
+func play(src string, opts []sosf.Option, format string, asJSON bool) error {
 	sys, err := sosf.New(src, append(opts, sosf.WithRunToEnd())...)
 	if err != nil {
 		return err
@@ -213,6 +309,7 @@ func play(src string, opts []sosf.Option, format string, rounds int, asJSON bool
 	default:
 		return fmt.Errorf("play: unknown -events format %q (want jsonl or csv)", format)
 	}
+	rounds := sys.RoundBudget()
 	if h := sys.ScenarioHorizon(); h > rounds {
 		rounds = h
 	}

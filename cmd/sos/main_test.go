@@ -270,3 +270,97 @@ func TestResumeRejectsPastTarget(t *testing.T) {
 		t.Fatalf("err = %v, want past-target refusal", err)
 	}
 }
+
+// TestFileOptionsSelfContainedReplay pins the reproducer contract behind
+// the fuzzing corpus: a .sos file carrying its own seed and rounds
+// options replays that exact run with no flags at all, while explicit
+// flags still win.
+func TestFileOptionsSelfContainedReplay(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "self.sos")
+	src := `
+topology self {
+    nodes 16
+    option seed 7
+    option rounds 9
+    component a ring { weight 1 port p }
+    component b ring { weight 1 port q }
+    link a.p b.q
+    scenario {
+        at 3 kill 0.1
+    }
+}`
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := capture(t, func() error { return run([]string{"play", file}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(plain, "\n"); got != 9 {
+		t.Fatalf("play with no flags streamed %d events, want the file's 9 rounds", got)
+	}
+	flagged, err := capture(t, func() error {
+		return run([]string{"play", "-seed", "7", "-rounds", "9", file})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != flagged {
+		t.Fatal("file options and equivalent explicit flags produced different streams")
+	}
+	longer, err := capture(t, func() error {
+		return run([]string{"play", "-rounds", "12", file})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(longer, "\n"); got != 12 {
+		t.Fatalf("explicit -rounds 12 streamed %d events, want 12", got)
+	}
+}
+
+// TestFuzzCleanCampaign is the CLI face of the CI campaign smoke: a small
+// fixed-seed matrix with the default invariants finds nothing and exits
+// zero.
+func TestFuzzCleanCampaign(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"fuzz", "-seed", "1", "-runs", "3"}) })
+	if err != nil {
+		t.Fatalf("clean campaign failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "ok: 3 runs, 0 violations") {
+		t.Fatalf("fuzz output = %q", out)
+	}
+}
+
+// TestFuzzSeededViolationWritesCorpus seeds a failure with a strict
+// population floor and checks the full loop: non-zero exit, reproducer on
+// stdout, and a NAME.in/NAME.out pair in the corpus directory.
+func TestFuzzSeededViolationWritesCorpus(t *testing.T) {
+	dir := t.TempDir()
+	out, err := capture(t, func() error {
+		return run([]string{"fuzz", "-seed", "3", "-runs", "1", "-pop-floor", "0.95", "-corpus", dir})
+	})
+	if err == nil || !strings.Contains(err.Error(), "violation") {
+		t.Fatalf("seeded campaign must fail with a violation error, got %v", err)
+	}
+	if !strings.Contains(out, "minimal reproducer") || !strings.Contains(out, "topology ") {
+		t.Fatalf("fuzz stdout lacks the reproducer:\n%s", out)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.in"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no .in corpus entries written (%v)", err)
+	}
+	for _, in := range entries {
+		outFile := strings.TrimSuffix(in, ".in") + ".out"
+		if _, err := os.Stat(outFile); err != nil {
+			t.Fatalf("corpus entry %s has no golden stream: %v", in, err)
+		}
+	}
+}
+
+// TestFuzzRejectsFileArgument keeps the CLI surface honest.
+func TestFuzzRejectsFileArgument(t *testing.T) {
+	if err := run([]string{"fuzz", testTopo}); err == nil {
+		t.Fatal("fuzz with a file argument should fail")
+	}
+}

@@ -1,0 +1,49 @@
+package sosf_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sosf/internal/campaign"
+)
+
+// TestCorpusReplaysByteIdentical replays every committed fuzzing
+// reproducer under testdata/corpus and requires the exact golden event
+// stream: each .in file is a minimal .sos distilled by `sos fuzz` from a
+// real (seeded) invariant violation, and its .out file is the JSONL
+// stream that replay produced when the entry was committed. Any byte of
+// drift means runtime behavior changed — regenerate the corpus with
+// testdata/corpus/generate-corpus.sh if the change is intentional.
+func TestCorpusReplaysByteIdentical(t *testing.T) {
+	entries, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.in"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no corpus entries under testdata/corpus — the regression corpus is gone")
+	}
+	for _, inPath := range entries {
+		name := strings.TrimSuffix(filepath.Base(inPath), ".in")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(inPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden, err := os.ReadFile(strings.TrimSuffix(inPath, ".in") + ".out")
+			if err != nil {
+				t.Fatalf("corpus entry has no golden stream: %v", err)
+			}
+			var got bytes.Buffer
+			if _, err := campaign.Replay(string(src), &got); err != nil {
+				t.Fatalf("replay failed: %v", err)
+			}
+			if !bytes.Equal(got.Bytes(), golden) {
+				t.Errorf("replayed stream differs from %s.out (%d vs %d bytes) — runtime behavior changed; see the header of %s",
+					name, got.Len(), len(golden), inPath)
+			}
+		})
+	}
+}

@@ -15,7 +15,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"sosf"
 )
@@ -69,41 +71,50 @@ topology sensors_via_city_mesh {
 
 func main() {
 	log.SetFlags(0)
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
+// run executes the example, narrating to w. Extra options are applied
+// last, which is how the smoke test injects a tiny population.
+func run(w io.Writer, extra ...sosf.Option) error {
 	// Round 40: power cut across the relay line. Round 45: the operator's
 	// scripted response — re-compose both clusters around the city mesh.
 	script := sosf.Scenario{
 		sosf.At(40, sosf.KillComponent("backbone")),
 		sosf.At(45, sosf.Reconfigure(viaCityMesh)),
 	}
-	sys, err := sosf.New(withBackbone,
+	opts := append([]sosf.Option{
 		sosf.WithSeed(21),
 		sosf.WithScenario(script),
-	)
+	}, extra...)
+	sys, err := sosf.New(withBackbone, opts...)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	converged := false
 	sys.Subscribe(func(ev sosf.RoundEvent) {
 		for _, a := range ev.Actions {
-			fmt.Printf("round %3d: %s (connected=%v)\n", ev.Round, a, sys.Connected())
+			fmt.Fprintf(w, "round %3d: %s (connected=%v)\n", ev.Round, a, sys.Connected())
 		}
 		if ev.Converged && !converged {
-			fmt.Printf("round %3d: converged; connected=%v\n", ev.Round, sys.Connected())
+			fmt.Fprintf(w, "round %3d: converged; connected=%v\n", ev.Round, sys.Connected())
 		}
 		converged = ev.Converged
 	})
 
 	if _, err := sys.Step(200); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	rep := sys.Report()
-	fmt.Printf("\nfinal: %q re-composed via third-party mesh; connected=%v\n",
+	fmt.Fprintf(w, "\nfinal: %q re-composed via third-party mesh; connected=%v\n",
 		rep.Topology, sys.Connected())
 	managers := sys.Managers()
 	for _, port := range sosf.ManagerPorts(managers) {
-		fmt.Printf("  %-18s -> node %d\n", port, managers[port])
+		fmt.Fprintf(w, "  %-18s -> node %d\n", port, managers[port])
 	}
+	return nil
 }

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sosf"
+)
+
+// TestIoTRelaySmoke runs the example end to end with a tiny population:
+// the relay backbone dies, the clusters re-compose around the city mesh,
+// and the final system must be connected again.
+func TestIoTRelaySmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, sosf.WithNodes(48)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "re-composed via third-party mesh; connected=true") {
+		t.Fatalf("clusters did not reconnect through the mesh:\n%s", out)
+	}
+}

@@ -6,7 +6,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"sosf"
 )
@@ -30,27 +32,37 @@ topology quickstart {
 
 func main() {
 	log.SetFlags(0)
-
-	// One call: compile the DSL, allocate 200 simulated nodes across the
-	// two rings, run the gossip stack until every layer converged.
-	report, err := sosf.Run(src, sosf.Options{Seed: 1})
-	if err != nil {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(report)
+}
+
+// run executes the example, narrating to w. Extra options are applied
+// last, which is how the smoke test injects a tiny population.
+func run(w io.Writer, extra ...sosf.Option) error {
+	opts := append([]sosf.Option{sosf.Options{Seed: 1}}, extra...)
+
+	// One call: compile the DSL, allocate the nodes across the two rings,
+	// run the gossip stack until every layer converged.
+	report, err := sosf.Run(src, opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, report)
 
 	// The managers of the two gateway ports carry the inter-ring link.
-	sys, err := sosf.New(src, sosf.Options{Seed: 1})
+	sys, err := sosf.New(src, opts...)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if _, err := sys.Step(100); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("\nport managers:")
+	fmt.Fprintln(w, "\nport managers:")
 	managers := sys.Managers()
 	for _, port := range sosf.ManagerPorts(managers) {
-		fmt.Printf("  %-16s -> node %d\n", port, managers[port])
+		fmt.Fprintf(w, "  %-16s -> node %d\n", port, managers[port])
 	}
-	fmt.Printf("\nrealized system connected: %v\n", sys.Connected())
+	fmt.Fprintf(w, "\nrealized system connected: %v\n", sys.Connected())
+	return nil
 }

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sosf"
+)
+
+// TestQuickstartSmoke runs the example end to end with a tiny population.
+func TestQuickstartSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, sosf.WithNodes(24)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "converged: true") {
+		t.Fatalf("quickstart did not converge:\n%s", out)
+	}
+	if !strings.Contains(out, "realized system connected: true") {
+		t.Fatalf("quickstart system not connected:\n%s", out)
+	}
+}

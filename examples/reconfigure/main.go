@@ -14,7 +14,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"sosf"
 )
@@ -43,19 +45,27 @@ func ringsOf(k int, lastShape string) string {
 
 func main() {
 	log.SetFlags(0)
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
+// run executes the example, narrating to w. Extra options are applied
+// last, which is how the smoke test injects a tiny population.
+func run(w io.Writer, extra ...sosf.Option) error {
 	// The whole experiment, declaratively: scale out to four rings at
 	// round 60, swap the last segment's shape at round 120.
 	script := sosf.Scenario{
 		sosf.At(60, sosf.Reconfigure(ringsOf(4, "ring"))),
 		sosf.At(120, sosf.Reconfigure(ringsOf(4, "star"))),
 	}
-	sys, err := sosf.New(ringsOf(3, "ring"),
+	opts := append([]sosf.Option{
 		sosf.WithSeed(3),
 		sosf.WithScenario(script),
-	)
+	}, extra...)
+	sys, err := sosf.New(ringsOf(3, "ring"), opts...)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// The event stream narrates the run: scripted actions as they fire,
@@ -63,22 +73,23 @@ func main() {
 	converged := false
 	sys.Subscribe(func(ev sosf.RoundEvent) {
 		for _, a := range ev.Actions {
-			fmt.Printf("round %3d: %s\n", ev.Round, a)
+			fmt.Fprintf(w, "round %3d: %s\n", ev.Round, a)
 		}
 		if ev.Converged && !converged {
-			fmt.Printf("round %3d: all layers converged (%d nodes)\n", ev.Round, ev.Nodes)
+			fmt.Fprintf(w, "round %3d: all layers converged (%d nodes)\n", ev.Round, ev.Nodes)
 		}
 		converged = ev.Converged
 	})
 
 	if _, err := sys.Step(180); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	rep := sys.Report()
-	fmt.Printf("\nfinal state: %q, connected=%v, converged=%v\n",
+	fmt.Fprintf(w, "\nfinal state: %q, connected=%v, converged=%v\n",
 		rep.Topology, sys.Connected(), rep.Converged)
 	for _, s := range rep.Subs {
-		fmt.Printf("  %-26s accuracy %.3f\n", s.Name, s.Final)
+		fmt.Fprintf(w, "  %-26s accuracy %.3f\n", s.Name, s.Final)
 	}
+	return nil
 }

@@ -8,7 +8,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"sosf"
 )
@@ -33,19 +35,27 @@ topology ring_of_rings {
 
 func main() {
 	log.SetFlags(0)
-
-	sys, err := sosf.New(src, sosf.Options{Seed: 7, RunToEnd: true})
-	if err != nil {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+}
 
-	fmt.Println("round  elementary  uo1    uo2    ports  links")
+// run executes the example, narrating to w. Extra options are applied
+// last, which is how the smoke test injects a tiny population.
+func run(w io.Writer, extra ...sosf.Option) error {
+	opts := append([]sosf.Option{sosf.Options{Seed: 7, RunToEnd: true}}, extra...)
+	sys, err := sosf.New(src, opts...)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "round  elementary  uo1    uo2    ports  links")
 	for round := 1; round <= 30; round++ {
 		if _, err := sys.Step(1); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		acc := sys.Accuracy()
-		fmt.Printf("%5d  %.3f       %.3f  %.3f  %.3f  %.3f\n",
+		fmt.Fprintf(w, "%5d  %.3f       %.3f  %.3f  %.3f  %.3f\n",
 			round,
 			acc["Elementary Topology"],
 			acc["Same-component (UO1)"],
@@ -53,13 +63,14 @@ func main() {
 			acc["Port Selection"],
 			acc["Port Connection"])
 		if sys.Report().Converged {
-			fmt.Printf("\nfully converged after %d rounds\n", round)
+			fmt.Fprintf(w, "\nfully converged after %d rounds\n", round)
 			break
 		}
 	}
 	rep := sys.Report()
-	fmt.Printf("\n%d nodes assembled into %d components with %d links; connected: %v\n",
+	fmt.Fprintf(w, "\n%d nodes assembled into %d components with %d links; connected: %v\n",
 		rep.Nodes, rep.Components, rep.Links, sys.Connected())
-	fmt.Printf("bandwidth per node per round: %.0f B shapes + %.0f B runtime\n",
+	fmt.Fprintf(w, "bandwidth per node per round: %.0f B shapes + %.0f B runtime\n",
 		rep.BaselineBytes, rep.OverheadBytes)
+	return nil
 }

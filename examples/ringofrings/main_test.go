@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sosf"
+)
+
+// TestRingOfRingsSmoke runs the example end to end with a tiny population
+// (the topology has 8 ring segments, so 64 nodes keeps every segment
+// populated).
+func TestRingOfRingsSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, sosf.WithNodes(64)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fully converged after") {
+		t.Fatalf("ring of rings did not converge within the example's budget:\n%s", out)
+	}
+	if !strings.Contains(out, "connected: true") {
+		t.Fatalf("ring of rings not connected:\n%s", out)
+	}
+}

@@ -9,7 +9,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"sosf"
 )
@@ -39,37 +41,46 @@ topology sharded_cluster {
 
 func main() {
 	log.SetFlags(0)
-
-	sys, err := sosf.New(src, sosf.Options{Seed: 11})
-	if err != nil {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// run executes the example, narrating to w. Extra options are applied
+// last, which is how the smoke test injects a tiny population.
+func run(w io.Writer, extra ...sosf.Option) error {
+	opts := append([]sosf.Option{sosf.Options{Seed: 11}}, extra...)
+	sys, err := sosf.New(src, opts...)
+	if err != nil {
+		return err
 	}
 	rounds, err := sys.Step(150)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	rep := sys.Report()
-	fmt.Printf("sharded cluster assembled in %d rounds (converged: %v)\n\n", rounds, rep.Converged)
-	fmt.Printf("  %d nodes: half routing tier (star), half data tier (6 cliques)\n", rep.Nodes)
-	fmt.Printf("  realized system connected: %v\n\n", sys.Connected())
+	fmt.Fprintf(w, "sharded cluster assembled in %d rounds (converged: %v)\n\n", rounds, rep.Converged)
+	fmt.Fprintf(w, "  %d nodes: half routing tier (star), half data tier (6 cliques)\n", rep.Nodes)
+	fmt.Fprintf(w, "  realized system connected: %v\n\n", sys.Connected())
 
 	// The uplink managers are the nodes a client driver would treat as
 	// each shard's primary contact point.
 	managers := sys.Managers()
-	fmt.Println("contact points elected by the runtime:")
+	fmt.Fprintln(w, "contact points elected by the runtime:")
 	for _, p := range sosf.ManagerPorts(managers) {
-		fmt.Printf("  %-18s -> node %d\n", p, managers[p])
+		fmt.Fprintf(w, "  %-18s -> node %d\n", p, managers[p])
 	}
 
 	// Kill a whole shard: the rest of the cluster must stay connected and
 	// every other port keeps its manager.
-	fmt.Println("\nfailing every node of shard[2]...")
+	fmt.Fprintln(w, "\nfailing every node of shard[2]...")
 	killed := sys.KillComponent("shard[2]")
 	if _, err := sys.Step(40); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("  %d nodes failed; survivors connected: %v\n", killed, sys.Connected())
+	fmt.Fprintf(w, "  %d nodes failed; survivors connected: %v\n", killed, sys.Connected())
 	acc := sys.Accuracy()
-	fmt.Printf("  surviving shapes intact: %.3f, port elections settled: %.3f\n",
+	fmt.Fprintf(w, "  surviving shapes intact: %.3f, port elections settled: %.3f\n",
 		acc["Elementary Topology"], acc["Port Selection"])
+	return nil
 }

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sosf"
+)
+
+// TestStarOfCliquesSmoke runs the example end to end with a tiny
+// population (7 components — router star plus 6 shard cliques — so 48
+// nodes keeps every shard populated through the shard[2] kill).
+func TestStarOfCliquesSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, sosf.WithNodes(48)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "converged: true") {
+		t.Fatalf("sharded cluster did not assemble:\n%s", out)
+	}
+	if !strings.Contains(out, "survivors connected: true") {
+		t.Fatalf("cluster fell apart after losing shard[2]:\n%s", out)
+	}
+}

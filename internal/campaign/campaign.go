@@ -1,0 +1,500 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sosf"
+	"sosf/internal/dsl"
+	"sosf/internal/spec"
+)
+
+// Source is one base topology of the campaign matrix: a named piece of DSL
+// source carrying components and links only — the campaign injects the
+// population, seed, round budget, and fault timeline per run.
+type Source struct {
+	Name string
+	Src  string
+}
+
+// Config parameterizes a campaign. The zero value of every field selects a
+// default sized for a CI smoke run; see New.
+type Config struct {
+	// Seed is the campaign master seed. Every run seed, every sampled
+	// timeline, and every shrinking decision derives from it, so one
+	// campaign seed reproduces the whole campaign — including the exact
+	// bytes of any emitted reproducer.
+	Seed int64
+	// Runs is the number of generated runs (default 8). Run i uses
+	// topology i mod len(Topologies) and population (i / len(Topologies))
+	// mod len(Populations), cycling through the matrix.
+	Runs int
+	// Topologies is the base topology matrix (default DefaultTopologies).
+	Topologies []Source
+	// Populations is the population axis of the matrix (default 64, 128).
+	Populations []int
+	// Horizon is the last round a sampled fault may touch (default 60).
+	Horizon int
+	// ReconvergeWithin is the Reconverge invariant's budget: every run
+	// must reach full convergence within this many rounds of its last
+	// fault (default 40). Each run simulates Horizon + ReconvergeWithin
+	// rounds.
+	ReconvergeWithin int
+	// MaxEvents caps the number of fault events per timeline (default 4).
+	MaxEvents int
+	// BandwidthCeiling is the BandwidthCeiling invariant's limit in bytes
+	// per node per round (default 12288 — flash-join and rebalance rounds
+	// legitimately spike to ~7.3 KB/node at the default populations;
+	// steady-state rounds stay under 2 KB/node).
+	BandwidthCeiling float64
+	// PopulationFloor, when positive, adds the PopulationFloor invariant:
+	// no round's population may drop below this fraction of the initial
+	// population. It is deliberately strict — ordinary kill blasts trip
+	// it — and exists to exercise the shrinker and seed the regression
+	// corpus (default off).
+	PopulationFloor float64
+	// NoRepair disables the repair events the generator adds by default:
+	// a replacement join a few rounds after every kill blast, and a single
+	// weight-preserving rebalance (Reconfigure with unchanged weights) at
+	// the end of every timeline. The rebalance matters because the
+	// allocator's documented contract only re-densifies member indices at
+	// a reconfiguration: index-structured shapes (tree, grid, torus, star
+	// hubs, hypercube) cannot re-form around the index holes that
+	// unreplaced deaths leave behind — the greedy gradient steers by the
+	// sparse index a node was assigned, while the oracle re-ranks
+	// survivors densely, so a single unrepaired death can pin Elementary
+	// Topology below 1.0 forever. Setting NoRepair exposes exactly that
+	// known gap as a Reconverge violation — it is the campaign's second
+	// seeded-failure knob, and the committed corpus pins the stuck-state
+	// behavior.
+	NoRepair bool
+	// SkipResumeCheck disables the per-run resume-equivalence check
+	// (snapshot at mid-run, restore into a fresh system, require the
+	// resumed event stream to be byte-identical).
+	SkipResumeCheck bool
+	// SnapshotEvery is the cadence of the in-memory checkpoints the
+	// shrinker resumes candidate runs from (default 10 rounds).
+	SnapshotEvery int
+	// Workers shards each simulation round (default 1). Results are
+	// byte-identical at any value; this only changes the wall clock.
+	Workers int
+	// Invariants appends extra invariants after the default set.
+	Invariants []Invariant
+	// Log, when set, receives one progress line per run.
+	Log io.Writer
+}
+
+// Campaign is a configured generative fuzzing campaign.
+type Campaign struct {
+	cfg        Config
+	invariants []Invariant
+}
+
+// New applies defaults and assembles the invariant set: Reconverge,
+// OrphanTail, and BandwidthCeiling always run; PopulationFloor joins when
+// configured; Config.Invariants run last.
+func New(cfg Config) *Campaign {
+	if cfg.Runs <= 0 {
+		cfg.Runs = 8
+	}
+	if len(cfg.Topologies) == 0 {
+		cfg.Topologies = DefaultTopologies()
+	}
+	if len(cfg.Populations) == 0 {
+		cfg.Populations = []int{64, 128}
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 60
+	}
+	if cfg.ReconvergeWithin <= 0 {
+		cfg.ReconvergeWithin = 40
+	}
+	if cfg.MaxEvents <= 0 {
+		cfg.MaxEvents = 4
+	}
+	if cfg.BandwidthCeiling <= 0 {
+		cfg.BandwidthCeiling = 12288
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 10
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	invs := []Invariant{
+		Reconverge{Within: cfg.ReconvergeWithin},
+		OrphanTail{},
+		BandwidthCeiling{MaxBytes: cfg.BandwidthCeiling},
+	}
+	if cfg.PopulationFloor > 0 {
+		invs = append(invs, PopulationFloor{MinFraction: cfg.PopulationFloor})
+	}
+	invs = append(invs, cfg.Invariants...)
+	return &Campaign{cfg: cfg, invariants: invs}
+}
+
+// RunID identifies one cell of the campaign matrix.
+type RunID struct {
+	// Index is the run's position in the campaign (0-based).
+	Index int
+	// Topology is the base topology's name.
+	Topology string
+	// Population is the initial node count.
+	Population int
+	// Seed is the run's derived simulation seed.
+	Seed int64
+}
+
+// Finding is one invariant violation, already minimized: Source is the
+// smallest .sos reproducer the shrinker could distill (embedding its own
+// nodes/seed/rounds options, so it replays with no flags), and Events is
+// the golden JSONL event stream that replay must reproduce byte for byte.
+type Finding struct {
+	RunID
+	// CampaignSeed is the campaign master seed the finding derives from.
+	CampaignSeed int64
+	// Violation is the invariant failure, re-confirmed on the minimal
+	// reproducer.
+	Violation Violation
+	// Source is the minimal reproducer (dsl.Emit output).
+	Source string
+	// Events is Replay's JSONL stream for Source.
+	Events []byte
+	// ShrinkSteps counts accepted shrinking edits; CandidateRuns counts
+	// every candidate execution the shrinker paid for.
+	ShrinkSteps   int
+	CandidateRuns int
+}
+
+// Run executes the whole campaign and returns every (minimized) finding,
+// in run order. A clean campaign returns an empty slice and no error;
+// errors mean the campaign itself could not run, not that an invariant
+// failed.
+func (c *Campaign) Run() ([]Finding, error) {
+	var findings []Finding
+	for i := 0; i < c.cfg.Runs; i++ {
+		f, found, err := c.runOne(i)
+		if err != nil {
+			return findings, fmt.Errorf("campaign run %d: %w", i, err)
+		}
+		if found {
+			findings = append(findings, f)
+		}
+	}
+	c.logf("campaign seed %d: %d violation(s) in %d runs", c.cfg.Seed, len(findings), c.cfg.Runs)
+	return findings, nil
+}
+
+// runOne builds, executes, checks, and (on violation) minimizes one run.
+func (c *Campaign) runOne(idx int) (Finding, bool, error) {
+	id := c.runID(idx)
+	topo, err := c.buildRun(id)
+	if err != nil {
+		return Finding{}, false, err
+	}
+	run, err := c.execute(topo, execOpts{checkResume: !c.cfg.SkipResumeCheck, snapEvery: c.cfg.SnapshotEvery})
+	if err != nil {
+		return Finding{}, false, err
+	}
+	v := c.check(run)
+	if v == nil {
+		c.logf("run %d/%d %s pop=%d seed=%d: ok (%d events, %d rounds, converged=%v)",
+			idx+1, c.cfg.Runs, id.Topology, id.Population, id.Seed,
+			len(topo.Scenario), run.Rounds, run.Report.Converged)
+		return Finding{}, false, nil
+	}
+	c.logf("run %d/%d %s pop=%d seed=%d: VIOLATION %s; shrinking",
+		idx+1, c.cfg.Runs, id.Topology, id.Population, id.Seed, v)
+	sh := newShrinker(c, v, topo, run)
+	minTopo, _, _ := sh.minimize()
+	// Re-confirm on a clean full run of the emitted source: the committed
+	// reproducer must be exactly what was tested, with no checkpoint
+	// acceleration in the loop.
+	final, err := c.execute(minTopo, execOpts{checkResume: sh.resumeMode})
+	if err != nil {
+		return Finding{}, false, fmt.Errorf("re-running minimal reproducer: %w", err)
+	}
+	fv := c.checkNamed(final, v.Invariant)
+	if fv == nil {
+		return Finding{}, false, fmt.Errorf("minimal reproducer no longer violates %q (shrinker accepted a checkpoint-accelerated run a full run disagrees with)", v.Invariant)
+	}
+	var golden bytes.Buffer
+	if _, err := Replay(final.Source, &golden); err != nil {
+		return Finding{}, false, fmt.Errorf("replaying minimal reproducer: %w", err)
+	}
+	c.logf("  minimized to %d event(s), %d nodes, %d rounds (%d accepted steps, %d candidate runs)",
+		len(minTopo.Scenario), minTopo.Option("nodes", 0), minTopo.Option("rounds", 0),
+		sh.steps, sh.tried)
+	return Finding{
+		RunID:         id,
+		CampaignSeed:  c.cfg.Seed,
+		Violation:     *fv,
+		Source:        final.Source,
+		Events:        golden.Bytes(),
+		ShrinkSteps:   sh.steps,
+		CandidateRuns: sh.tried,
+	}, true, nil
+}
+
+// runID derives run idx's matrix cell and seed from the campaign seed.
+func (c *Campaign) runID(idx int) RunID {
+	t := c.cfg.Topologies[idx%len(c.cfg.Topologies)]
+	pop := c.cfg.Populations[(idx/len(c.cfg.Topologies))%len(c.cfg.Populations)]
+	return RunID{Index: idx, Topology: t.Name, Population: pop, Seed: deriveSeed(c.cfg.Seed, uint64(idx))}
+}
+
+// buildRun assembles the run's spec: the base topology with the matrix
+// cell's nodes/seed options, a sampled fault timeline, and a round budget
+// of Horizon + ReconvergeWithin so the Reconverge invariant is always
+// judgeable.
+func (c *Campaign) buildRun(id RunID) (*spec.Topology, error) {
+	base := c.cfg.Topologies[id.Index%len(c.cfg.Topologies)]
+	topo, err := dsl.ParseTopology(base.Src)
+	if err != nil {
+		return nil, fmt.Errorf("base topology %q: %w", base.Name, err)
+	}
+	topo.SetOption("nodes", int64(id.Population))
+	topo.SetOption("seed", id.Seed)
+	topo.SetOption("rounds", int64(c.cfg.Horizon+c.cfg.ReconvergeWithin))
+	topo.Scenario = generateTimeline(timelineRand(id.Seed), topo, c.cfg, id.Population)
+	if err := topo.Validate(); err != nil {
+		return nil, fmt.Errorf("generated run %d (%s): %w", id.Index, base.Name, err)
+	}
+	return topo, nil
+}
+
+// check returns the run's first violation: a resume-equivalence divergence
+// wins, then the configured invariants in order.
+func (c *Campaign) check(r *Run) *Violation {
+	if r.Resume != nil {
+		return r.Resume
+	}
+	for _, inv := range c.invariants {
+		if v := inv.Check(r); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// checkNamed evaluates only the named invariant — the shrinker's
+// predicate, so minimization never wanders onto a different failure.
+func (c *Campaign) checkNamed(r *Run, name string) *Violation {
+	if name == InvResume {
+		return r.Resume
+	}
+	for _, inv := range c.invariants {
+		if inv.Name() == name {
+			return inv.Check(r)
+		}
+	}
+	return nil
+}
+
+func (c *Campaign) logf(format string, args ...any) {
+	if c.cfg.Log != nil {
+		fmt.Fprintf(c.cfg.Log, format+"\n", args...)
+	}
+}
+
+// Run is one executed campaign run: the spec that ran, everything it
+// emitted, and the final system for end-state invariants. Events and
+// Lines are parallel — Lines[i] is Events[i] JSONL-encoded, exactly the
+// bytes `sos play -events jsonl` would stream for that round.
+type Run struct {
+	Spec   *spec.Topology
+	Source string
+	// Rounds is the executed round count (the spec's `option rounds`).
+	Rounds int
+	// InitialNodes is the boot population (the spec's `option nodes`).
+	InitialNodes int
+	// LastFault is the last round any fault event touches (0 if none).
+	LastFault int
+	Events    []sosf.RoundEvent
+	Lines     [][]byte
+	Report    *sosf.Report
+	Sys       *sosf.System
+	// Resume is the resume-equivalence violation, when that check ran and
+	// the resumed stream diverged.
+	Resume *Violation
+	snaps  []prefixSnap
+}
+
+// prefixSnap is an in-memory checkpoint of a run at a round boundary.
+type prefixSnap struct {
+	round int
+	data  []byte
+}
+
+type execOpts struct {
+	// checkResume runs the mid-run snapshot/restore equivalence check.
+	checkResume bool
+	// snapEvery captures in-memory checkpoints at this cadence (0 = none).
+	snapEvery int
+	// prefix, when set, resumes the run from this checkpoint of prefixRun
+	// instead of round 0; the skipped rounds' events are spliced in from
+	// prefixRun (they are identical by determinism).
+	prefix    *prefixSnap
+	prefixRun *Run
+}
+
+// execute emits the spec to DSL source and runs that source through the
+// public sosf API — so every result, including a shrunk reproducer, is the
+// behavior of exactly the bytes that would be committed. The run executes
+// the spec's full `option rounds` budget (never stopping at convergence)
+// with the spec's own seed and population.
+func (c *Campaign) execute(topo *spec.Topology, eo execOpts) (*Run, error) {
+	src, err := dsl.Emit(topo)
+	if err != nil {
+		return nil, err
+	}
+	rounds := int(topo.Option("rounds", 0))
+	if rounds <= 0 {
+		return nil, fmt.Errorf("campaign: run spec must carry `option rounds`")
+	}
+	r := &Run{
+		Spec:         topo,
+		Source:       src,
+		Rounds:       rounds,
+		InitialNodes: int(topo.Option("nodes", 0)),
+		LastFault:    lastFaultRound(topo.Scenario),
+	}
+	sys, err := sosf.New(src,
+		sosf.WithWorkers(c.cfg.Workers),
+		sosf.WithRunToEnd(),
+		sosf.WithEvents(collectInto(&r.Events, &r.Lines)))
+	if err != nil {
+		return nil, err
+	}
+	start := 0
+	if eo.prefix != nil {
+		if err := sys.Restore(bytes.NewReader(eo.prefix.data)); err != nil {
+			return nil, fmt.Errorf("campaign: prefix restore at round %d: %w", eo.prefix.round, err)
+		}
+		start = eo.prefix.round
+		r.Events = append(r.Events, eo.prefixRun.Events[:start]...)
+		r.Lines = append(r.Lines, eo.prefixRun.Lines[:start]...)
+	}
+	mid := rounds / 2
+	var midSnap []byte
+	for round := start; round < rounds; round++ {
+		if _, err := sys.Step(1); err != nil {
+			return nil, err
+		}
+		done := round + 1
+		if eo.checkResume && done == mid {
+			var buf bytes.Buffer
+			if err := sys.Snapshot(&buf); err != nil {
+				return nil, err
+			}
+			midSnap = buf.Bytes()
+		}
+		if eo.snapEvery > 0 && done%eo.snapEvery == 0 && done < rounds {
+			var buf bytes.Buffer
+			if err := sys.Snapshot(&buf); err != nil {
+				return nil, err
+			}
+			r.snaps = append(r.snaps, prefixSnap{round: done, data: buf.Bytes()})
+		}
+	}
+	if len(r.Events) != rounds {
+		return nil, fmt.Errorf("campaign: executed %d rounds but captured %d events", rounds, len(r.Events))
+	}
+	r.Report = sys.Report()
+	r.Sys = sys
+	if midSnap != nil {
+		if err := c.resumeCheck(r, mid, midSnap); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// resumeCheck restores the mid-run checkpoint into a fresh system built
+// from the same source and replays the second half; any byte difference
+// from the uninterrupted stream is a resume-equivalence violation (the
+// determinism contract behind checkpoint/restore).
+func (c *Campaign) resumeCheck(r *Run, mid int, snap []byte) error {
+	var events []sosf.RoundEvent
+	var lines [][]byte
+	sys, err := sosf.New(r.Source,
+		sosf.WithWorkers(c.cfg.Workers),
+		sosf.WithRunToEnd(),
+		sosf.WithEvents(collectInto(&events, &lines)))
+	if err != nil {
+		return err
+	}
+	if err := sys.Restore(bytes.NewReader(snap)); err != nil {
+		return err
+	}
+	if _, err := sys.Step(r.Rounds - mid); err != nil {
+		return err
+	}
+	if len(lines) != r.Rounds-mid {
+		r.Resume = &Violation{
+			Invariant: InvResume,
+			Round:     mid,
+			Detail: fmt.Sprintf("resume from round %d produced %d events, the uninterrupted run %d",
+				mid, len(lines), r.Rounds-mid),
+		}
+		return nil
+	}
+	for i, line := range lines {
+		if !bytes.Equal(line, r.Lines[mid+i]) {
+			r.Resume = &Violation{
+				Invariant: InvResume,
+				Round:     mid + i + 1,
+				Detail: fmt.Sprintf("round %d of the run resumed from round %d diverges from the uninterrupted run",
+					mid+i+1, mid),
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// collectInto returns a round-event subscriber appending each event and
+// its JSONL encoding (identical bytes to sosf.JSONLSink's output) to the
+// given slices.
+func collectInto(events *[]sosf.RoundEvent, lines *[][]byte) func(sosf.RoundEvent) {
+	return func(ev sosf.RoundEvent) {
+		line, err := json.Marshal(ev)
+		if err != nil {
+			// RoundEvent is a plain data struct; Marshal cannot fail.
+			panic(err)
+		}
+		*events = append(*events, ev)
+		*lines = append(*lines, append(line, '\n'))
+	}
+}
+
+// lastFaultRound returns the last round any fault event touches. Snapshot
+// actions are not faults; everything else (including joins and
+// reconfigurations) perturbs the system and restarts the reconvergence
+// clock.
+func lastFaultRound(events []spec.ScenarioEvent) int {
+	last := 0
+	for _, ev := range events {
+		if ev.Kind == spec.ScenSnapshot {
+			continue
+		}
+		if ev.To > last {
+			last = ev.To
+		}
+	}
+	return last
+}
+
+// deriveSeed is a splitmix64-style mix of the campaign seed and a salt,
+// masked positive so it survives a round trip through `option seed`.
+func deriveSeed(seed int64, salt uint64) int64 {
+	x := uint64(seed) ^ (salt+1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x & 0x7FFFFFFFFFFFFFFF)
+}

@@ -1,0 +1,175 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sosf"
+)
+
+// Invariant names, as they appear in Violation.Invariant and reproducer
+// file names.
+const (
+	InvReconverge      = "reconverge"
+	InvOrphanTail      = "orphan-tail"
+	InvBandwidth       = "bandwidth"
+	InvPopulationFloor = "population-floor"
+	InvResume          = "resume-equivalence"
+)
+
+// Violation is one invariant failure. Its rendering is deterministic (it
+// ends up verbatim in committed reproducer headers).
+type Violation struct {
+	// Invariant is the failing invariant's name.
+	Invariant string
+	// Round locates the failure (the deadline round for budget-style
+	// invariants, the first offending round otherwise).
+	Round int
+	// Detail is a one-line human-readable description.
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s at round %d: %s", v.Invariant, v.Round, v.Detail)
+}
+
+// Invariant is a pluggable per-run check. Check returns nil when the run
+// satisfies the invariant. Implementations must be deterministic: the
+// shrinker re-evaluates them on every candidate, and a flickering verdict
+// would break reproducer byte-stability.
+type Invariant interface {
+	Name() string
+	Check(r *Run) *Violation
+}
+
+// Reconverge requires every layer to reach accuracy 1.0 within Within
+// rounds of the run's last fault — the paper's core promise that the
+// system re-assembles after damage.
+type Reconverge struct {
+	Within int
+}
+
+// Name implements Invariant.
+func (Reconverge) Name() string { return InvReconverge }
+
+// Check implements Invariant. A run too short to cover the budget proves
+// nothing and returns nil — which is what lets the shrinker's round
+// bisection stop at the deadline instead of shrinking the violation away.
+func (i Reconverge) Check(r *Run) *Violation {
+	deadline := r.LastFault + i.Within
+	if len(r.Events) < deadline {
+		return nil
+	}
+	// Events[k] is round k+1, so this slice is rounds (LastFault, deadline].
+	for _, ev := range r.Events[r.LastFault:deadline] {
+		if ev.Converged {
+			return nil
+		}
+	}
+	return &Violation{
+		Invariant: InvReconverge,
+		Round:     deadline,
+		Detail: fmt.Sprintf("no convergence in the %d rounds after the last fault (round %d); accuracy at round %d: %s",
+			i.Within, r.LastFault, deadline, accuracySummary(r.Events[deadline-1])),
+	}
+}
+
+// OrphanTail bounds the end-of-run orphan count (alive nodes with
+// peer-sampling in-degree zero) at max(1, 1% of the population) — the
+// transient bound the engine's bulk-synchronous rounds are allowed; a
+// persistent tail beyond it means the overlay stopped healing.
+type OrphanTail struct{}
+
+// Name implements Invariant.
+func (OrphanTail) Name() string { return InvOrphanTail }
+
+// Check implements Invariant.
+func (OrphanTail) Check(r *Run) *Violation {
+	if r.Sys == nil {
+		return nil
+	}
+	orphans, alive := r.Sys.OrphanCount()
+	limit := alive / 100
+	if limit < 1 {
+		limit = 1
+	}
+	if orphans <= limit {
+		return nil
+	}
+	return &Violation{
+		Invariant: InvOrphanTail,
+		Round:     r.Rounds,
+		Detail: fmt.Sprintf("%d of %d alive nodes have peer-sampling in-degree zero after round %d (transient bound is %d)",
+			orphans, alive, r.Rounds, limit),
+	}
+}
+
+// BandwidthCeiling bounds per-node traffic: no round may move more than
+// MaxBytes per node (baseline shape protocols plus runtime overhead).
+type BandwidthCeiling struct {
+	MaxBytes float64
+}
+
+// Name implements Invariant.
+func (BandwidthCeiling) Name() string { return InvBandwidth }
+
+// Check implements Invariant.
+func (i BandwidthCeiling) Check(r *Run) *Violation {
+	for _, ev := range r.Events {
+		if total := ev.BaselineBytes + ev.OverheadBytes; total > i.MaxBytes {
+			return &Violation{
+				Invariant: InvBandwidth,
+				Round:     ev.Round,
+				Detail: fmt.Sprintf("round %d moved %.0f bytes per node (%.0f baseline + %.0f overhead), over the %.0f ceiling",
+					ev.Round, total, ev.BaselineBytes, ev.OverheadBytes, i.MaxBytes),
+			}
+		}
+	}
+	return nil
+}
+
+// PopulationFloor flags any round whose alive population drops below
+// MinFraction of the initial population. It is deliberately strict — any
+// healthy kill blast beyond the floor trips it — and exists as the
+// campaign's seeded-failure knob: turn it on to watch the runner find a
+// violation and shrink it to a minimal reproducer, and to generate
+// regression-corpus entries.
+type PopulationFloor struct {
+	MinFraction float64
+}
+
+// Name implements Invariant.
+func (PopulationFloor) Name() string { return InvPopulationFloor }
+
+// Check implements Invariant.
+func (i PopulationFloor) Check(r *Run) *Violation {
+	floor := i.MinFraction * float64(r.InitialNodes)
+	for _, ev := range r.Events {
+		if float64(ev.Nodes) < floor {
+			return &Violation{
+				Invariant: InvPopulationFloor,
+				Round:     ev.Round,
+				Detail: fmt.Sprintf("population %d at round %d fell below %.0f%% of the initial %d nodes",
+					ev.Nodes, ev.Round, i.MinFraction*100, r.InitialNodes),
+			}
+		}
+	}
+	return nil
+}
+
+// accuracySummary renders an event's per-layer accuracy in sorted key
+// order ("Elementary Topology=0.981 ...") for deterministic violation
+// details.
+func accuracySummary(ev sosf.RoundEvent) string {
+	keys := make([]string, 0, len(ev.Accuracy))
+	for k := range ev.Accuracy {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%.3f", k, ev.Accuracy[k]))
+	}
+	return strings.Join(parts, ", ")
+}

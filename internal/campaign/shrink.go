@@ -1,0 +1,324 @@
+package campaign
+
+import (
+	"math"
+
+	"sosf/internal/spec"
+)
+
+// shrinker greedily minimizes a violating run. Every candidate edit is
+// validated, emitted to DSL source, and re-executed; an edit is kept only
+// if the original invariant still fires. All decisions are deterministic,
+// so the same campaign seed always distills the same reproducer, byte for
+// byte.
+//
+// Candidates that leave a prefix of the current best timeline untouched
+// resume from the best run's nearest in-memory checkpoint instead of
+// replaying from round 0 — the PR 5 snapshot machinery doing double duty
+// as the shrinker's accelerator. The skipped rounds' events are spliced
+// from the best run (identical by determinism), so invariants always see
+// a full event stream.
+type shrinker struct {
+	c          *Campaign
+	invariant  string
+	resumeMode bool // shrinking a resume-equivalence divergence: every candidate re-runs the resume check, never a prefix
+	best       *spec.Topology
+	bestRun    *Run
+	bestViol   *Violation
+	steps      int // accepted edits
+	tried      int // candidate executions
+}
+
+func newShrinker(c *Campaign, v *Violation, topo *spec.Topology, run *Run) *shrinker {
+	return &shrinker{
+		c:          c,
+		invariant:  v.Invariant,
+		resumeMode: v.Invariant == InvResume,
+		best:       topo,
+		bestRun:    run,
+		bestViol:   v,
+	}
+}
+
+// minimize runs the shrinking passes to a fixpoint: drop whole events,
+// narrow windows, reduce magnitudes, bisect the round budget down to the
+// earliest failing horizon, and halve the population — in that order,
+// cheapest structural wins first.
+func (s *shrinker) minimize() (*spec.Topology, *Run, *Violation) {
+	for {
+		changed := s.dropEvents()
+		changed = s.narrowWindows() || changed
+		changed = s.reduceMagnitudes() || changed
+		changed = s.bisectRounds() || changed
+		changed = s.shrinkPopulation() || changed
+		if !changed {
+			return s.best, s.bestRun, s.bestViol
+		}
+	}
+}
+
+// dropEvents tries to delete each timeline event outright. On success the
+// next event shifts into the same index, so the loop only advances past
+// survivors — each event left in the final reproducer is individually
+// necessary.
+func (s *shrinker) dropEvents() bool {
+	changed := false
+	for i := 0; i < len(s.best.Scenario); {
+		cand := cloneSpec(s.best)
+		dropped := cand.Scenario[i]
+		cand.Scenario = append(cand.Scenario[:i], cand.Scenario[i+1:]...)
+		if s.accept(cand, dropped.From) {
+			changed = true
+		} else {
+			i++
+		}
+	}
+	return changed
+}
+
+// narrowWindows halves each window event toward a point: first pulling the
+// end in, then pushing the start up.
+func (s *shrinker) narrowWindows() bool {
+	changed := false
+	for i := 0; i < len(s.best.Scenario); i++ {
+		for {
+			ev := s.best.Scenario[i]
+			if ev.To <= ev.From {
+				break
+			}
+			cand := cloneSpec(s.best)
+			cand.Scenario[i].To = ev.From + (ev.To-ev.From)/2
+			// The candidate diverges where its window now ends early (a
+			// stateful window restores there; a pulse stops one round
+			// later), so checkpoints before the new end stay reusable.
+			if !s.accept(cand, cand.Scenario[i].To) {
+				break
+			}
+			changed = true
+		}
+		for {
+			ev := s.best.Scenario[i]
+			if ev.To <= ev.From {
+				break
+			}
+			cand := cloneSpec(s.best)
+			cand.Scenario[i].From = ev.To - (ev.To-ev.From)/2
+			if !s.accept(cand, ev.From) {
+				break
+			}
+			changed = true
+		}
+	}
+	return changed
+}
+
+// reduceMagnitudes halves each event's magnitude toward its validity
+// floor (quantized to two decimals, so the loop terminates and the
+// reproducer stays readable).
+func (s *shrinker) reduceMagnitudes() bool {
+	changed := false
+	for i := 0; i < len(s.best.Scenario); i++ {
+		for {
+			from := s.best.Scenario[i].From
+			cand := cloneSpec(s.best)
+			if !reduceEvent(&cand.Scenario[i]) {
+				break
+			}
+			if !s.accept(cand, from) {
+				break
+			}
+			changed = true
+		}
+	}
+	return changed
+}
+
+// reduceEvent shrinks one event's magnitude a notch; false means nothing
+// left to reduce.
+func reduceEvent(ev *spec.ScenarioEvent) bool {
+	switch ev.Kind {
+	case spec.ScenKill, spec.ScenChurn, spec.ScenLoss:
+		f := math.Round(ev.Fraction/2*100) / 100
+		if f < 0.01 || f >= ev.Fraction {
+			return false
+		}
+		ev.Fraction = f
+		return true
+	case spec.ScenJoin:
+		n := ev.Count / 2
+		if n < 1 || n >= ev.Count {
+			return false
+		}
+		ev.Count = n
+		return true
+	case spec.ScenPartition:
+		if ev.Count <= 2 {
+			return false
+		}
+		ev.Count--
+		return true
+	default:
+		return false
+	}
+}
+
+// bisectRounds binary-searches the smallest round budget that still
+// exhibits the violation — the "find the earliest failing window" step,
+// with each probe resuming from the nearest reusable checkpoint rather
+// than replaying from round 0. Budgets that would strand an event beyond
+// the horizon fail validation and count as non-failing, which steers the
+// search correctly without special cases.
+func (s *shrinker) bisectRounds() bool {
+	lo, hi := 0, int(s.best.Option("rounds", 0))
+	changed := false
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		cand := cloneSpec(s.best)
+		cand.SetOption("rounds", int64(mid))
+		if s.accept(cand, mid) {
+			hi = mid
+			changed = true
+		} else {
+			lo = mid
+		}
+	}
+	return changed
+}
+
+// shrinkPopulation halves the node count toward a floor that keeps every
+// component populated enough to assemble its shape.
+func (s *shrinker) shrinkPopulation() bool {
+	changed := false
+	for {
+		nodes := int(s.best.Option("nodes", 0))
+		floor := 4 * len(s.best.Components)
+		if floor < 8 {
+			floor = 8
+		}
+		next := nodes / 2
+		if next < floor {
+			next = floor
+		}
+		if next >= nodes {
+			break
+		}
+		cand := cloneSpec(s.best)
+		cand.SetOption("nodes", int64(next))
+		// A different boot population diverges from round 0: no
+		// checkpoint of the old best is reusable.
+		if !s.accept(cand, 0) {
+			break
+		}
+		changed = true
+	}
+	return changed
+}
+
+// accept executes the candidate and, if the target invariant still fires,
+// installs it as the new best. firstAffected is the first round at which
+// the candidate's behavior can differ from the current best's; checkpoints
+// strictly before it may seed the candidate run.
+func (s *shrinker) accept(cand *spec.Topology, firstAffected int) bool {
+	if err := cand.Validate(); err != nil {
+		return false
+	}
+	s.tried++
+	eo := execOpts{checkResume: s.resumeMode, snapEvery: s.c.cfg.SnapshotEvery}
+	if !s.resumeMode {
+		eo.prefix, eo.prefixRun = s.reusableSnap(cand, firstAffected)
+	}
+	run, err := s.c.execute(cand, eo)
+	if err != nil {
+		return false
+	}
+	v := s.c.checkNamed(run, s.invariant)
+	if v == nil {
+		return false
+	}
+	// Checkpoints of the old best taken before the divergence stay valid
+	// for the new best (identical prefix); keep them ahead of whatever the
+	// candidate run captured live, preserving ascending round order.
+	if int(cand.Option("nodes", 0)) == int(s.best.Option("nodes", 0)) {
+		var keep []prefixSnap
+		for _, sn := range s.bestRun.snaps {
+			if sn.round < firstAffected && sn.round < run.Rounds {
+				keep = append(keep, sn)
+			}
+		}
+		run.snaps = append(keep, run.snaps...)
+	}
+	s.best, s.bestRun, s.bestViol = cand, run, v
+	s.steps++
+	return true
+}
+
+// reusableSnap picks the latest checkpoint of the best run a candidate
+// diverging at firstAffected can legally resume from. Beyond preceding the
+// divergence, the checkpoint must predate any loss window's opening: the
+// timeline's saved-loss bookkeeping is keyed by event index, which the
+// candidate's edit may have shifted. A candidate with no timeline at all
+// never resumes (its system has no scenario binding to restore into).
+func (s *shrinker) reusableSnap(cand *spec.Topology, firstAffected int) (*prefixSnap, *Run) {
+	if firstAffected <= 0 || len(cand.Scenario) == 0 {
+		return nil, nil
+	}
+	if int(cand.Option("nodes", 0)) != int(s.best.Option("nodes", 0)) {
+		return nil, nil
+	}
+	candRounds := int(cand.Option("rounds", 0))
+	var pick *prefixSnap
+	for i := range s.bestRun.snaps {
+		sn := &s.bestRun.snaps[i]
+		if sn.round >= firstAffected || sn.round >= candRounds {
+			continue
+		}
+		if lossOpenedBy(s.best.Scenario, sn.round) {
+			continue
+		}
+		if pick == nil || sn.round > pick.round {
+			pick = sn
+		}
+	}
+	if pick == nil {
+		return nil, nil
+	}
+	return pick, s.bestRun
+}
+
+// lossOpenedBy reports whether any loss event has opened by the given
+// round (inclusive).
+func lossOpenedBy(events []spec.ScenarioEvent, round int) bool {
+	for _, ev := range events {
+		if ev.Kind == spec.ScenLoss && ev.From <= round {
+			return true
+		}
+	}
+	return false
+}
+
+// cloneSpec deep-copies everything the shrinker mutates. Reconfigure
+// target topologies are shared (no pass edits them in place).
+func cloneSpec(t *spec.Topology) *spec.Topology {
+	c := *t
+	c.Components = append([]spec.Component(nil), t.Components...)
+	for i := range c.Components {
+		comp := &c.Components[i]
+		if len(comp.Params) > 0 {
+			params := make(map[string]int64, len(comp.Params))
+			for k, v := range comp.Params {
+				params[k] = v
+			}
+			comp.Params = params
+		}
+		comp.Ports = append([]string(nil), comp.Ports...)
+	}
+	c.Links = append([]spec.Link(nil), t.Links...)
+	if t.Options != nil {
+		c.Options = make(map[string]int64, len(t.Options))
+		for k, v := range t.Options {
+			c.Options[k] = v
+		}
+	}
+	c.Scenario = append([]spec.ScenarioEvent(nil), t.Scenario...)
+	return &c
+}

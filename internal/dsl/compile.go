@@ -10,6 +10,11 @@ import (
 // execute, guarding against runaway `repeat` ranges.
 const maxInstantiations = 1_000_000
 
+// compileBudget is the active statement budget, maxInstantiations unless a
+// test lowers it (the fuzz harness does, to keep the per-input cost of
+// mutated repeat bombs bounded).
+var compileBudget = maxInstantiations
+
 // Compile evaluates the AST into a topology specification. It executes
 // `repeat` loops, folds constant expressions, canonicalizes indexed names
 // ("seg[3]"), and reports duplicate definitions with source positions.
@@ -52,8 +57,8 @@ type compiler struct {
 
 func (c *compiler) budget(pos Pos) error {
 	c.steps++
-	if c.steps > maxInstantiations {
-		return errf(pos, "topology too large: more than %d statements executed (runaway repeat?)", maxInstantiations)
+	if c.steps > compileBudget {
+		return errf(pos, "topology too large: more than %d statements executed (runaway repeat?)", compileBudget)
 	}
 	return nil
 }

@@ -1,0 +1,292 @@
+package dsl
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sosf/internal/spec"
+)
+
+// Emit renders a compiled topology back to DSL source in canonical form:
+// options sorted by key (with `nodes` first as its own statement), every
+// component's weight written explicitly, params sorted, and the scenario
+// timeline in declaration order. The output is the identity under the
+// compiler — ParseTopology(Emit(t)) reproduces t — which is what makes
+// machine-written reproducers (the fuzzing campaign's shrunk timelines)
+// trustworthy: the committed .sos file IS the spec that ran.
+//
+// Canonicalization notes for round-trippers:
+//
+//   - A reconfigure target's Name is dropped on emission; the compiler
+//     re-derives it as "<outer>@<round>", exactly as it does for inline
+//     bodies. Targets carrying any other name do not round-trip.
+//   - nil and empty Params / Options maps both emit nothing and re-parse
+//     as nil.
+//
+// Emit fails when a value has no DSL spelling: names that are not
+// identifiers (or "ident[index]" forms), option keys that are not
+// identifiers, non-finite or negative fractions, or strings with
+// unescapable control characters.
+func Emit(t *spec.Topology) (string, error) {
+	var b strings.Builder
+	name, err := topologyName(t.Name)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "topology %s {\n", name)
+	if err := emitBody(&b, t, "    "); err != nil {
+		return "", err
+	}
+	b.WriteString("}\n")
+	return b.String(), nil
+}
+
+// emitBody writes the statements of a topology block (options, components,
+// links, scenario) at the given indentation. It is shared by Emit and by
+// inline reconfigure bodies.
+func emitBody(b *strings.Builder, t *spec.Topology, indent string) error {
+	if n, ok := t.Options["nodes"]; ok {
+		fmt.Fprintf(b, "%snodes %s\n", indent, emitInt(n))
+	}
+	keys := make([]string, 0, len(t.Options))
+	for k := range t.Options {
+		if k != "nodes" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !isIdent(k) {
+			return fmt.Errorf("dsl: option key %q is not an identifier", k)
+		}
+		fmt.Fprintf(b, "%soption %s %s\n", indent, k, emitInt(t.Options[k]))
+	}
+	for i := range t.Components {
+		if err := emitComponent(b, &t.Components[i], indent); err != nil {
+			return err
+		}
+	}
+	for _, l := range t.Links {
+		a, err := portRef(l.A)
+		if err != nil {
+			return err
+		}
+		bb, err := portRef(l.B)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(b, "%slink %s %s\n", indent, a, bb)
+	}
+	if len(t.Scenario) > 0 {
+		fmt.Fprintf(b, "%sscenario {\n", indent)
+		for i := range t.Scenario {
+			if err := emitEvent(b, &t.Scenario[i], indent+"    "); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(b, "%s}\n", indent)
+	}
+	return nil
+}
+
+func emitComponent(b *strings.Builder, c *spec.Component, indent string) error {
+	name, err := componentName(c.Name)
+	if err != nil {
+		return err
+	}
+	if !isIdent(c.Shape) {
+		return fmt.Errorf("dsl: shape %q is not an identifier", c.Shape)
+	}
+	fmt.Fprintf(b, "%scomponent %s %s {\n", indent, name, c.Shape)
+	fmt.Fprintf(b, "%s    weight %s\n", indent, emitInt(c.Weight))
+	keys := make([]string, 0, len(c.Params))
+	for k := range c.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !isIdent(k) {
+			return fmt.Errorf("dsl: component %q: param key %q is not an identifier", c.Name, k)
+		}
+		fmt.Fprintf(b, "%s    param %s %s\n", indent, k, emitInt(c.Params[k]))
+	}
+	for _, p := range c.Ports {
+		if !isIdent(p) {
+			return fmt.Errorf("dsl: component %q: port %q is not an identifier", c.Name, p)
+		}
+		fmt.Fprintf(b, "%s    port %s\n", indent, p)
+	}
+	fmt.Fprintf(b, "%s}\n", indent)
+	return nil
+}
+
+func emitEvent(b *strings.Builder, ev *spec.ScenarioEvent, indent string) error {
+	when := fmt.Sprintf("at %d", ev.From)
+	if ev.To > ev.From {
+		when = fmt.Sprintf("during %d %d", ev.From, ev.To)
+	}
+	if ev.From < 0 || ev.To < ev.From {
+		return fmt.Errorf("dsl: scenario event window [%d, %d] has no DSL spelling", ev.From, ev.To)
+	}
+	switch ev.Kind {
+	case spec.ScenKill, spec.ScenLoss, spec.ScenChurn:
+		f, err := emitFraction(ev.Fraction)
+		if err != nil {
+			return fmt.Errorf("dsl: %s event: %w", ev.Kind, err)
+		}
+		fmt.Fprintf(b, "%s%s %s %s\n", indent, when, ev.Kind, f)
+	case spec.ScenKillComponent:
+		name, err := componentName(ev.Component)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(b, "%s%s kill component %s\n", indent, when, name)
+	case spec.ScenJoin, spec.ScenPartition:
+		fmt.Fprintf(b, "%s%s %s %d\n", indent, when, ev.Kind, ev.Count)
+	case spec.ScenHeal:
+		fmt.Fprintf(b, "%s%s heal\n", indent, when)
+	case spec.ScenSnapshot:
+		path, err := stringLit(ev.Path)
+		if err != nil {
+			return fmt.Errorf("dsl: snapshot path: %w", err)
+		}
+		fmt.Fprintf(b, "%s%s snapshot %s\n", indent, when, path)
+	case spec.ScenReconfigure:
+		if ev.Reconfigure == nil {
+			return fmt.Errorf("dsl: reconfigure event at %d has no target", ev.From)
+		}
+		if len(ev.Reconfigure.Scenario) > 0 {
+			return fmt.Errorf("dsl: reconfigure target %q carries its own scenario", ev.Reconfigure.Name)
+		}
+		fmt.Fprintf(b, "%s%s reconfigure {\n", indent, when)
+		if err := emitBody(b, ev.Reconfigure, indent+"    "); err != nil {
+			return err
+		}
+		fmt.Fprintf(b, "%s}\n", indent)
+	default:
+		return fmt.Errorf("dsl: scenario event kind %q has no DSL spelling", ev.Kind)
+	}
+	return nil
+}
+
+// emitInt renders an int64 literal. Negative values rely on the parser's
+// unary minus.
+func emitInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+// emitFraction renders a float argument of kill/loss/churn. The lexer only
+// accepts "digits.digits" literals — no exponents, no sign — so the value
+// must be finite and non-negative; 'f' formatting with precision -1 keeps
+// the exact bits (ParseFloat inverts it losslessly).
+func emitFraction(f float64) (string, error) {
+	if f != f || f < 0 || f > 1e18 {
+		return "", fmt.Errorf("fraction %v has no DSL spelling", f)
+	}
+	return strconv.FormatFloat(f, 'f', -1, 64), nil
+}
+
+// topologyName renders the `topology` header name: a bare identifier when
+// possible, a quoted string otherwise.
+func topologyName(name string) (string, error) {
+	if isIdent(name) {
+		return name, nil
+	}
+	return stringLit(name)
+}
+
+// componentName renders a canonical component name — "seg" or "seg[3]" —
+// as a parseable name reference.
+func componentName(name string) (string, error) {
+	base, idx, ok := splitIndexed(name)
+	if !ok {
+		return "", fmt.Errorf("dsl: name %q has no DSL spelling (want ident or ident[index])", name)
+	}
+	if idx == "" {
+		return base, nil
+	}
+	return base + "[" + idx + "]", nil
+}
+
+// portRef renders a "component.port" reference.
+func portRef(r spec.PortRef) (string, error) {
+	name, err := componentName(r.Component)
+	if err != nil {
+		return "", err
+	}
+	if !isIdent(r.Port) {
+		return "", fmt.Errorf("dsl: port %q is not an identifier", r.Port)
+	}
+	return name + "." + r.Port, nil
+}
+
+// splitIndexed decomposes a canonical name into base and optional decimal
+// index ("seg[3]" -> "seg", "3"). ok is false when the name is neither a
+// plain identifier nor the indexed form.
+func splitIndexed(name string) (base, idx string, ok bool) {
+	if isIdent(name) {
+		return name, "", true
+	}
+	open := strings.IndexByte(name, '[')
+	if open <= 0 || !strings.HasSuffix(name, "]") {
+		return "", "", false
+	}
+	base, idx = name[:open], name[open+1:len(name)-1]
+	if !isIdent(base) || !isDecimal(idx) {
+		return "", "", false
+	}
+	return base, idx, true
+}
+
+// stringLit renders a double-quoted DSL string literal, escaping the four
+// sequences the lexer understands. Other control characters (including
+// '\r') have no spelling.
+func stringLit(s string) (string, error) {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			if c < 0x20 || c == 0x7f {
+				return "", fmt.Errorf("string %q contains unescapable byte %#x", s, c)
+			}
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String(), nil
+}
+
+func isIdent(s string) bool {
+	if s == "" || !isIdentStart(s[0]) {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if !isIdentPart(s[i]) {
+			return false
+		}
+	}
+	// Statement keywords parse fine as names in every position Emit uses
+	// them (the grammar is position-keyed), so no reserved-word check.
+	return true
+}
+
+func isDecimal(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}

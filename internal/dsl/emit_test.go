@@ -1,0 +1,284 @@
+package dsl
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"sosf/internal/spec"
+)
+
+// TestEmitRoundTripFixtures re-parses the emitted form of every committed
+// .sos fixture and requires the compiled specs to match: the emitter must
+// be an identity under the compiler even for human-written sources full of
+// lets, repeats, and comments.
+func TestEmitRoundTripFixtures(t *testing.T) {
+	files, err := filepath.Glob("../../testdata/*.sos")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fixtures found: %v", err)
+	}
+	for _, file := range files {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertRoundTrip(t, mustParse(t, string(src)))
+		})
+	}
+}
+
+// TestEmitRoundTripRandom is the emitter's property test: for randomized
+// valid specs spanning every statement and scenario kind, parse(emit(spec))
+// must equal spec, and emit must be a canonical fixpoint
+// (emit(parse(emit(spec))) == emit(spec)).
+func TestEmitRoundTripRandom(t *testing.T) {
+	iters := 300
+	if testing.Short() {
+		iters = 60
+	}
+	for seed := 0; seed < iters; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		topo := randomSpec(rng)
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("seed %d: generator produced invalid spec: %v", seed, err)
+		}
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			assertRoundTrip(t, topo)
+		})
+	}
+}
+
+func TestEmitRejectsUnspeakable(t *testing.T) {
+	base := func() *spec.Topology {
+		return &spec.Topology{
+			Name:       "ok",
+			Components: []spec.Component{{Name: "a", Shape: "ring", Weight: 1}},
+		}
+	}
+	cases := []struct {
+		name  string
+		wreck func(*spec.Topology)
+	}{
+		{"bad component name", func(t *spec.Topology) { t.Components[0].Name = "a-b" }},
+		{"bad option key", func(t *spec.Topology) { t.SetOption("no good", 1) }},
+		{"negative fraction", func(t *spec.Topology) {
+			t.Scenario = []spec.ScenarioEvent{{From: 1, To: 1, Kind: spec.ScenKill, Fraction: -0.5}}
+		}},
+		{"carriage return in path", func(t *spec.Topology) {
+			t.Scenario = []spec.ScenarioEvent{{From: 1, To: 1, Kind: spec.ScenSnapshot, Path: "a\rb"}}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			topo := base()
+			tc.wreck(topo)
+			if _, err := Emit(topo); err == nil {
+				t.Fatal("Emit accepted an unrepresentable spec")
+			}
+		})
+	}
+}
+
+func mustParse(t *testing.T, src string) *spec.Topology {
+	t.Helper()
+	topo, err := ParseTopology(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return topo
+}
+
+func assertRoundTrip(t *testing.T, topo *spec.Topology) {
+	t.Helper()
+	src, err := Emit(topo)
+	if err != nil {
+		t.Fatalf("emit: %v", err)
+	}
+	back, err := ParseTopology(src)
+	if err != nil {
+		t.Fatalf("re-parse of emitted source: %v\n%s", err, src)
+	}
+	if !reflect.DeepEqual(normalizeSpec(topo), normalizeSpec(back)) {
+		t.Fatalf("round trip changed the spec\nemitted:\n%s\noriginal: %+v\nreparsed: %+v", src, topo, back)
+	}
+	again, err := Emit(back)
+	if err != nil {
+		t.Fatalf("re-emit: %v", err)
+	}
+	if again != src {
+		t.Fatalf("emit is not a fixpoint\nfirst:\n%s\nsecond:\n%s", src, again)
+	}
+}
+
+// normalizeSpec maps a spec to the emitter's canonical form without
+// changing meaning: empty maps become nil (the parser never allocates
+// empty ones) and the comparison recurses into reconfigure targets.
+func normalizeSpec(t *spec.Topology) *spec.Topology {
+	out := *t
+	if len(out.Options) == 0 {
+		out.Options = nil
+	}
+	out.Components = append([]spec.Component(nil), t.Components...)
+	for i := range out.Components {
+		if len(out.Components[i].Params) == 0 {
+			out.Components[i].Params = nil
+		}
+		if len(out.Components[i].Ports) == 0 {
+			out.Components[i].Ports = nil
+		}
+	}
+	if len(out.Links) == 0 {
+		out.Links = nil
+	}
+	if len(out.Scenario) == 0 {
+		out.Scenario = nil
+		return &out
+	}
+	out.Scenario = append([]spec.ScenarioEvent(nil), t.Scenario...)
+	for i := range out.Scenario {
+		if out.Scenario[i].Reconfigure != nil {
+			out.Scenario[i].Reconfigure = normalizeSpec(out.Scenario[i].Reconfigure)
+		}
+	}
+	return &out
+}
+
+// randomSpec builds a random valid topology exercising every emitter path:
+// plain and indexed names, all shapes, params, ports, links, options, and
+// a scenario with every event kind (windows placed in disjoint lanes so
+// the loss/partition overlap rule always holds).
+func randomSpec(rng *rand.Rand) *spec.Topology {
+	topo := &spec.Topology{Name: pick(rng, "net", "fuzz topo", "m_1", "edge case \"x\"")}
+
+	nComp := 1 + rng.Intn(4)
+	for i := 0; i < nComp; i++ {
+		name := fmt.Sprintf("c%d", i)
+		if rng.Intn(3) == 0 {
+			name = fmt.Sprintf("seg[%d]", i)
+		}
+		comp := spec.Component{Name: name, Weight: 1 + int64(rng.Intn(5))}
+		comp.Shape, comp.Params = randomShape(rng)
+		for p := 0; p < rng.Intn(3); p++ {
+			comp.Ports = append(comp.Ports, fmt.Sprintf("p%d", p))
+		}
+		topo.Components = append(topo.Components, comp)
+	}
+
+	// Links between distinct ports, deduplicated via the validator's own
+	// canonical form: just retry a few times and keep what is new.
+	seen := map[string]bool{}
+	for try := 0; try < 4; try++ {
+		a, okA := randomPort(rng, topo)
+		b, okB := randomPort(rng, topo)
+		if !okA || !okB || a == b {
+			continue
+		}
+		key := a.String() + "|" + b.String()
+		rkey := b.String() + "|" + a.String()
+		if seen[key] || seen[rkey] {
+			continue
+		}
+		seen[key], seen[rkey] = true, true
+		topo.Links = append(topo.Links, spec.Link{A: a, B: b})
+	}
+
+	if rng.Intn(2) == 0 {
+		topo.SetOption("nodes", int64(100+rng.Intn(900)))
+	}
+	if rng.Intn(3) == 0 {
+		topo.SetOption("seed", int64(rng.Intn(100)))
+	}
+
+	// Scenario: each event gets its own 10-round lane, so stateful
+	// windows can never overlap and the horizon is easy to bound.
+	nEv := rng.Intn(6)
+	for i := 0; i < nEv; i++ {
+		lane := 1 + i*10
+		topo.Scenario = append(topo.Scenario, randomEvent(rng, topo, lane))
+	}
+	if len(topo.Scenario) > 0 && rng.Intn(2) == 0 {
+		topo.SetOption("rounds", int64(10*nEv+rng.Intn(50)))
+	}
+	return topo
+}
+
+func randomShape(rng *rand.Rand) (string, map[string]int64) {
+	switch rng.Intn(6) {
+	case 0:
+		return "ring", nil
+	case 1:
+		return "line", nil
+	case 2:
+		return "clique", nil
+	case 3:
+		return "star", map[string]int64{"hubs": 1 + int64(rng.Intn(3))}
+	case 4:
+		return "tree", map[string]int64{"arity": 1 + int64(rng.Intn(3))}
+	default:
+		return "torus", map[string]int64{"width": 2 + int64(rng.Intn(3))}
+	}
+}
+
+func randomPort(rng *rand.Rand, topo *spec.Topology) (spec.PortRef, bool) {
+	c := &topo.Components[rng.Intn(len(topo.Components))]
+	if len(c.Ports) == 0 {
+		return spec.PortRef{}, false
+	}
+	return spec.PortRef{Component: c.Name, Port: c.Ports[rng.Intn(len(c.Ports))]}, true
+}
+
+func randomEvent(rng *rand.Rand, topo *spec.Topology, lane int) spec.ScenarioEvent {
+	from := lane + rng.Intn(3)
+	to := from
+	window := func(max int) {
+		if rng.Intn(2) == 0 {
+			to = from + 1 + rng.Intn(max)
+		}
+	}
+	switch rng.Intn(8) {
+	case 0:
+		window(5)
+		return spec.ScenarioEvent{From: from, To: to, Kind: spec.ScenKill, Fraction: 0.05 + rng.Float64()*0.5}
+	case 1:
+		comp := topo.Components[rng.Intn(len(topo.Components))].Name
+		return spec.ScenarioEvent{From: from, To: to, Kind: spec.ScenKillComponent, Component: comp}
+	case 2:
+		window(5)
+		return spec.ScenarioEvent{From: from, To: to, Kind: spec.ScenJoin, Count: 1 + rng.Intn(40)}
+	case 3:
+		window(6)
+		return spec.ScenarioEvent{From: from, To: to, Kind: spec.ScenLoss, Fraction: rng.Float64() * 0.9}
+	case 4:
+		window(6)
+		return spec.ScenarioEvent{From: from, To: to, Kind: spec.ScenChurn, Fraction: 0.01 + rng.Float64()*0.2}
+	case 5:
+		window(6)
+		return spec.ScenarioEvent{From: from, To: to, Kind: spec.ScenPartition, Count: 2 + rng.Intn(3)}
+	case 6:
+		return spec.ScenarioEvent{From: from, To: to, Kind: spec.ScenSnapshot,
+			Path: pick(rng, "ck-%d.sosnap", `odd "quoted"`, "tab\there", "nl\nthere")}
+	default:
+		// The compiler derives inline-body names as "<outer>@<round>";
+		// generate exactly that so the round trip is exact.
+		target := &spec.Topology{
+			Name: fmt.Sprintf("%s@%d", topo.Name, from),
+			Components: []spec.Component{
+				{Name: "r0", Shape: "ring", Weight: 1, Ports: []string{"head"}},
+				{Name: "r1", Shape: "clique", Weight: 2, Ports: []string{"head"}},
+			},
+			Links: []spec.Link{{
+				A: spec.PortRef{Component: "r0", Port: "head"},
+				B: spec.PortRef{Component: "r1", Port: "head"},
+			}},
+		}
+		return spec.ScenarioEvent{From: from, To: from, Kind: spec.ScenReconfigure, Reconfigure: target}
+	}
+}
+
+func pick(rng *rand.Rand, options ...string) string {
+	return options[rng.Intn(len(options))]
+}

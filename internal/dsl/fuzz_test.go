@@ -1,0 +1,70 @@
+package dsl
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParse drives the full DSL front end — lexer, parser, compiler,
+// validator — over arbitrary inputs. The invariants:
+//
+//   - ParseTopology never panics; it either returns a spec or an error.
+//   - Any spec it accepts must survive the emitter round trip: Emit
+//     succeeds (everything the compiler canonicalizes has a DSL
+//     spelling) and re-parsing the emitted source succeeds. This is the
+//     contract the fuzzing campaign's reproducer writer depends on.
+//
+// The seed corpus is every committed .sos fixture plus a few handwritten
+// near-miss inputs; `go test -fuzz=FuzzParse ./internal/dsl` explores from
+// there (CI runs a 30s smoke).
+func FuzzParse(f *testing.F) {
+	fixtures, err := filepath.Glob("../../testdata/*.sos")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, file := range fixtures {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	for _, seed := range []string{
+		"topology t { component a ring { port p } }",
+		"topology \"q\" { nodes 10 option rounds 9 component a ring { weight 2 } }",
+		"topology t { let k = 3 repeat i 0 k-1 { component s[i] ring { port h } } }",
+		"topology t { component a ring { port h } component b ring { port t } link a.h b.t }",
+		"topology t { scenario { at 5 kill 0.5 during 1 4 loss 0.25 at 9 heal } }",
+		"topology t { scenario { at 3 snapshot \"ck-%d.sosnap\" at 7 reconfigure { component a ring { } } } }",
+		"topology t { scenario { at 2 join 12 during 3 6 partition 2 at 8 kill component a } component a ring { } }",
+		"topology t { nodes 1_000 component a star { param hubs 2 } }",
+		"topology t {", // unterminated
+		"topology t { component a ring { port p } } trailing",
+	} {
+		f.Add(seed)
+	}
+
+	// Mutated `repeat` bombs ("repeat i 0 999998 { component c[i] ... }")
+	// legitimately compile right up to the 1M-statement budget, which costs
+	// seconds per exec and starves the fuzzer. Realistic parser bugs do not
+	// need a million statements to surface; shrink the budget for the
+	// fuzzing session.
+	restore := compileBudget
+	compileBudget = 50_000
+	f.Cleanup(func() { compileBudget = restore })
+
+	f.Fuzz(func(t *testing.T, src string) {
+		topo, err := ParseTopology(src)
+		if err != nil {
+			return
+		}
+		emitted, err := Emit(topo)
+		if err != nil {
+			t.Fatalf("accepted spec has no emitted form: %v\ninput: %q", err, src)
+		}
+		if _, err := ParseTopology(emitted); err != nil {
+			t.Fatalf("emitted source does not re-parse: %v\ninput: %q\nemitted:\n%s", err, src, emitted)
+		}
+	})
+}

@@ -72,13 +72,24 @@ func (ev ScenarioEvent) String() string {
 }
 
 // ValidateScenario checks the topology's scenario events: known kinds,
-// sane windows, fractions in range, and valid reconfiguration targets.
-// Topology.Validate calls it; embedders that splice extra events in after
-// parsing (e.g. a programmatic scenario API) should call it again.
+// sane windows, fractions in range, valid reconfiguration targets, and —
+// when the topology configures a horizon via `option rounds` — that no
+// event is scheduled beyond it. An event past the horizon would silently
+// never fire on a bounded run; rejecting it at parse time turns a quiet
+// no-op into a loud authoring error. Topology.Validate calls it;
+// embedders that splice extra events in after parsing (e.g. a
+// programmatic scenario API) should call it again.
 func (t *Topology) ValidateScenario() error {
+	horizon := t.Option("rounds", 0)
 	for i, ev := range t.Scenario {
 		if err := t.validateEvent(ev); err != nil {
 			return fmt.Errorf("scenario event %d (%s): %w", i, ev, err)
+		}
+		// Events fire after their round completes, so an event at exactly
+		// the horizon still runs on a `rounds`-bounded play.
+		if horizon > 0 && int64(ev.To) > horizon {
+			return fmt.Errorf("scenario event %d (%s): scheduled beyond the configured horizon (option rounds %d) and would never fire; extend `option rounds` or move the event",
+				i, ev, horizon)
 		}
 	}
 	return validateScenarioWindows(t.Scenario)

@@ -1,0 +1,194 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// scenarioTopo builds a minimal valid topology carrying the given timeline
+// and, when rounds > 0, a configured horizon.
+func scenarioTopo(rounds int64, events ...ScenarioEvent) *Topology {
+	t := &Topology{
+		Name: "sc",
+		Components: []Component{
+			{Name: "a", Shape: "ring", Weight: 1},
+			{Name: "b", Shape: "ring", Weight: 1},
+		},
+		Scenario: events,
+	}
+	if rounds > 0 {
+		t.SetOption("rounds", rounds)
+	}
+	return t
+}
+
+// TestScenarioHorizonValidation pins the horizon rule: with `option
+// rounds` configured, events must not be scheduled beyond it — they would
+// silently never fire — while events at exactly the horizon (which still
+// fire after the last round) stay legal, and topologies without a
+// configured horizon stay unchecked.
+func TestScenarioHorizonValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		rounds  int64
+		events  []ScenarioEvent
+		wantErr string // "" = valid
+	}{
+		{
+			name:   "point event inside horizon",
+			rounds: 100,
+			events: []ScenarioEvent{{From: 50, To: 50, Kind: ScenKill, Fraction: 0.1}},
+		},
+		{
+			name:   "point event at horizon",
+			rounds: 100,
+			events: []ScenarioEvent{{From: 100, To: 100, Kind: ScenKill, Fraction: 0.1}},
+		},
+		{
+			name:    "point event beyond horizon",
+			rounds:  100,
+			events:  []ScenarioEvent{{From: 101, To: 101, Kind: ScenKill, Fraction: 0.1}},
+			wantErr: "beyond the configured horizon",
+		},
+		{
+			name:   "window ending at horizon",
+			rounds: 100,
+			events: []ScenarioEvent{{From: 90, To: 100, Kind: ScenLoss, Fraction: 0.2}},
+		},
+		{
+			name:    "window ending beyond horizon",
+			rounds:  100,
+			events:  []ScenarioEvent{{From: 90, To: 101, Kind: ScenLoss, Fraction: 0.2}},
+			wantErr: "beyond the configured horizon",
+		},
+		{
+			name:    "window starting beyond horizon",
+			rounds:  10,
+			events:  []ScenarioEvent{{From: 20, To: 30, Kind: ScenChurn, Fraction: 0.05}},
+			wantErr: "beyond the configured horizon",
+		},
+		{
+			name:   "zero-length window at horizon",
+			rounds: 100,
+			// During with To == From compiles to a point event; at the
+			// horizon it still fires once after the final round.
+			events: []ScenarioEvent{{From: 100, To: 100, Kind: ScenLoss, Fraction: 0.2}},
+		},
+		{
+			name:   "no configured horizon leaves late events alone",
+			rounds: 0,
+			events: []ScenarioEvent{{From: 5000, To: 5000, Kind: ScenKill, Fraction: 0.1}},
+		},
+		{
+			name:   "horizon does not bound reconfigure targets",
+			rounds: 100,
+			events: []ScenarioEvent{{From: 10, To: 10, Kind: ScenReconfigure, Reconfigure: &Topology{
+				Name:       "sc@10",
+				Components: []Component{{Name: "a", Shape: "ring", Weight: 1}},
+			}}},
+		},
+		{
+			name:   "beyond-horizon event reported even after valid ones",
+			rounds: 60,
+			events: []ScenarioEvent{
+				{From: 10, To: 20, Kind: ScenChurn, Fraction: 0.02},
+				{From: 30, To: 70, Kind: ScenPartition, Count: 2},
+			},
+			wantErr: "beyond the configured horizon",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := scenarioTopo(tc.rounds, tc.events...).Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("want valid, got %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("want error containing %q, got %v", tc.wantErr, err)
+			}
+		})
+	}
+}
+
+// TestScenarioWindowEdgeCases pins the remaining window rules the shrinker
+// leans on: zero-length windows degrade to point events (valid), and
+// overlapping stateful windows of the same kind are rejected however they
+// touch.
+func TestScenarioWindowEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		events  []ScenarioEvent
+		wantErr string
+	}{
+		{
+			name: "zero-length loss window is a point event",
+			events: []ScenarioEvent{
+				{From: 10, To: 10, Kind: ScenLoss, Fraction: 0.3},
+				{From: 40, To: 45, Kind: ScenLoss, Fraction: 0.1},
+			},
+		},
+		{
+			name: "disjoint loss windows compose",
+			events: []ScenarioEvent{
+				{From: 10, To: 20, Kind: ScenLoss, Fraction: 0.3},
+				{From: 21, To: 30, Kind: ScenLoss, Fraction: 0.1},
+			},
+		},
+		{
+			name: "overlapping loss windows conflict",
+			events: []ScenarioEvent{
+				{From: 10, To: 20, Kind: ScenLoss, Fraction: 0.3},
+				{From: 15, To: 30, Kind: ScenLoss, Fraction: 0.1},
+			},
+			wantErr: "conflict",
+		},
+		{
+			name: "loss windows sharing an endpoint conflict",
+			events: []ScenarioEvent{
+				{From: 10, To: 20, Kind: ScenLoss, Fraction: 0.3},
+				{From: 20, To: 30, Kind: ScenLoss, Fraction: 0.1},
+			},
+			wantErr: "conflict",
+		},
+		{
+			name: "point loss inside a loss window conflicts",
+			events: []ScenarioEvent{
+				{From: 10, To: 20, Kind: ScenLoss, Fraction: 0.3},
+				{From: 15, To: 15, Kind: ScenLoss, Fraction: 0.1},
+			},
+			wantErr: "conflict",
+		},
+		{
+			name: "heal inside a partition window conflicts",
+			events: []ScenarioEvent{
+				{From: 10, To: 20, Kind: ScenPartition, Count: 2},
+				{From: 15, To: 15, Kind: ScenHeal},
+			},
+			wantErr: "conflict",
+		},
+		{
+			name: "loss window over a partition window is fine",
+			events: []ScenarioEvent{
+				{From: 10, To: 20, Kind: ScenPartition, Count: 2},
+				{From: 12, To: 18, Kind: ScenLoss, Fraction: 0.2},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := scenarioTopo(0, tc.events...).Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("want valid, got %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("want error containing %q, got %v", tc.wantErr, err)
+			}
+		})
+	}
+}

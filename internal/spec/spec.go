@@ -134,16 +134,16 @@ func (t *Topology) Validate() error {
 	if len(t.Components) == 0 {
 		return fmt.Errorf("topology %q: no components", t.Name)
 	}
-	seen := make(map[string]bool, len(t.Components))
+	seen := make(map[string]*Component, len(t.Components))
 	for i := range t.Components {
 		c := &t.Components[i]
 		if err := validName(c.Name); err != nil {
 			return fmt.Errorf("component %d: %w", i, err)
 		}
-		if seen[c.Name] {
+		if seen[c.Name] != nil {
 			return fmt.Errorf("duplicate component %q", c.Name)
 		}
-		seen[c.Name] = true
+		seen[c.Name] = c
 		if c.Weight < 1 {
 			return fmt.Errorf("component %q: weight must be >= 1, got %d", c.Name, c.Weight)
 		}
@@ -164,7 +164,10 @@ func (t *Topology) Validate() error {
 	links := make(map[string]bool, len(t.Links))
 	for i, l := range t.Links {
 		for _, ref := range []PortRef{l.A, l.B} {
-			c := t.Component(ref.Component)
+			// The map lookup (not the linear Component method) keeps link
+			// validation linear — machine-generated topologies can carry
+			// hundreds of thousands of links.
+			c := seen[ref.Component]
 			if c == nil {
 				return fmt.Errorf("link %d (%s): unknown component %q", i, l, ref.Component)
 			}

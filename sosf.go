@@ -85,7 +85,7 @@ func Run(src string, opts ...Option) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rounds := sys.cfg.rounds
+	rounds := sys.RoundBudget()
 	if !sys.cfg.roundsSet && sys.horizon > rounds {
 		// Without an explicit WithRounds, a scenario run extends to the
 		// timeline's horizon (like `sos play`) so no scheduled action is
@@ -102,13 +102,14 @@ func Run(src string, opts ...Option) (*Report, error) {
 // damaged interactively or by a scripted Scenario, and observed through a
 // streaming round-event interface — what the examples build on.
 type System struct {
-	cfg     *config
-	sys     *core.System
-	tracker *core.Tracker
-	bound   *scenario.Bound
-	horizon int
-	events  []func(RoundEvent)
-	snapErr error // first periodic-snapshot write failure, surfaced by Step
+	cfg        *config
+	sys        *core.System
+	tracker    *core.Tracker
+	bound      *scenario.Bound
+	horizon    int
+	fileRounds int // the source's `option rounds` (0 when absent)
+	events     []func(RoundEvent)
+	snapErr    error // first periodic-snapshot write failure, surfaced by Step
 }
 
 // New compiles the DSL source and boots the full runtime stack over a
@@ -126,6 +127,13 @@ func New(src string, opts ...Option) (*System, error) {
 	topo, err := dsl.ParseTopology(src)
 	if err != nil {
 		return nil, err
+	}
+	if !cfg.seedSet {
+		// A .sos file can pin its own seed (`option seed 7`) so a committed
+		// reproducer replays its exact run with no flags. An explicit
+		// WithSeed always wins; the DefaultSeed applies only when neither
+		// the caller nor the file says anything.
+		cfg.seed = topo.Option("seed", cfg.seed)
 	}
 	if len(cfg.scenario) > 0 {
 		// A programmatic scenario composes with (runs alongside) any
@@ -149,7 +157,8 @@ func New(src string, opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &System{cfg: cfg, sys: sys, events: cfg.events}
+	s := &System{cfg: cfg, sys: sys, events: cfg.events,
+		fileRounds: int(topo.Option("rounds", 0))}
 
 	// Observer order mirrors a round's narrative: scripted actions fire
 	// first, churn replaces nodes, the tracker measures the post-action
@@ -222,6 +231,20 @@ func (s *System) Step(n int) (int, error) {
 	return executed, nil
 }
 
+// RoundBudget resolves the run's round budget: an explicit WithRounds wins,
+// otherwise the source's `option rounds`, otherwise DefaultRounds. This is
+// what `sos run/play/snapshot/dot` simulate when no -rounds flag is given,
+// so a .sos file carrying `option rounds` is self-contained.
+func (s *System) RoundBudget() int {
+	if s.cfg.roundsSet {
+		return s.cfg.rounds
+	}
+	if s.fileRounds > 0 {
+		return s.fileRounds
+	}
+	return DefaultRounds
+}
+
 // ScenarioHorizon returns the last round the system's scenario timeline
 // touches (0 when no scenario is scheduled) — the minimum number of rounds
 // a run must execute to play the whole script.
@@ -261,6 +284,33 @@ func (s *System) KillComponent(name string) int {
 // nodes.
 func (s *System) Connected() bool {
 	return s.sys.Oracle().RealizedGraph().ConnectedOver(s.sys.Engine().AliveSlots())
+}
+
+// OrphanCount reports the health of the peer-sampling substrate: alive is
+// the current population and orphans how many of those nodes appear in
+// nobody's peer-sampling view (in-degree zero). The bulk-synchronous
+// rounds plan every exchange against round-start views, so a transient
+// orphan tail of up to ~1% can appear under faults and self-heals within a
+// few rounds; a persistent tail beyond that signals a broken overlay (the
+// fuzzing campaign's orphan invariant watches exactly this).
+func (s *System) OrphanCount() (orphans, alive int) {
+	eng := s.sys.Engine()
+	rps := s.sys.RPS()
+	slots := eng.AliveSlots()
+	indeg := make(map[int]int, len(slots))
+	for _, slot := range slots {
+		for _, id := range rps.View(slot).IDs() {
+			if n := eng.Lookup(id); n != nil && n.Alive {
+				indeg[n.Slot]++
+			}
+		}
+	}
+	for _, slot := range slots {
+		if indeg[slot] == 0 {
+			orphans++
+		}
+	}
+	return orphans, len(slots)
 }
 
 // ManagerPorts returns the "component.port" keys of a Managers map in

@@ -1,0 +1,37 @@
+#!/bin/sh
+# Regenerates the committed fuzzing regression corpus. Run from the repo
+# root:
+#
+#     ./testdata/corpus/generate-corpus.sh
+#
+# Every entry derives from a fixed campaign seed, so regenerating is a
+# no-op diff unless runtime behavior actually changed. If a diff shows up,
+# either the change is intentional (commit the regenerated corpus with it)
+# or determinism broke (fix that instead).
+#
+# `sos fuzz` exits non-zero when it finds violations — which is exactly
+# what these seeded campaigns are for — so each invocation is expected to
+# "fail".
+set -u
+cd "$(dirname "$0")/../.."
+dir=testdata/corpus
+
+# Population-floor findings: a deliberately strict floor turns ordinary
+# kill blasts into violations, exercising the full find-and-shrink loop.
+go run ./cmd/sos fuzz -seed 3 -runs 3 -pop-floor 0.95 -corpus "$dir" && {
+    echo "generate-corpus: expected the pop-floor campaign to find violations" >&2
+    exit 1
+}
+
+# The known index-hole gap: without the generator's repair events, a
+# single unreplaced death pins Elementary Topology below 1.0 on
+# index-structured shapes (see internal/campaign and ROADMAP.md). The
+# corpus pins today's stuck-state behavior; when the runtime learns to
+# re-densify indices without a reconfiguration, these entries (and the
+# NoRepair knob's test) are the first things that should change.
+go run ./cmd/sos fuzz -seed 1 -runs 6 -no-repair -corpus "$dir" && {
+    echo "generate-corpus: expected the no-repair campaign to find violations" >&2
+    exit 1
+}
+
+echo "corpus regenerated under $dir"
