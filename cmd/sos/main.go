@@ -20,6 +20,11 @@
 //	                               at any -workers value on either side
 //	sos dot [flags] file.sos       simulate, then emit the realized
 //	                               topology as Graphviz DOT on stdout
+//	sos serve [flags]              run the multi-tenant job service: submit
+//	                               .sos files or JSON specs over HTTP, run
+//	                               many simulations concurrently, stream
+//	                               round events over SSE, and scrape
+//	                               /metrics (see internal/serve)
 //	sos fuzz [flags]               run a deterministic generative campaign:
 //	                               sample randomized fault timelines over a
 //	                               seed × topology × population matrix,
@@ -27,6 +32,16 @@
 //	                               tail, bandwidth, resume equivalence), and
 //	                               shrink every violation to a minimal .sos
 //	                               reproducer; exits non-zero on findings
+//
+// Flags for serve (it takes no file argument):
+//
+//	-addr HOST:PORT  listen address (default 127.0.0.1:8080)
+//	-dir DIR         event spools and eviction checkpoints (default
+//	                 sos-serve-data)
+//	-max-resident N  memory budget: evict least-recently-used paused jobs
+//	                 to snapshots beyond N resident jobs (default 0 = off)
+//	-workers N       default round-sharding for jobs that don't set their
+//	                 own (default 1; output identical for any value)
 //
 // Flags for fuzz (it takes no file argument):
 //
@@ -68,13 +83,21 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"log"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"time"
 
 	"sosf"
 	"sosf/internal/campaign"
+	"sosf/internal/serve"
 )
 
 func main() {
@@ -92,6 +115,10 @@ func run(args []string) error {
 	if cmd == "fuzz" {
 		// fuzz has its own flag set and takes no DSL file.
 		return fuzz(rest)
+	}
+	if cmd == "serve" {
+		// serve has its own flag set and takes no DSL file either.
+		return serveCmd(rest)
 	}
 
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
@@ -167,8 +194,59 @@ func run(args []string) error {
 		fmt.Print(sys.DOT())
 		return nil
 	default:
-		return fmt.Errorf("unknown command %q (want check, run, play, snapshot, resume, dot, or fuzz)", cmd)
+		return fmt.Errorf("unknown command %q (want check, run, play, snapshot, resume, dot, serve, or fuzz)", cmd)
 	}
+}
+
+// serveCmd runs the HTTP job service until SIGINT, then drains: in-flight
+// requests finish, every running job parks at its next round boundary, and
+// spools and checkpoints stay on disk in -dir.
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	dir := fs.String("dir", "sos-serve-data", "directory for event spools and eviction checkpoints")
+	maxResident := fs.Int("max-resident", 0, "evict LRU paused jobs to snapshots beyond this many resident jobs (0 = off)")
+	workers := fs.Int("workers", 1, "default round-sharding for jobs that don't set their own (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve: unexpected argument %q (submit topologies over HTTP)", fs.Arg(0))
+	}
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	srv, err := serve.NewServer(serve.Config{
+		Dir:            *dir,
+		MaxResident:    *maxResident,
+		DefaultWorkers: *workers,
+		Log:            logger,
+	})
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("serve: listening on http://%s (data in %s)", ln.Addr(), *dir)
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second ^C kills us the default way
+	logger.Printf("serve: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	srv.Close()
+	return nil
 }
 
 // fuzz runs a generative campaign and reports every minimized finding:
@@ -266,7 +344,9 @@ func snapshot(src string, opts []sosf.Option, format string, asJSON bool, snapFi
 
 // resume restores the run state from the checkpoint and continues to the
 // absolute round `rounds` (extended to the scenario horizon, like play),
-// streaming the resumed rounds' events to stdout.
+// streaming the resumed rounds' events to stdout. A SIGINT is caught at the
+// next round boundary and turned into a final interrupted.sosnap checkpoint,
+// like play.
 func resume(src string, opts []sosf.Option, format string, asJSON bool, snapFile string) error {
 	if snapFile == "" {
 		return fmt.Errorf("resume: -snap FILE is required")
@@ -285,17 +365,43 @@ func resume(src string, opts []sosf.Option, format string, asJSON bool, snapFile
 	if rounds < sys.Round() {
 		return fmt.Errorf("resume: checkpoint is at round %d, past the -rounds %d target", sys.Round(), rounds)
 	}
-	if _, err := sys.Step(rounds - sys.Round()); err != nil {
+	if err := stepInterruptible(sys, rounds-sys.Round()); err != nil {
 		return err
 	}
 	return printReport(os.Stderr, sys.Report(), asJSON)
+}
+
+// interruptSnapshot is where a SIGINT-interrupted play/resume saves its
+// final round-boundary checkpoint; `sos resume -snap interrupted.sosnap`
+// picks the run back up from it.
+const interruptSnapshot = "interrupted.sosnap"
+
+// stepInterruptible steps the system n more rounds, catching SIGINT: the
+// engine stops at the next round boundary (never mid-round) and the
+// complete run state is checkpointed to interrupted.sosnap instead of the
+// process dying with the progress lost.
+func stepInterruptible(sys *sosf.System, n int) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	_, err := sys.StepContext(ctx, n)
+	if errors.Is(err, context.Canceled) {
+		stop() // restore default SIGINT behavior: a second ^C kills us
+		if werr := sys.WriteSnapshot(interruptSnapshot); werr != nil {
+			return fmt.Errorf("interrupted at round %d; saving %s failed: %w",
+				sys.Round(), interruptSnapshot, werr)
+		}
+		return fmt.Errorf("interrupted at round %d; state saved to %s (continue with `sos resume -snap %s`)",
+			sys.Round(), interruptSnapshot, interruptSnapshot)
+	}
+	return err
 }
 
 // play executes the file's scenario timeline (plus any -churn/-loss flags),
 // streaming one round event per round to stdout and a final report to
 // stderr. The run never stops at convergence — a timeline only makes sense
 // played to the end — and -rounds is extended to the scenario horizon so
-// the last scheduled action always fires.
+// the last scheduled action always fires. A SIGINT is caught at the next
+// round boundary and turned into a final interrupted.sosnap checkpoint.
 func play(src string, opts []sosf.Option, format string, asJSON bool) error {
 	sys, err := sosf.New(src, append(opts, sosf.WithRunToEnd())...)
 	if err != nil {
@@ -313,7 +419,7 @@ func play(src string, opts []sosf.Option, format string, asJSON bool) error {
 	if h := sys.ScenarioHorizon(); h > rounds {
 		rounds = h
 	}
-	if _, err := sys.Step(rounds); err != nil {
+	if err := stepInterruptible(sys, rounds); err != nil {
 		return err
 	}
 	return printReport(os.Stderr, sys.Report(), asJSON)

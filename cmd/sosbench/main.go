@@ -26,6 +26,17 @@
 //	             if the outputs differ (doubles the total runtime)
 //	-out DIR     also write <id>.dat, <id>.svg and <id>.txt files
 //
+// Serve client mode (benchmarks a running `sos serve` over HTTP):
+//
+//	-serve URL             base URL of the service (e.g. http://127.0.0.1:8080)
+//	-serve-jobs N          jobs to submit (default 16)
+//	-serve-concurrency C   jobs in flight at once (default 4)
+//	-serve-rounds N        rounds per job (default 30)
+//
+// The mode reports jobs/sec and the p50/p99 latency between consecutive
+// SSE round frames; with -benchjson it writes a sosf-bench/2 record whose
+// `serve` section carries the results.
+//
 // Performance instrumentation:
 //
 //	-cpuprofile FILE  write a pprof CPU profile covering every driver
@@ -97,10 +108,18 @@ func run() error {
 	resume := flag.String("resume", "",
 		"warm-start benchmarking: restore a system checkpoint (written by `sos snapshot` or sosf.System.Snapshot) and measure steady-state rounds on it, skipping population build and convergence warmup")
 	resumeRounds := flag.Int("resume-rounds", 20, "rounds to measure with -resume")
+	serveURL := flag.String("serve", "",
+		"client mode: benchmark a running `sos serve` instance at this base URL (e.g. http://127.0.0.1:8080)")
+	serveJobs := flag.Int("serve-jobs", 16, "jobs to submit with -serve")
+	serveConcurrency := flag.Int("serve-concurrency", 4, "concurrent jobs in flight with -serve")
+	serveRounds := flag.Int("serve-rounds", 30, "rounds per job with -serve")
 	flag.Parse()
 
 	if *resume != "" {
 		return warmStart(*resume, *roundWorkers, *resumeRounds)
+	}
+	if *serveURL != "" {
+		return serveBench(*serveURL, *serveJobs, *serveConcurrency, *serveRounds, *benchjson, *seed)
 	}
 
 	if *cpuprofile != "" {
@@ -332,9 +351,10 @@ type benchRecord struct {
 	Seed          int64          `json:"seed"`
 	Runs          int            `json:"runs"`
 	Full          bool           `json:"full"`
-	EngineRounds  []roundMetric  `json:"engine_rounds"`
-	WorkerScaling []roundMetric  `json:"worker_scaling"`
-	Drivers       []driverMetric `json:"drivers"`
+	EngineRounds  []roundMetric  `json:"engine_rounds,omitempty"`
+	WorkerScaling []roundMetric  `json:"worker_scaling,omitempty"`
+	Drivers       []driverMetric `json:"drivers,omitempty"`
+	Serve         *serveMetric   `json:"serve,omitempty"`
 	TotalWallMS   float64        `json:"total_wall_ms"`
 }
 
@@ -392,6 +412,26 @@ func validateBenchRecord(rec *benchRecord) error {
 	}
 	if rec.CPUs < 1 {
 		return fmt.Errorf("cpus must be >= 1, got %d", rec.CPUs)
+	}
+	// A serve-mode record carries the serve section instead of the engine
+	// and driver sections; a figure-driver record is the other way around.
+	if rec.Serve != nil {
+		s := rec.Serve
+		if s.URL == "" || s.Jobs < 1 || s.Concurrency < 1 || s.RoundsPer < 1 {
+			return fmt.Errorf("serve: url/jobs/concurrency/rounds_per_job must be set, got %q/%d/%d/%d",
+				s.URL, s.Jobs, s.Concurrency, s.RoundsPer)
+		}
+		if s.Rounds != s.Jobs*s.RoundsPer {
+			return fmt.Errorf("serve: rounds_streamed = %d, want jobs*rounds_per_job = %d", s.Rounds, s.Jobs*s.RoundsPer)
+		}
+		if s.JobsPerSec <= 0 || s.P50RoundMS < 0 || s.P99RoundMS < s.P50RoundMS || s.WallMS <= 0 {
+			return fmt.Errorf("serve: metrics out of range (jobs/sec=%g p50=%g p99=%g wall=%g)",
+				s.JobsPerSec, s.P50RoundMS, s.P99RoundMS, s.WallMS)
+		}
+		if rec.TotalWallMS <= 0 {
+			return fmt.Errorf("total_wall_ms must be > 0, got %g", rec.TotalWallMS)
+		}
+		return nil
 	}
 	if len(rec.EngineRounds) == 0 {
 		return fmt.Errorf("engine_rounds must not be empty")
@@ -467,7 +507,13 @@ func writeBenchJSON(path string, o eval.Options, workers int, metrics []driverMe
 			}
 		}
 	}
-	if err := validateBenchRecord(&rec); err != nil {
+	return writeValidatedBenchJSON(path, &rec)
+}
+
+// writeValidatedBenchJSON gates every BENCH_*.json write on schema
+// validation, whichever mode produced the record.
+func writeValidatedBenchJSON(path string, rec *benchRecord) error {
+	if err := validateBenchRecord(rec); err != nil {
 		return fmt.Errorf("benchjson: refusing to write %s: %w", path, err)
 	}
 	buf, err := json.MarshalIndent(rec, "", "  ")

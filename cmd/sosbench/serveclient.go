@@ -1,0 +1,221 @@
+// The -serve client mode: load-test a running `sos serve` instance the way
+// the figure drivers load-test the engine. N jobs are submitted at
+// concurrency C, each job's SSE event stream is consumed end to end, and
+// the report is throughput (jobs/sec) plus the p50/p99 latency between
+// consecutive streamed rounds — the service-level cost of one simulated
+// round, HTTP and SSE overhead included.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sosf/internal/eval"
+)
+
+// serveMetric is the serve section of a sosf-bench/2 record.
+type serveMetric struct {
+	URL         string  `json:"url"`
+	Jobs        int     `json:"jobs"`
+	Concurrency int     `json:"concurrency"`
+	RoundsPer   int     `json:"rounds_per_job"`
+	Rounds      int     `json:"rounds_streamed"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	P50RoundMS  float64 `json:"p50_round_ms"`
+	P99RoundMS  float64 `json:"p99_round_ms"`
+	WallMS      float64 `json:"wall_ms"`
+}
+
+// serveBench drives the client mode and, with -benchjson, writes a
+// sosf-bench/2 record whose serve section carries the results.
+func serveBench(url string, jobs, concurrency, rounds int, benchjson string, seed int64) error {
+	if jobs < 1 || concurrency < 1 || rounds < 1 {
+		return fmt.Errorf("serve: -serve-jobs, -serve-concurrency and -serve-rounds must be >= 1")
+	}
+	url = strings.TrimSuffix(url, "/")
+	m, err := runServeClient(url, jobs, concurrency, rounds)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== serve client: %s ==\n", url)
+	fmt.Printf("%d jobs x %d rounds at concurrency %d: %.2f jobs/sec, %d rounds streamed\n",
+		m.Jobs, m.RoundsPer, m.Concurrency, m.JobsPerSec, m.Rounds)
+	fmt.Printf("round latency over SSE: p50 %.2f ms, p99 %.2f ms (wall %.0f ms)\n",
+		m.P50RoundMS, m.P99RoundMS, m.WallMS)
+	if benchjson == "" {
+		return nil
+	}
+	rec := benchRecord{
+		Schema:      benchSchema,
+		Go:          runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		Parallelism: concurrency,
+		Seed:        seed,
+		Runs:        jobs,
+		Serve:       m,
+		TotalWallMS: m.WallMS,
+	}
+	if err := writeValidatedBenchJSON(benchjson, &rec); err != nil {
+		return err
+	}
+	fmt.Printf("benchmark metrics written to %s\n", benchjson)
+	return nil
+}
+
+func runServeClient(url string, jobs, concurrency, rounds int) (*serveMetric, error) {
+	// The workload: a small ring-of-rings, the same shape the engine
+	// micro-benchmarks use, bounded to a fixed round budget per job.
+	body, err := json.Marshal(map[string]any{
+		"source": eval.RingOfRingsDSL(4),
+		"nodes":  256,
+		"rounds": rounds,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	type jobResult struct {
+		rounds int
+		lats   []float64 // ms between consecutive streamed rounds
+		err    error
+	}
+	results := make([]jobResult, jobs)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, concurrency)
+	t0 := time.Now()
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = runOneJob(url, body)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+
+	m := &serveMetric{
+		URL:         url,
+		Jobs:        jobs,
+		Concurrency: concurrency,
+		RoundsPer:   rounds,
+		JobsPerSec:  float64(jobs) / wall.Seconds(),
+		WallMS:      float64(wall) / float64(time.Millisecond),
+	}
+	var all []float64
+	for i, r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("serve: job %d: %w", i+1, r.err)
+		}
+		if r.rounds != rounds {
+			return nil, fmt.Errorf("serve: job %d streamed %d rounds, want %d", i+1, r.rounds, rounds)
+		}
+		m.Rounds += r.rounds
+		all = append(all, r.lats...)
+	}
+	sort.Float64s(all)
+	m.P50RoundMS = percentile(all, 0.50)
+	m.P99RoundMS = percentile(all, 0.99)
+	return m, nil
+}
+
+// runOneJob submits one auto-started job, times every SSE round frame, and
+// deletes the job afterwards so a long campaign does not accumulate spools
+// on the server.
+func runOneJob(url string, spec []byte) (res struct {
+	rounds int
+	lats   []float64
+	err    error
+}) {
+	resp, err := http.Post(url+"/jobs?start=1", "application/json", strings.NewReader(string(spec)))
+	if err != nil {
+		res.err = err
+		return
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		res.err = err
+		return
+	}
+	if resp.StatusCode != http.StatusCreated {
+		res.err = fmt.Errorf("POST /jobs = %d: %s", resp.StatusCode, st.Error)
+		return
+	}
+	if st.State == "failed" {
+		res.err = fmt.Errorf("job %s failed at start: %s", st.ID, st.Error)
+		return
+	}
+	defer func() {
+		req, _ := http.NewRequest(http.MethodDelete, url+"/jobs/"+st.ID, nil)
+		if resp, derr := http.DefaultClient.Do(req); derr == nil {
+			resp.Body.Close()
+		}
+	}()
+
+	events, err := http.Get(url + "/jobs/" + st.ID + "/events")
+	if err != nil {
+		res.err = err
+		return
+	}
+	defer events.Body.Close()
+	if events.StatusCode != http.StatusOK {
+		res.err = fmt.Errorf("GET events = %d", events.StatusCode)
+		return
+	}
+	sc := bufio.NewScanner(events.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	event := ""
+	last := time.Now()
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			event = ""
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			switch event {
+			case "end":
+				return
+			case "error":
+				res.err = fmt.Errorf("stream error: %s", strings.TrimPrefix(line, "data: "))
+				return
+			default:
+				now := time.Now()
+				res.lats = append(res.lats, float64(now.Sub(last))/float64(time.Millisecond))
+				last = now
+				res.rounds++
+			}
+		}
+	}
+	res.err = fmt.Errorf("stream of job %s closed without end event: %v", st.ID, sc.Err())
+	return
+}
+
+// percentile reads the q-quantile from a sorted sample (0 when empty).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -212,6 +213,14 @@ func (s *System) Config() Config { return s.cfg }
 
 // Run executes up to maxRounds rounds (stopping early if an observer asks).
 func (s *System) Run(maxRounds int) (int, error) { return s.eng.Run(maxRounds) }
+
+// RunContext executes up to maxRounds rounds, checking the context at every
+// round boundary; a cancelled run returns the rounds executed and ctx.Err().
+// The system is always left between rounds, so it can be snapshotted or
+// resumed after a cancellation.
+func (s *System) RunContext(ctx context.Context, maxRounds int) (int, error) {
+	return s.eng.RunContext(ctx, maxRounds)
+}
 
 // Reconfigure swaps in a new target topology mid-run: the epoch is bumped,
 // every alive node gets a fresh role, and all layers re-converge while

@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"sosf"
+	"sosf/internal/dsl"
+	"sosf/internal/spec"
+)
+
+// JobSpec is the JSON body of POST /jobs. Exactly one of Source (inline
+// .sos DSL) and Topology (a compiled topology, in the same JSON encoding
+// snapshots use) must be set; a Topology is normalized to canonical DSL on
+// submission, so every job — however submitted — is backed by one DSL
+// source string, which is also what eviction restores rebuild from.
+//
+// A request body that does not start with '{' is taken to be raw .sos DSL,
+// mirroring how aistore's dSort accepts inline JSON specs next to files.
+type JobSpec struct {
+	// Name labels the job in listings; defaults to the topology name.
+	Name string `json:"name,omitempty"`
+	// Source is inline .sos DSL.
+	Source string `json:"source,omitempty"`
+	// Topology is the compiled alternative to Source.
+	Topology *spec.Topology `json:"topology,omitempty"`
+	// Nodes overrides the population size (0: the file's `nodes` option).
+	Nodes int `json:"nodes,omitempty"`
+	// Rounds caps the run; nil follows the file's `option rounds`, then
+	// the library default, extended to the scenario horizon like play.
+	Rounds *int `json:"rounds,omitempty"`
+	// Seed pins the run's randomness; nil follows the file's
+	// `option seed`, then the library default.
+	Seed *int64 `json:"seed,omitempty"`
+	// Workers shards each simulation round (0 = serial). Any value
+	// produces byte-identical event streams.
+	Workers int `json:"workers,omitempty"`
+}
+
+// jobConfig is a submitted spec resolved to the exact build recipe of a
+// job's sosf.System. It is retained for the job's whole life: an eviction
+// restore must rebuild with byte-identical options.
+type jobConfig struct {
+	name    string
+	source  string // canonical DSL
+	nodes   int
+	rounds  *int
+	seed    *int64
+	workers int
+}
+
+// options renders the recipe as sosf build options, mirroring the CLI's
+// explicit-flag forwarding: unset fields stay unset so the file's own
+// `option rounds` / `option seed` (and the usual defaults) apply.
+func (c *jobConfig) options(extra ...sosf.Option) []sosf.Option {
+	opts := []sosf.Option{sosf.WithNodes(c.nodes), sosf.WithRunToEnd()}
+	if c.rounds != nil {
+		opts = append(opts, sosf.WithRounds(*c.rounds))
+	}
+	if c.seed != nil {
+		opts = append(opts, sosf.WithSeed(*c.seed))
+	}
+	if c.workers > 0 {
+		opts = append(opts, sosf.WithWorkers(c.workers))
+	}
+	return append(opts, extra...)
+}
+
+// parseJobSpec turns a POST /jobs body — raw .sos DSL or a JSON JobSpec —
+// into a validated build recipe.
+func parseJobSpec(body []byte) (*jobConfig, error) {
+	trimmed := bytes.TrimSpace(body)
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("empty job spec")
+	}
+	if trimmed[0] != '{' {
+		// Raw DSL: validate now so submission (not start) reports the
+		// syntax error, and name the job after its topology.
+		topo, err := dsl.ParseTopologyBytes(trimmed)
+		if err != nil {
+			return nil, err
+		}
+		return &jobConfig{name: topo.Name, source: string(trimmed)}, nil
+	}
+
+	var js JobSpec
+	dec := json.NewDecoder(bytes.NewReader(trimmed))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&js); err != nil {
+		return nil, fmt.Errorf("job spec JSON: %w", err)
+	}
+	if js.Source != "" && js.Topology != nil {
+		return nil, fmt.Errorf("job spec sets both source and topology; pick one")
+	}
+	cfg := &jobConfig{
+		name:    js.Name,
+		nodes:   js.Nodes,
+		rounds:  js.Rounds,
+		seed:    js.Seed,
+		workers: js.Workers,
+	}
+	switch {
+	case js.Source != "":
+		topo, err := dsl.ParseTopologyBytes([]byte(js.Source))
+		if err != nil {
+			return nil, err
+		}
+		cfg.source = js.Source
+		if cfg.name == "" {
+			cfg.name = topo.Name
+		}
+	case js.Topology != nil:
+		if err := js.Topology.Validate(); err != nil {
+			return nil, err
+		}
+		if err := js.Topology.ValidateScenario(); err != nil {
+			return nil, err
+		}
+		// Normalize to canonical DSL: Emit is the identity under the
+		// compiler, so the emitted source IS the submitted topology.
+		src, err := dsl.Emit(js.Topology)
+		if err != nil {
+			return nil, fmt.Errorf("job spec topology has no DSL form: %w", err)
+		}
+		cfg.source = src
+		if cfg.name == "" {
+			cfg.name = js.Topology.Name
+		}
+	default:
+		return nil, fmt.Errorf("job spec needs source (inline .sos DSL) or topology")
+	}
+	if cfg.nodes < 0 {
+		return nil, fmt.Errorf("job spec nodes must be >= 0, got %d", cfg.nodes)
+	}
+	if cfg.rounds != nil && *cfg.rounds < 0 {
+		return nil, fmt.Errorf("job spec rounds must be >= 0, got %d", *cfg.rounds)
+	}
+	if cfg.workers < 0 {
+		return nil, fmt.Errorf("job spec workers must be >= 0, got %d", cfg.workers)
+	}
+	return cfg, nil
+}

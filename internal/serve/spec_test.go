@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"sosf/internal/dsl"
+)
+
+const specTestDSL = `topology demo {
+    nodes 40
+    component a ring {
+        port p
+    }
+    component b ring {
+        port p
+    }
+    link a.p b.p
+}`
+
+func TestParseJobSpecRawDSL(t *testing.T) {
+	cfg, err := parseJobSpec([]byte(specTestDSL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.name != "demo" {
+		t.Errorf("name = %q, want demo (the topology name)", cfg.name)
+	}
+	if cfg.source != specTestDSL {
+		t.Errorf("raw DSL submission must retain the source verbatim")
+	}
+	if cfg.rounds != nil || cfg.seed != nil {
+		t.Errorf("unset rounds/seed must stay unset, got %v/%v", cfg.rounds, cfg.seed)
+	}
+}
+
+func TestParseJobSpecJSONSource(t *testing.T) {
+	body, _ := json.Marshal(JobSpec{Name: "mine", Source: specTestDSL, Nodes: 80, Workers: 2})
+	cfg, err := parseJobSpec(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.name != "mine" || cfg.nodes != 80 || cfg.workers != 2 {
+		t.Errorf("cfg = %+v, want name=mine nodes=80 workers=2", cfg)
+	}
+}
+
+func TestParseJobSpecJSONTopology(t *testing.T) {
+	topo, err := dsl.ParseTopology(specTestDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := 7
+	body, _ := json.Marshal(JobSpec{Topology: topo, Rounds: &rounds})
+	cfg, err := parseJobSpec(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.name != "demo" {
+		t.Errorf("name = %q, want demo", cfg.name)
+	}
+	if cfg.rounds == nil || *cfg.rounds != 7 {
+		t.Errorf("rounds = %v, want 7", cfg.rounds)
+	}
+	// The topology normalizes to canonical DSL that compiles back to the
+	// same topology — the single rebuild path eviction restores rely on.
+	back, err := dsl.ParseTopology(cfg.source)
+	if err != nil {
+		t.Fatalf("normalized source does not compile: %v", err)
+	}
+	src2, err := dsl.Emit(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src2 != cfg.source {
+		t.Errorf("normalized DSL is not a fixed point of emit∘compile:\n%s\nvs\n%s", cfg.source, src2)
+	}
+}
+
+func TestParseJobSpecRejects(t *testing.T) {
+	topo, err := dsl.ParseTopology(specTestDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, _ := json.Marshal(JobSpec{Source: specTestDSL, Topology: topo})
+	neg := -1
+	negRounds, _ := json.Marshal(JobSpec{Source: specTestDSL, Rounds: &neg})
+	negNodes, _ := json.Marshal(JobSpec{Source: specTestDSL, Nodes: -5})
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"empty", "  \n ", "empty job spec"},
+		{"bad DSL", "topology oops {", ""},
+		{"bad JSON", `{"source": `, "job spec JSON"},
+		{"unknown field", `{"sauce": "x"}`, "job spec JSON"},
+		{"both source and topology", string(both), "pick one"},
+		{"neither", `{"name": "x"}`, "needs source"},
+		{"negative nodes", string(negNodes), "nodes must be >= 0"},
+		{"negative rounds", string(negRounds), "rounds must be >= 0"},
+	}
+	for _, tc := range cases {
+		_, err := parseJobSpec([]byte(tc.body))
+		if err == nil {
+			t.Errorf("%s: expected error", tc.name)
+			continue
+		}
+		if tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}

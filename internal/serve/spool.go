@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// spool is a per-job append-only JSONL event log on disk. The job's event
+// sink appends one line per round (each append is a single Write, so the
+// file always ends on a line boundary); any number of SSE followers tail
+// it concurrently at their own offsets. Because the spool persists across
+// pause, eviction, and restore, a follower replaying it from offset 0 sees
+// the one canonical event stream of the run regardless of how many times
+// the job's in-memory system came and went.
+type spool struct {
+	path string
+
+	mu       sync.Mutex
+	f        *os.File      // append handle; nil once closed
+	size     int64         // bytes durably appended
+	done     bool          // the job is terminal: no further appends
+	writeErr error         // first append failure, surfaced to followers
+	changed  chan struct{} // closed and replaced on every append / state change
+}
+
+// newSpool creates (or truncates) the spool file.
+func newSpool(path string) (*spool, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &spool{path: path, f: f, changed: make(chan struct{})}, nil
+}
+
+// Write appends one event line. It implements io.Writer so sosf.JSONLSink
+// can drive it directly; the sink encodes each event as exactly one Write.
+func (s *spool) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return 0, fmt.Errorf("serve: spool %s is closed", s.path)
+	}
+	n, err := s.f.Write(p)
+	if err != nil {
+		// A half-written line must not reach followers: freeze the spool
+		// at the last good boundary and surface the failure.
+		if s.writeErr == nil {
+			s.writeErr = err
+		}
+		s.broadcastLocked()
+		return n, err
+	}
+	s.size += int64(n)
+	s.broadcastLocked()
+	return n, nil
+}
+
+// markDone declares the job terminal: followers drain to size and stop.
+func (s *spool) markDone() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.done = true
+	if s.f != nil {
+		s.f.Sync()
+	}
+	s.broadcastLocked()
+}
+
+// close releases the append handle (markDone first if the stream should
+// terminate cleanly) and removes the file when remove is set.
+func (s *spool) close(remove bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+	s.done = true
+	if remove {
+		os.Remove(s.path)
+	}
+	s.broadcastLocked()
+}
+
+func (s *spool) broadcastLocked() {
+	close(s.changed)
+	s.changed = make(chan struct{})
+}
+
+// state reports the current append frontier, whether the stream is
+// complete, and a channel that closes on the next change.
+func (s *spool) state() (size int64, done bool, err error, changed <-chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size, s.done, s.writeErr, s.changed
+}
+
+// follower reads a spool from the beginning on its own file handle.
+type follower struct {
+	sp  *spool
+	r   *os.File
+	off int64
+}
+
+// newFollower opens an independent read handle on the spool.
+func (s *spool) newFollower() (*follower, error) {
+	r, err := os.Open(s.path)
+	if err != nil {
+		return nil, err
+	}
+	return &follower{sp: s, r: r}, nil
+}
+
+// next blocks until more complete lines exist past the follower's offset
+// (or the stream is done / cancelled) and returns them. A nil chunk with
+// nil error means the stream completed; cancellation returns the cancel
+// channel's meaning as io.EOF-free ctxErr.
+func (f *follower) next(cancel <-chan struct{}) ([]byte, error) {
+	for {
+		size, done, werr, changed := f.sp.state()
+		if f.off < size {
+			chunk := make([]byte, size-f.off)
+			if _, err := io.ReadFull(f.r, chunk); err != nil {
+				return nil, err
+			}
+			f.off = size
+			return chunk, nil
+		}
+		if werr != nil {
+			return nil, werr
+		}
+		if done {
+			return nil, nil
+		}
+		select {
+		case <-changed:
+		case <-cancel:
+			return nil, errFollowCancelled
+		}
+	}
+}
+
+// close releases the follower's read handle.
+func (f *follower) close() { f.r.Close() }
+
+// errFollowCancelled reports that the follower's consumer went away.
+var errFollowCancelled = fmt.Errorf("serve: event follower cancelled")

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func newTestSpool(t *testing.T) *spool {
+	t.Helper()
+	sp, err := newSpool(filepath.Join(t.TempDir(), "events.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sp.close(false) })
+	return sp
+}
+
+func TestSpoolFollowerReplaysAndFollows(t *testing.T) {
+	sp := newTestSpool(t)
+	fmt.Fprintf(sp, "{\"round\":1}\n")
+	fmt.Fprintf(sp, "{\"round\":2}\n")
+
+	f, err := sp.newFollower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.close()
+
+	// Replay of what was written before the follower attached.
+	chunk, err := f.next(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "{\"round\":1}\n{\"round\":2}\n"; string(chunk) != want {
+		t.Fatalf("replay chunk = %q, want %q", chunk, want)
+	}
+
+	// Live follow: an append wakes the blocked follower.
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		fmt.Fprintf(sp, "{\"round\":3}\n")
+		sp.markDone()
+	}()
+	var got bytes.Buffer
+	for {
+		chunk, err := f.next(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chunk == nil {
+			break // stream complete
+		}
+		got.Write(chunk)
+	}
+	if want := "{\"round\":3}\n"; got.String() != want {
+		t.Fatalf("followed bytes = %q, want %q", got.String(), want)
+	}
+}
+
+func TestSpoolFollowerCancel(t *testing.T) {
+	sp := newTestSpool(t)
+	f, err := sp.newFollower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.close()
+	cancel := make(chan struct{})
+	close(cancel)
+	if _, err := f.next(cancel); err != errFollowCancelled {
+		t.Fatalf("next on cancelled channel = %v, want errFollowCancelled", err)
+	}
+}
+
+func TestSpoolClosedRefusesWrites(t *testing.T) {
+	sp := newTestSpool(t)
+	sp.close(false)
+	if _, err := fmt.Fprintf(sp, "late\n"); err == nil {
+		t.Fatal("write after close should fail")
+	}
+	// close is idempotent and followers see a terminated stream.
+	sp.close(false)
+	f, err := sp.newFollower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.close()
+	chunk, err := f.next(nil)
+	if chunk != nil || err != nil {
+		t.Fatalf("follower on closed empty spool = %q, %v; want nil, nil", chunk, err)
+	}
+}

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// metricKind distinguishes Prometheus metric families in the registry.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+)
+
+func (k metricKind) String() string {
+	if k == kindCounter {
+		return "counter"
+	}
+	return "gauge"
+}
+
+// family is one named metric family with any number of labeled series.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series map[string]float64 // canonical label string -> value
+}
+
+// Registry is a central stats registry: named counter and gauge families,
+// each with labeled series, rendered in Prometheus text exposition format.
+// All methods are safe for concurrent use; every job runner, the evictor,
+// and the /metrics scrape share one registry. Families must be registered
+// (Counter/Gauge) before use — updating an unregistered family panics,
+// because that is a wiring bug, not a runtime condition.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter registers a monotonically increasing family.
+func (r *Registry) Counter(name, help string) { r.register(name, help, kindCounter) }
+
+// Gauge registers a family whose series can move in both directions.
+func (r *Registry) Gauge(name, help string) { r.register(name, help, kindGauge) }
+
+func (r *Registry) register(name, help string, kind metricKind) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.families[name]; ok {
+		panic(fmt.Sprintf("serve: metric family %q registered twice", name))
+	}
+	r.families[name] = &family{name: name, help: help, kind: kind, series: make(map[string]float64)}
+}
+
+// labelKey renders k=v pairs canonically ({} for none), so the same labels
+// always address the same series. Labels are passed as alternating
+// key, value strings; an odd count panics.
+func labelKey(labels []string) string {
+	if len(labels)%2 != 0 {
+		panic("serve: labels must be alternating key, value pairs")
+	}
+	if len(labels) == 0 {
+		return ""
+	}
+	pairs := make([]string, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, labels[i]+`="`+escapeLabel(labels[i+1])+`"`)
+	}
+	sort.Strings(pairs)
+	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+// escapeLabel applies the Prometheus label-value escapes.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func (r *Registry) lookup(name string) *family {
+	f, ok := r.families[name]
+	if !ok {
+		panic(fmt.Sprintf("serve: metric family %q is not registered", name))
+	}
+	return f
+}
+
+// Add increments a series by delta. Counters refuse to go backwards.
+func (r *Registry) Add(name string, delta float64, labels ...string) {
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.lookup(name)
+	if f.kind == kindCounter && delta < 0 {
+		panic(fmt.Sprintf("serve: counter %q decremented by %g", name, delta))
+	}
+	f.series[key] += delta
+}
+
+// Set pins a series to v (gauges only: rewinding a counter at scrape time
+// would break every rate() over it).
+func (r *Registry) Set(name string, v float64, labels ...string) {
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.lookup(name)
+	if f.kind != kindGauge {
+		panic(fmt.Sprintf("serve: Set on non-gauge %q", name))
+	}
+	f.series[key] = v
+}
+
+// Get reads a series value (0 when the series has never been touched).
+func (r *Registry) Get(name string, labels ...string) float64 {
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lookup(name).series[key]
+}
+
+// WritePrometheus renders every family in text exposition format,
+// deterministically: families sorted by name, series sorted by label set,
+// one # HELP / # TYPE header per family. Families with no series yet emit
+// their headers and, for plain (label-less) families, an explicit 0 — a
+// scrape before the first job must still show every exported metric.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		f := r.families[name]
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if len(keys) == 0 {
+			// A scrape before the first touch still shows the family.
+			fmt.Fprintf(&b, "%s 0\n", f.name)
+		}
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s%s %s\n", f.name, k, strconv.FormatFloat(f.series[k], 'g', -1, 64))
+		}
+	}
+	r.mu.Unlock()
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total", "Total requests.")
+	r.Gauge("inflight", "Current in-flight requests.")
+
+	r.Add("requests_total", 1)
+	r.Add("requests_total", 2, "code", "200")
+	r.Add("requests_total", 1, "code", "200")
+	r.Set("inflight", 7)
+
+	if got := r.Get("requests_total"); got != 1 {
+		t.Errorf("plain counter = %g, want 1", got)
+	}
+	if got := r.Get("requests_total", "code", "200"); got != 3 {
+		t.Errorf("labeled counter = %g, want 3", got)
+	}
+	if got := r.Get("inflight"); got != 7 {
+		t.Errorf("gauge = %g, want 7", got)
+	}
+}
+
+func TestRegistryLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "help")
+	r.Add("c", 1, "b", "2", "a", "1")
+	r.Add("c", 1, "a", "1", "b", "2")
+	if got := r.Get("c", "a", "1", "b", "2"); got != 2 {
+		t.Errorf("label order created distinct series: got %g, want 2", got)
+	}
+}
+
+func TestRegistryPanicsOnMisuse(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("c", "help")
+	r.Gauge("g", "help")
+	mustPanic("double register", func() { r.Counter("c", "again") })
+	mustPanic("negative counter delta", func() { r.Add("c", -1) })
+	mustPanic("Set on counter", func() { r.Set("c", 5) })
+	mustPanic("unregistered family", func() { r.Add("nope", 1) })
+	mustPanic("odd labels", func() { r.Add("c", 1, "keyonly") })
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "Last family.")
+	r.Gauge("aa_gauge", "First family.")
+	r.Counter("empty_total", "Never touched.")
+	r.Add("zz_total", 5, "proto", `say "hi"\n`)
+	r.Add("zz_total", 2)
+	r.Set("aa_gauge", 1.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# HELP aa_gauge First family.",
+		"# TYPE aa_gauge gauge",
+		"aa_gauge 1.5",
+		"# HELP empty_total Never touched.",
+		"# TYPE empty_total counter",
+		"empty_total 0",
+		"# HELP zz_total Last family.",
+		"# TYPE zz_total counter",
+		"zz_total 2",
+		`zz_total{proto="say \"hi\"\\n"} 5`,
+		"",
+	}, "\n")
+	if b.String() != want {
+		t.Errorf("rendered output mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+
+	// Rendering the empty family must not materialize a series in it.
+	r.Add("empty_total", 4, "k", "v")
+	var b2 strings.Builder
+	r.WritePrometheus(&b2)
+	if strings.Contains(b2.String(), "\nempty_total 0\n") {
+		t.Errorf("render of empty family polluted it with a plain series:\n%s", b2.String())
+	}
+}

@@ -12,6 +12,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -692,10 +693,23 @@ func (e *Engine) RunRound() (stop bool) {
 // Run executes up to maxRounds rounds, stopping early if an observer asks
 // to. It returns the number of rounds executed in this call.
 func (e *Engine) Run(maxRounds int) (int, error) {
+	return e.RunContext(context.Background(), maxRounds)
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// at every round boundary (never mid-round, so the engine is always left in
+// a snapshot-safe state), and a cancelled run returns the rounds it actually
+// executed together with ctx.Err(). This is what lets a serving layer pause
+// or stop a job cleanly, and what lets the CLI turn SIGINT into a final
+// checkpoint instead of dying mid-round.
+func (e *Engine) RunContext(ctx context.Context, maxRounds int) (int, error) {
 	if len(e.protocols) == 0 {
 		return 0, ErrNoProtocols
 	}
 	for i := 0; i < maxRounds; i++ {
+		if err := ctx.Err(); err != nil {
+			return i, err
+		}
 		if e.RunRound() {
 			return i + 1, nil
 		}

@@ -53,11 +53,14 @@ func (s *System) Snapshot(w io.Writer) error {
 	return sw.Err()
 }
 
-// WriteSnapshot writes Snapshot to a file, atomically: the stream lands in
-// a temp file next to path and is renamed over it only once fully written.
-// Rolling checkpoints (WithSnapshotEvery without a "%d" verb) depend on
-// this — a crash or full disk mid-write must not destroy the previous good
-// checkpoint, which is exactly the file a crashed run recovers from.
+// WriteSnapshot writes Snapshot to a file, atomically and durably: the
+// stream lands in a temp file next to path, is fsynced, and is renamed over
+// path only once fully on disk. Rolling checkpoints (WithSnapshotEvery
+// without a "%d" verb) depend on this — a crash or full disk mid-write must
+// not destroy the previous good checkpoint, which is exactly the file a
+// crashed run recovers from. Every failure path removes the temp file, so a
+// full disk or read-only directory never litters the checkpoint directory
+// with partial .tmp-* files.
 func (s *System) WriteSnapshot(path string) error {
 	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -67,6 +70,13 @@ func (s *System) WriteSnapshot(path string) error {
 		f.Close()
 		os.Remove(f.Name())
 		return fmt.Errorf("sosf: snapshot to %s: %w", path, err)
+	}
+	// Sync before the rename: the rename must never publish a checkpoint
+	// whose bytes a power cut could still lose.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return fmt.Errorf("sosf: snapshot to %s: sync: %w", path, err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(f.Name())

@@ -1,0 +1,182 @@
+package sosf
+
+// Error-path coverage for the atomic checkpoint writer: a failed
+// WriteSnapshot must never litter the checkpoint directory with partial
+// .tmp-* files, and must never destroy the previous good checkpoint —
+// that file is exactly what a crashed run recovers from.
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tinySystem builds a small converged-ish system for checkpoint tests.
+func tinySystem(t *testing.T) *System {
+	t.Helper()
+	src, err := os.ReadFile("testdata/ringpair.sos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(string(src), WithNodes(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Step(3); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// assertNoTempLitter fails if any .tmp-* file from the atomic writer
+// survived in dir.
+func assertNoTempLitter(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file %q left behind after a failed WriteSnapshot", e.Name())
+		}
+	}
+}
+
+func TestWriteSnapshotRenameFailureCleansTemp(t *testing.T) {
+	sys := tinySystem(t)
+	dir := t.TempDir()
+	// Make the rename itself fail: the target path is an existing
+	// non-empty directory, which os.Rename refuses to replace.
+	target := filepath.Join(dir, "ck.sosnap")
+	if err := os.MkdirAll(filepath.Join(target, "occupied"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WriteSnapshot(target); err == nil {
+		t.Fatal("WriteSnapshot over a non-empty directory succeeded, want rename error")
+	}
+	assertNoTempLitter(t, dir)
+	// The obstruction is untouched.
+	if _, err := os.Stat(filepath.Join(target, "occupied")); err != nil {
+		t.Fatalf("rename failure damaged the existing target: %v", err)
+	}
+}
+
+func TestWriteSnapshotReadOnlyDir(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: directory permission bits are not enforced")
+	}
+	sys := tinySystem(t)
+	dir := t.TempDir()
+	good := filepath.Join(dir, "ck.sosnap")
+	if err := sys.WriteSnapshot(good); err != nil {
+		t.Fatal(err)
+	}
+	prev, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if _, err := sys.Step(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WriteSnapshot(good); err == nil {
+		t.Fatal("WriteSnapshot into a read-only directory succeeded, want error")
+	}
+	if err := os.Chmod(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	assertNoTempLitter(t, dir)
+	// The previous good checkpoint survived byte for byte.
+	now, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(now) != string(prev) {
+		t.Fatal("failed WriteSnapshot corrupted the previous good checkpoint")
+	}
+}
+
+func TestWriteSnapshotMissingDir(t *testing.T) {
+	sys := tinySystem(t)
+	missing := filepath.Join(t.TempDir(), "no", "such", "dir", "ck.sosnap")
+	if err := sys.WriteSnapshot(missing); err == nil {
+		t.Fatal("WriteSnapshot into a missing directory succeeded, want error")
+	}
+}
+
+// TestSnapshotEveryWriteFailureStopsRun pins the WithSnapshotEvery error
+// contract on a real failing path: the periodic checkpoint observer stops
+// the run and the write error surfaces from Step.
+func TestSnapshotEveryWriteFailureStopsRun(t *testing.T) {
+	src, err := os.ReadFile("testdata/ringpair.sos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "ck-%d.sosnap")
+	sys, err := New(string(src), WithNodes(60), WithRunToEnd(),
+		WithSnapshotEvery(2, bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	executed, err := sys.Step(10)
+	if err == nil {
+		t.Fatal("Step with a failing periodic checkpoint succeeded, want error")
+	}
+	if executed != 2 {
+		t.Fatalf("run stopped after %d rounds, want 2 (the first failing checkpoint)", executed)
+	}
+}
+
+// TestStepContextCancelStopsAtRoundBoundary pins the cooperative
+// cancellation contract: a cancelled context stops the run between rounds,
+// returns ctx.Err(), and leaves the system snapshot-safe — stepping it
+// again replays the uninterrupted run.
+func TestStepContextCancelStopsAtRoundBoundary(t *testing.T) {
+	src, err := os.ReadFile("testdata/ringpair.sos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() *System {
+		sys, err := New(string(src), WithNodes(60), WithRunToEnd())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+
+	interrupted := build()
+	ctx, cancel := context.WithCancel(context.Background())
+	rounds := 0
+	interrupted.Subscribe(func(RoundEvent) {
+		if rounds++; rounds == 5 {
+			cancel()
+		}
+	})
+	executed, err := interrupted.StepContext(ctx, 20)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("StepContext error = %v, want context.Canceled", err)
+	}
+	if executed != 5 || interrupted.Round() != 5 {
+		t.Fatalf("cancelled run executed %d rounds (at round %d), want stop right after round 5",
+			executed, interrupted.Round())
+	}
+	// The interrupted system continues exactly like an uninterrupted run.
+	if _, err := interrupted.Step(15); err != nil {
+		t.Fatal(err)
+	}
+	uninterrupted := build()
+	if _, err := uninterrupted.Step(20); err != nil {
+		t.Fatal(err)
+	}
+	got, want := interrupted.Report(), uninterrupted.Report()
+	if got.String() != want.String() {
+		t.Fatalf("interrupted+resumed run diverged from uninterrupted run:\n got %v\nwant %v", got, want)
+	}
+}

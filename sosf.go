@@ -2,6 +2,7 @@ package sosf
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -216,10 +217,18 @@ func New(src string, opts ...Option) (*System, error) {
 // WithRunToEnd was set or a scenario is playing) and returns the rounds
 // actually executed.
 func (s *System) Step(n int) (int, error) {
-	executed, err := s.sys.Run(n)
-	if err != nil {
-		return executed, err
-	}
+	return s.StepContext(context.Background(), n)
+}
+
+// StepContext is Step with cooperative cancellation: the context is checked
+// at every round boundary, never mid-round, so a cancelled system is always
+// left in a state that can be snapshotted (WriteSnapshot) or stepped again.
+// A cancelled call returns the rounds it executed together with ctx.Err();
+// this is what `sos serve` uses to pause and stop jobs cleanly, and what
+// turns a SIGINT in `sos play` into a final checkpoint instead of a
+// mid-round death.
+func (s *System) StepContext(ctx context.Context, n int) (int, error) {
+	executed, err := s.sys.RunContext(ctx, n)
 	if s.bound != nil {
 		if serr := s.bound.Err(); serr != nil {
 			return executed, serr
@@ -228,7 +237,7 @@ func (s *System) Step(n int) (int, error) {
 	if s.snapErr != nil {
 		return executed, s.snapErr
 	}
-	return executed, nil
+	return executed, err
 }
 
 // RoundBudget resolves the run's round budget: an explicit WithRounds wins,
@@ -387,6 +396,31 @@ func (s *System) Report() *Report {
 		rep.OverheadBytes = float64(over) / div
 	}
 	return rep
+}
+
+// ProtocolNames returns the names of the metered protocol layers in their
+// per-round step order (peer sampling first). The order matches the byte
+// slices returned by ProtocolBandwidth.
+func (s *System) ProtocolNames() []string {
+	return s.sys.Engine().Meter().Names()
+}
+
+// ProtocolBandwidth returns the bytes each protocol layer put on the
+// simulated wire during the given completed round (0-based), in
+// ProtocolNames order. It returns nil when the round has not completed.
+// This is the per-layer refinement of RoundEvent's baseline/overhead split,
+// and it is what feeds the per-protocol bandwidth counters of the
+// `sos serve` /metrics endpoint.
+func (s *System) ProtocolBandwidth(round int) []int64 {
+	m := s.sys.Engine().Meter()
+	if round < 0 || round >= m.Rounds() {
+		return nil
+	}
+	out := make([]int64, len(m.Names()))
+	for p := range out {
+		out[p] = m.RoundTotal(round, p)
+	}
+	return out
 }
 
 // DOT renders the realized system topology (the union of the component
