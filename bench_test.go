@@ -193,8 +193,16 @@ func BenchmarkAblationRandomness(b *testing.B) {
 // measured rounds are steady-state gossip — the regime a long-lived
 // deployment spends its life in.
 func BenchmarkRound(b *testing.B) {
-	for _, n := range []int{1000, 10_000, 100_000} {
-		b.Run(fmt.Sprintf("n=%dk", n/1000), func(b *testing.B) {
+	for _, n := range []int{1000, 10_000, 100_000, 1_000_000} {
+		name := fmt.Sprintf("n=%dk", n/1000)
+		if n >= 1_000_000 {
+			name = fmt.Sprintf("n=%dM", n/1_000_000)
+		}
+		n := n
+		b.Run(name, func(b *testing.B) {
+			if n >= 1_000_000 && testing.Short() {
+				b.Skip("million-node population skipped in -short mode")
+			}
 			benchRound(b, n, 1)
 		})
 	}

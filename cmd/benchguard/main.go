@@ -15,6 +15,11 @@
 //	-baseline FILE    BENCH_*.json record with the engine_rounds baselines
 //	-bench FILE       bench output to check ("-" or absent = stdin)
 //	-max-regress PCT  allowed ns/op increase over baseline (default 25)
+//	-min-speedup X    worker-scaling gate: for every population with both
+//	                  a workers=1 and a workers=4 result, ns/op(workers=1)
+//	                  divided by ns/op(workers=4) must reach X (default 0 =
+//	                  off; skipped with a note when the runner has a
+//	                  single CPU, where no speedup is physically possible)
 //	-summary FILE     also append the markdown comparison table here
 //	                  (default: $GITHUB_STEP_SUMMARY when set)
 //
@@ -30,6 +35,8 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -47,16 +54,19 @@ type baselineRecord struct {
 
 // benchResult is one parsed benchmark line.
 type benchResult struct {
-	name   string
-	nodes  int
-	nsOp   float64
-	allocs int64
+	name    string
+	nodes   int
+	workers int
+	nsOp    float64
+	allocs  int64
 }
 
 // benchLine matches `BenchmarkRound/n=10k-4  3  288788594 ns/op  12 B/op  0 allocs/op`
-// (the -cpus suffix and the B/op column are optional).
+// and `BenchmarkRoundWorkers/n=10k/workers=4-4  ...`; populations carry a
+// k (thousands) or M (millions) suffix, and the workers segment, the -cpus
+// suffix, and the B/op column are all optional.
 var benchLine = regexp.MustCompile(
-	`^(BenchmarkRound(?:Workers)?/n=(\d+)k[^ \t]*)\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ B/op\s+(\d+) allocs/op)?`)
+	`^(BenchmarkRound(?:Workers)?/n=(\d+)([kM])(?:/workers=(\d+))?[^ \t]*)\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ B/op\s+(\d+) allocs/op)?`)
 
 func main() {
 	if err := run(); err != nil {
@@ -69,6 +79,8 @@ func run() error {
 	baselinePath := flag.String("baseline", "BENCH_PR4.json", "BENCH_*.json perf-trajectory record")
 	benchPath := flag.String("bench", "-", "go test -bench output to check ('-' = stdin)")
 	maxRegress := flag.Float64("max-regress", 25, "allowed ns/op increase over baseline, in percent")
+	minSpeedup := flag.Float64("min-speedup", 0,
+		"required workers=1 / workers=4 ns/op ratio per population (0 = gate off; skipped on single-CPU runners)")
 	summaryPath := flag.String("summary", os.Getenv("GITHUB_STEP_SUMMARY"),
 		"markdown summary destination (appended; empty = stdout only)")
 	flag.Parse()
@@ -95,6 +107,11 @@ func run() error {
 	}
 
 	table, failures := compare(results, base, *maxRegress)
+	if *minSpeedup > 0 {
+		scaling, scalingFailures := checkSpeedup(results, *minSpeedup, runtime.NumCPU())
+		table += scaling
+		failures = append(failures, scalingFailures...)
+	}
 	fmt.Print(table)
 	if *summaryPath != "" {
 		f, err := os.OpenFile(*summaryPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
@@ -147,17 +164,27 @@ func parseBench(r io.Reader) ([]benchResult, error) {
 		if m == nil {
 			continue
 		}
-		thousands, err := strconv.Atoi(m[2])
+		count, err := strconv.Atoi(m[2])
 		if err != nil {
 			continue
 		}
-		nsOp, err := strconv.ParseFloat(m[3], 64)
+		scale := 1000
+		if m[3] == "M" {
+			scale = 1_000_000
+		}
+		workers := 1
+		if m[4] != "" {
+			if workers, err = strconv.Atoi(m[4]); err != nil {
+				return nil, fmt.Errorf("bad workers in %q", sc.Text())
+			}
+		}
+		nsOp, err := strconv.ParseFloat(m[5], 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad ns/op in %q", sc.Text())
 		}
-		res := benchResult{name: m[1], nodes: thousands * 1000, nsOp: nsOp, allocs: -1}
-		if m[4] != "" {
-			allocs, err := strconv.ParseInt(m[4], 10, 64)
+		res := benchResult{name: m[1], nodes: count * scale, workers: workers, nsOp: nsOp, allocs: -1}
+		if m[6] != "" {
+			allocs, err := strconv.ParseInt(m[6], 10, 64)
 			if err != nil {
 				return nil, fmt.Errorf("bad allocs/op in %q", sc.Text())
 			}
@@ -166,6 +193,69 @@ func parseBench(r io.Reader) ([]benchResult, error) {
 		out = append(out, res)
 	}
 	return out, sc.Err()
+}
+
+// checkSpeedup is the worker-scaling gate: for every population that has
+// both a workers=1 and a workers=4 result, the serial-over-sharded ns/op
+// ratio must reach minSpeedup. The gate exists so the sharded Deliver path
+// cannot silently degenerate into serialized execution — a determinism-
+// preserving refactor that loses the parallelism would still pass every
+// correctness test. On a single-CPU runner no speedup is physically
+// possible, so the gate reports itself skipped instead of failing;
+// anywhere else, a missing workers pair is a failure (the gate was asked
+// for and has nothing to measure — most likely a bench-regex or CI-matrix
+// typo).
+func checkSpeedup(results []benchResult, minSpeedup float64, cpus int) (string, []string) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Worker-scaling gate (workers=1 vs workers=4, required ≥ %.2fx)\n\n", minSpeedup)
+	if cpus <= 1 {
+		b.WriteString("skipped: single-CPU runner, no parallel speedup is possible\n\n")
+		return b.String(), nil
+	}
+	type pair struct{ serial, sharded float64 }
+	pairs := make(map[int]*pair)
+	for _, res := range results {
+		p := pairs[res.nodes]
+		if p == nil {
+			p = &pair{}
+			pairs[res.nodes] = p
+		}
+		switch res.workers {
+		case 1:
+			p.serial = res.nsOp
+		case 4:
+			p.sharded = res.nsOp
+		}
+	}
+	var populations []int
+	for n, p := range pairs {
+		if p.serial > 0 && p.sharded > 0 {
+			populations = append(populations, n)
+		}
+	}
+	if len(populations) == 0 {
+		failure := "worker-scaling gate: no population has both a workers=1 and a workers=4 result"
+		b.WriteString(failure + "\n\n")
+		return b.String(), []string{failure}
+	}
+	sort.Ints(populations)
+	var failures []string
+	b.WriteString("| nodes | workers=1 ns/op | workers=4 ns/op | speedup | verdict |\n")
+	b.WriteString("|---:|---:|---:|---:|---|\n")
+	for _, n := range populations {
+		p := pairs[n]
+		speedup := p.serial / p.sharded
+		verdict := "ok"
+		if speedup < minSpeedup {
+			verdict = fmt.Sprintf("FAIL (< %.2fx)", minSpeedup)
+			failures = append(failures,
+				fmt.Sprintf("worker-scaling at n=%d: %.2fx speedup (workers=1 %.0f ns/op, workers=4 %.0f ns/op) is under the required %.2fx",
+					n, speedup, p.serial, p.sharded, minSpeedup))
+		}
+		fmt.Fprintf(&b, "| %d | %.0f | %.0f | %.2fx | %s |\n", n, p.serial, p.sharded, speedup, verdict)
+	}
+	b.WriteString("\n")
+	return b.String(), failures
 }
 
 // compare renders the markdown comparison table and collects gate failures.
@@ -177,6 +267,12 @@ func compare(results []benchResult, base map[int]float64, maxRegress float64) (s
 	b.WriteString("|---|---:|---:|---:|---:|---|\n")
 	for _, res := range results {
 		baseNS, haveBase := base[res.nodes]
+		// The recorded baselines are serial steady states; sharded results
+		// are gated by the worker-scaling check instead, so a parallel
+		// line is never held to (or flattered by) a serial number.
+		if res.workers > 1 {
+			haveBase = false
+		}
 		verdict := "ok"
 		deltaCol := "n/a"
 		baseCol := "—"

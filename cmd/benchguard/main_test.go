@@ -75,6 +75,85 @@ func TestCompareFlagsAllocations(t *testing.T) {
 	}
 }
 
+func TestParseBenchWorkersAndMillions(t *testing.T) {
+	bench := `BenchmarkRoundWorkers/n=10k/workers=1-4   3  290000000 ns/op  0 B/op  0 allocs/op
+BenchmarkRoundWorkers/n=10k/workers=4-4   3   80000000 ns/op  0 B/op  0 allocs/op
+BenchmarkRound/n=1M-4                     1  31000000000 ns/op  0 B/op  0 allocs/op
+`
+	results, err := parseBench(strings.NewReader(bench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+	if results[0].workers != 1 || results[1].workers != 4 {
+		t.Fatalf("workers = %d, %d, want 1, 4", results[0].workers, results[1].workers)
+	}
+	if results[2].nodes != 1_000_000 || results[2].workers != 1 {
+		t.Fatalf("n=1M result = %+v", results[2])
+	}
+}
+
+func TestCompareSkipsParallelBaseline(t *testing.T) {
+	// A workers=4 line must not be gated against the serial baseline even
+	// when it is slower than baseline+budget (e.g. on a saturated runner).
+	bench := "BenchmarkRoundWorkers/n=1k/workers=4-4  3  99000000 ns/op  0 B/op  0 allocs/op\n"
+	results, err := parseBench(strings.NewReader(bench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, failures := compare(results, sampleBaseline(), 25)
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+	if !strings.Contains(table, "no baseline (not gated)") {
+		t.Fatalf("parallel line should be ungated:\n%s", table)
+	}
+}
+
+func speedupResults(serialNS, shardedNS float64) []benchResult {
+	return []benchResult{
+		{name: "BenchmarkRoundWorkers/n=10k/workers=1-4", nodes: 10000, workers: 1, nsOp: serialNS},
+		{name: "BenchmarkRoundWorkers/n=10k/workers=4-4", nodes: 10000, workers: 4, nsOp: shardedNS},
+	}
+}
+
+func TestCheckSpeedupPasses(t *testing.T) {
+	table, failures := checkSpeedup(speedupResults(300e6, 100e6), 1.5, 4)
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+	if !strings.Contains(table, "3.00x") || !strings.Contains(table, "| ok |") {
+		t.Fatalf("table:\n%s", table)
+	}
+}
+
+func TestCheckSpeedupFlagsFlatScaling(t *testing.T) {
+	_, failures := checkSpeedup(speedupResults(300e6, 290e6), 1.5, 4)
+	if len(failures) != 1 || !strings.Contains(failures[0], "under the required") {
+		t.Fatalf("failures = %v, want one flat-scaling failure", failures)
+	}
+}
+
+func TestCheckSpeedupSkipsSingleCPU(t *testing.T) {
+	table, failures := checkSpeedup(speedupResults(300e6, 300e6), 1.5, 1)
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+	if !strings.Contains(table, "skipped: single-CPU") {
+		t.Fatalf("table:\n%s", table)
+	}
+}
+
+func TestCheckSpeedupFailsWithoutPairs(t *testing.T) {
+	serialOnly := []benchResult{{name: "BenchmarkRound/n=10k-4", nodes: 10000, workers: 1, nsOp: 300e6}}
+	_, failures := checkSpeedup(serialOnly, 1.5, 4)
+	if len(failures) != 1 || !strings.Contains(failures[0], "no population") {
+		t.Fatalf("failures = %v, want one missing-pair failure", failures)
+	}
+}
+
 func TestLoadBaselineFromRepoRecord(t *testing.T) {
 	base, err := loadBaseline("../../BENCH_PR4.json")
 	if err != nil {

@@ -105,6 +105,8 @@ func run() error {
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	benchjson := flag.String("benchjson", "", "write machine-readable benchmark metrics (BENCH_*.json) to this file")
+	nodesBench := flag.Int("nodes", 0,
+		"population mode: build one full-stack system of N nodes, warm it, and report steady-state round cost, skipping every figure driver (`-nodes 1000000` is the million-node smoke; honors -workers)")
 	resume := flag.String("resume", "",
 		"warm-start benchmarking: restore a system checkpoint (written by `sos snapshot` or sosf.System.Snapshot) and measure steady-state rounds on it, skipping population build and convergence warmup")
 	resumeRounds := flag.Int("resume-rounds", 20, "rounds to measure with -resume")
@@ -117,6 +119,9 @@ func run() error {
 
 	if *resume != "" {
 		return warmStart(*resume, *roundWorkers, *resumeRounds)
+	}
+	if *nodesBench > 0 {
+		return populationBench(*nodesBench, *roundWorkers)
 	}
 	if *serveURL != "" {
 		return serveBench(*serveURL, *serveJobs, *serveConcurrency, *serveRounds, *benchjson, *seed)
@@ -316,6 +321,29 @@ func warmStart(path string, workers, rounds int) error {
 	return nil
 }
 
+// populationBench implements -nodes: build one full-stack system at the
+// given population, warm it briefly, and report steady-state round cost.
+// It is the scale smoke — `sosbench -nodes 1000000` answers "does a
+// million-node round complete, and at what rate" in one command, without
+// touching any figure driver. Two warm rounds are enough at this scale:
+// the first round carves every per-slot arena the steady state uses, and
+// convergence is irrelevant to round cost.
+func populationBench(nodes, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("building full-stack system: %d nodes, %d round workers\n", nodes, workers)
+	t0 := time.Now()
+	m, err := measureRound(nodes, 3, 2, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d nodes: %.1f ms/round, %.0f B/round, %.1f allocs/round (workers=%d, %d rounds measured, %v total)\n",
+		m.Nodes, m.NSPerRound/1e6, m.BytesPerRound, m.AllocsPerRound,
+		m.Workers, m.Rounds, time.Since(t0).Round(time.Millisecond))
+	return nil
+}
+
 // driverMetric is one figure driver's cost in a BENCH_*.json record.
 type driverMetric struct {
 	Name   string  `json:"name"`
@@ -361,8 +389,11 @@ type benchRecord struct {
 // measureRound runs a warmed full-stack system (ring of rings, 20
 // components — the BenchmarkRound configuration) for `rounds` rounds with
 // the given intra-round worker count and reports per-round wall clock and
-// heap cost.
-func measureRound(nodes, rounds, workers int) (roundMetric, error) {
+// heap cost. `warm` untimed rounds run first so the measurement sees
+// steady-state gossip (the BENCH_*.json records use 10; the million-node
+// smoke uses fewer, since one warm round there already touches every
+// carve path the steady state will hit).
+func measureRound(nodes, rounds, warm, workers int) (roundMetric, error) {
 	sys, err := core.NewSystem(core.Config{
 		Topology: eval.MustTopology(eval.RingOfRingsDSL(20)),
 		Nodes:    nodes,
@@ -372,7 +403,7 @@ func measureRound(nodes, rounds, workers int) (roundMetric, error) {
 	if err != nil {
 		return roundMetric{}, err
 	}
-	if _, err := sys.Run(10); err != nil {
+	if _, err := sys.Run(warm); err != nil {
 		return roundMetric{}, err
 	}
 	sys.Engine().Meter().Reserve(rounds + 1)
@@ -456,6 +487,11 @@ func validateBenchRecord(rec *benchRecord) error {
 			return err
 		}
 	}
+	if rec.CPUs > 1 {
+		if err := checkWorkerScalingNotFlat(rec.WorkerScaling); err != nil {
+			return err
+		}
+	}
 	if len(rec.Drivers) == 0 {
 		return fmt.Errorf("drivers must not be empty")
 	}
@@ -469,6 +505,52 @@ func validateBenchRecord(rec *benchRecord) error {
 	}
 	if rec.TotalWallMS <= 0 {
 		return fmt.Errorf("total_wall_ms must be > 0, got %g", rec.TotalWallMS)
+	}
+	return nil
+}
+
+// flatScalingEpsilon is the relative ns_per_round spread below which a
+// population's worker sweep counts as flat. Real measurements carry a few
+// percent of run-to-run noise even on one CPU (compare BENCH_PR4.json's
+// 1k entries), so a sweep where every worker count lands within 2% of
+// every other is not a plausible multi-core measurement.
+const flatScalingEpsilon = 0.02
+
+// checkWorkerScalingNotFlat rejects a worker_scaling section in which some
+// population's sweep is identical (within epsilon) across worker counts,
+// on a record claiming a multi-core runner. A record like that means the
+// sharded round path silently serialized — exactly the regression the
+// perf-trajectory records exist to catch — or the sweep was fabricated by
+// copying one measurement. Single-CPU records are exempt: flat is the only
+// honest shape there (the caller gates on rec.CPUs).
+func checkWorkerScalingNotFlat(scaling []roundMetric) error {
+	byNodes := make(map[int]map[int]float64)
+	for _, m := range scaling {
+		ws := byNodes[m.Nodes]
+		if ws == nil {
+			ws = make(map[int]float64)
+			byNodes[m.Nodes] = ws
+		}
+		ws[m.Workers] = m.NSPerRound
+	}
+	for nodes, ws := range byNodes {
+		if len(ws) < 2 {
+			continue
+		}
+		min, max := 0.0, 0.0
+		for _, ns := range ws {
+			if min == 0 || ns < min {
+				min = ns
+			}
+			if ns > max {
+				max = ns
+			}
+		}
+		if (max-min)/min <= flatScalingEpsilon {
+			return fmt.Errorf(
+				"worker_scaling at %d nodes is flat (%d worker counts within %.0f%% of each other) on a %s record claiming multiple CPUs — sharded rounds are not scaling",
+				nodes, len(ws), flatScalingEpsilon*100, benchSchema)
+		}
 	}
 	return nil
 }
@@ -497,7 +579,7 @@ func writeBenchJSON(path string, o eval.Options, workers int, metrics []driverMe
 		// doubles as the serial engine_rounds record, so the most
 		// expensive measurement runs once.
 		for _, w := range []int{1, 2, 4, 8} {
-			sm, err := measureRound(cfg.nodes, cfg.rounds, w)
+			sm, err := measureRound(cfg.nodes, cfg.rounds, 10, w)
 			if err != nil {
 				return err
 			}

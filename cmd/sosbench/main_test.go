@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -87,6 +88,30 @@ func TestWriterTableFiles(t *testing.T) {
 	}
 }
 
+// TestMillionNodeRound is the scale smoke behind `sosbench -nodes 1000000`:
+// a full-stack million-node population must build and complete steady-state
+// rounds. One warm round plus one measured round keeps it affordable in the
+// unshortened CI test job; -short skips it entirely.
+func TestMillionNodeRound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-node round smoke skipped in -short mode")
+	}
+	m, err := measureRound(1_000_000, 1, 1, runtime.GOMAXPROCS(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Nodes != 1_000_000 || m.NSPerRound <= 0 {
+		t.Fatalf("metric = %+v, want a positive round cost at 1M nodes", m)
+	}
+	// One warm round has already carved every per-slot arena the steady
+	// state touches, so the measured round must be allocation-free modulo
+	// runtime noise (ReadMemStats counts background allocations too).
+	if m.AllocsPerRound > 100 {
+		t.Fatalf("measured round made %.0f allocations; the hot path should be allocation-free", m.AllocsPerRound)
+	}
+	t.Logf("1M-node round: %.1f ms (workers=%d)", m.NSPerRound/1e6, m.Workers)
+}
+
 // validRecord builds a minimal record that passes the sosf-bench/2 schema
 // check; the failure cases below each break exactly one field.
 func validRecord() benchRecord {
@@ -109,6 +134,47 @@ func validRecord() benchRecord {
 
 func TestValidateBenchRecordAcceptsValid(t *testing.T) {
 	rec := validRecord()
+	if err := validateBenchRecord(&rec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateBenchRecordRejectsFlatScalingOnMultiCore(t *testing.T) {
+	rec := validRecord()
+	rec.CPUs = 4
+	rec.WorkerScaling = []roundMetric{
+		{Nodes: 10000, Workers: 1, Rounds: 10, NSPerRound: 290e6},
+		{Nodes: 10000, Workers: 2, Rounds: 10, NSPerRound: 289e6},
+		{Nodes: 10000, Workers: 4, Rounds: 10, NSPerRound: 291e6},
+	}
+	err := validateBenchRecord(&rec)
+	if err == nil || !strings.Contains(err.Error(), "flat") {
+		t.Fatalf("err = %v, want a flat worker_scaling rejection", err)
+	}
+}
+
+func TestValidateBenchRecordAcceptsFlatScalingOnSingleCPU(t *testing.T) {
+	// On one CPU flat scaling is the only honest shape — the gate is about
+	// records claiming multi-core hardware.
+	rec := validRecord()
+	rec.CPUs = 1
+	rec.WorkerScaling = []roundMetric{
+		{Nodes: 10000, Workers: 1, Rounds: 10, NSPerRound: 290e6},
+		{Nodes: 10000, Workers: 4, Rounds: 10, NSPerRound: 290e6},
+	}
+	if err := validateBenchRecord(&rec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateBenchRecordAcceptsRealScaling(t *testing.T) {
+	rec := validRecord()
+	rec.CPUs = 4
+	rec.WorkerScaling = []roundMetric{
+		{Nodes: 10000, Workers: 1, Rounds: 10, NSPerRound: 290e6},
+		{Nodes: 10000, Workers: 2, Rounds: 10, NSPerRound: 160e6},
+		{Nodes: 10000, Workers: 4, Rounds: 10, NSPerRound: 90e6},
+	}
 	if err := validateBenchRecord(&rec); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,51 @@
+package arena
+
+import "testing"
+
+func TestCarveZeroOrNegative(t *testing.T) {
+	var a []int
+	if got := Carve(&a, 0); got != nil {
+		t.Fatalf("Carve(0) = %v, want nil", got)
+	}
+	if got := Carve(&a, -3); got != nil {
+		t.Fatalf("Carve(-3) = %v, want nil", got)
+	}
+	if a != nil {
+		t.Fatalf("arena grew on empty carve: %v", a)
+	}
+}
+
+func TestCarveChunksAreDisjoint(t *testing.T) {
+	var a []byte
+	x := Carve(&a, 4)
+	y := Carve(&a, 4)
+	x = append(x, 1, 2, 3, 4)
+	y = append(y, 5, 6, 7, 8)
+	if x[0] != 1 || y[0] != 5 {
+		t.Fatalf("chunks overlap: x=%v y=%v", x, y)
+	}
+	// Full-capacity (three-index) chunks: appending past a chunk's
+	// capacity must reallocate it away instead of scribbling on its
+	// neighbor's storage.
+	x = append(x, 9)
+	if y[0] != 5 {
+		t.Fatalf("append past chunk capacity corrupted the next chunk: y=%v", y)
+	}
+}
+
+func TestCarveReusesOneBlock(t *testing.T) {
+	var a []int
+	first := Carve(&a, 8)
+	if cap(a) != Block*8 {
+		t.Fatalf("block capacity = %d, want %d", cap(a), Block*8)
+	}
+	// Until the block is exhausted, further carves must come from the
+	// same backing array — one allocation per Block carves, not per carve.
+	for i := 0; i < Block-1; i++ {
+		Carve(&a, 8)
+	}
+	if cap(a) != Block*8 || len(a) != Block*8 {
+		t.Fatalf("block not fully consumed: len=%d cap=%d", len(a), cap(a))
+	}
+	_ = first
+}

@@ -49,7 +49,6 @@ func (*nopProtocol) Name() string                  { return "nop" }
 func (*nopProtocol) InitNode(e *sim.Engine, s int) {}
 func (*nopProtocol) Refresh(ctx *sim.Ctx)          {}
 func (*nopProtocol) Plan(ctx *sim.Ctx)             {}
-func (*nopProtocol) Deliver(e *sim.Engine, s int)  {}
 func (*nopProtocol) Absorb(ctx *sim.Ctx)           {}
 
 func TestAllocatorRejectsInvalidTopology(t *testing.T) {

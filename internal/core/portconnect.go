@@ -24,8 +24,9 @@ import (
 //
 // PortConnect is a pure lookup protocol: it reads the (frozen) state of the
 // layers below and mutates only its own per-slot beliefs, so the whole
-// resolution runs in the parallel plan phase; the serial Deliver phase just
-// meters the bytes the lookups put on the wire.
+// resolution — bytes metered into the worker's shard included — runs in the
+// parallel plan phase; it routes nothing, so it has no inbox and no Deliver
+// work at all.
 type PortConnect struct {
 	alloc *Allocator
 	ports *PortSelect
@@ -34,8 +35,11 @@ type PortConnect struct {
 	ttl   int
 	meter int
 
-	states []*connState
-	bytes  []int // planned wire bytes, per slot
+	// states holds the per-slot belief tables as dense struct-of-arrays
+	// state: headers in one contiguous slice, belief rows carved from a
+	// shared arena.
+	states []connState
+	arena  []PortRecord
 }
 
 type connState struct {
@@ -71,22 +75,27 @@ func (p *PortConnect) SetMeterIndex(i int) { p.meter = i }
 // and the restore path.
 func (p *PortConnect) ensureSlot(slot int) {
 	for len(p.states) <= slot {
-		p.states = append(p.states, nil)
-		p.bytes = append(p.bytes, 0)
+		p.states = append(p.states, connState{epoch: ^uint32(0)})
 	}
 }
 
 // InitNode implements sim.Protocol.
 func (p *PortConnect) InitNode(e *sim.Engine, slot int) {
 	p.ensureSlot(slot)
-	p.states[slot] = &connState{epoch: ^uint32(0)}
+	st := &p.states[slot]
+	// Fresh-join semantics: desync the state so the next Refresh re-syncs
+	// it against the node's (possibly new) profile. Belief storage is kept.
+	st.epoch = ^uint32(0)
+	st.comp = 0
+	st.remotes = st.remotes[:0]
 }
 
 // SnapshotState implements sim.Snapshotter: per slot, the belief-table sync
 // key (epoch, component) and the remote-manager beliefs per link side.
 func (p *PortConnect) SnapshotState(w *snap.Writer) {
 	w.Len(len(p.states))
-	for _, st := range p.states {
+	for si := range p.states {
+		st := &p.states[si]
 		w.U32(st.epoch)
 		w.Varint(int64(st.comp))
 		writeRecords(w, st.remotes)
@@ -106,7 +115,6 @@ func (p *PortConnect) RestoreState(e *sim.Engine, r *snap.Reader) error {
 		p.ensureSlot(n - 1)
 	}
 	p.states = p.states[:n]
-	p.bytes = p.bytes[:n]
 	for slot := 0; slot < n; slot++ {
 		epoch := r.U32()
 		comp := view.ComponentID(r.Varint())
@@ -114,7 +122,7 @@ func (p *PortConnect) RestoreState(e *sim.Engine, r *snap.Reader) error {
 		if err != nil {
 			return err
 		}
-		p.states[slot] = &connState{epoch: epoch, comp: comp, remotes: remotes}
+		p.states[slot] = connState{epoch: epoch, comp: comp, remotes: remotes}
 	}
 	return r.Err()
 }
@@ -122,10 +130,10 @@ func (p *PortConnect) RestoreState(e *sim.Engine, r *snap.Reader) error {
 // Remote returns the node's belief about the far-end manager of the given
 // link side (an index into Allocator.Sides).
 func (p *PortConnect) Remote(slot int, side int) PortRecord {
-	st := p.states[slot]
-	if st == nil {
+	if slot >= len(p.states) {
 		return invalidRecord()
 	}
+	st := &p.states[slot]
 	for pos, si := range p.alloc.SidesOf(st.comp) {
 		if si == side && pos < len(st.remotes) {
 			return st.remotes[pos]
@@ -139,10 +147,9 @@ func (p *PortConnect) reset(n *sim.Node, st *connState) {
 	st.comp = n.Profile.Comp
 	nsides := len(p.alloc.SidesOf(n.Profile.Comp))
 	if cap(st.remotes) < nsides {
-		st.remotes = make([]PortRecord, nsides)
-	} else {
-		st.remotes = st.remotes[:nsides]
+		st.remotes = sim.Carve(&p.arena, nsides)
 	}
+	st.remotes = st.remotes[:nsides]
 	for i := range st.remotes {
 		st.remotes[i] = invalidRecord()
 	}
@@ -153,7 +160,7 @@ func (p *PortConnect) reset(n *sim.Node, st *connState) {
 func (p *PortConnect) Refresh(ctx *sim.Ctx) {
 	slot := ctx.Slot()
 	self := ctx.Node()
-	st := p.states[slot]
+	st := &p.states[slot]
 	if st.epoch != self.Profile.Epoch || st.comp != self.Profile.Comp {
 		p.reset(self, st)
 	}
@@ -161,13 +168,12 @@ func (p *PortConnect) Refresh(ctx *sim.Ctx) {
 
 // Plan implements sim.Protocol: for every link side this node currently
 // manages, query one contact in the remote component for the far-end
-// manager. Beliefs are slot-private, so they are adopted in place; only the
-// wire bytes are deferred to the serial Deliver phase.
+// manager. Beliefs are slot-private, so they are adopted in place, and the
+// wire bytes land in the worker's meter shard as the lookups happen.
 func (p *PortConnect) Plan(ctx *sim.Ctx) {
 	slot := ctx.Slot()
 	self := ctx.Node()
-	st := p.states[slot]
-	p.bytes[slot] = 0
+	st := &p.states[slot]
 	sides := p.alloc.SidesOf(self.Profile.Comp)
 	if len(sides) == 0 {
 		return
@@ -186,14 +192,6 @@ func (p *PortConnect) Plan(ctx *sim.Ctx) {
 			*r = invalidRecord()
 		}
 		p.resolve(ctx, slot, self, side, r)
-	}
-}
-
-// Deliver implements sim.Protocol: meter the bytes the slot's lookups put
-// on the wire this round.
-func (p *PortConnect) Deliver(e *sim.Engine, slot int) {
-	if b := p.bytes[slot]; b > 0 {
-		p.count(e, b)
 	}
 }
 
@@ -217,7 +215,7 @@ func (p *PortConnect) resolve(ctx *sim.Ctx, slot int, self *sim.Node, side LinkS
 	if !ok {
 		return
 	}
-	p.bytes[slot] += sim.PortQueryPayload()
+	ctx.Count(p.meter, sim.PortQueryPayload())
 	target := e.Lookup(contact.ID)
 	if target == nil || !target.Alive || !ctx.Deliver(target.Slot) {
 		return
@@ -231,7 +229,7 @@ func (p *PortConnect) resolve(ctx *sim.Ctx, slot int, self *sim.Node, side LinkS
 	if !answer.Valid() || ctx.Round()-answer.Stamp > p.ttl {
 		return
 	}
-	p.bytes[slot] += sim.PortRecordPayload(1)
+	ctx.Count(p.meter, sim.PortRecordPayload(1))
 	adoptBelief(r, answer)
 }
 
@@ -270,10 +268,4 @@ func (p *PortConnect) contactIn(ctx *sim.Ctx, slot int, self *sim.Node, comp vie
 		return matches[ctx.Rand().Intn(len(matches))], true
 	}
 	return view.Descriptor{}, false
-}
-
-func (p *PortConnect) count(e *sim.Engine, bytes int) {
-	if p.meter >= 0 {
-		e.Meter().Count(p.meter, bytes)
-	}
 }

@@ -60,7 +60,10 @@ type PortSelect struct {
 	ttl   int
 	meter int
 
-	states []*portState
+	// states holds the per-slot election state as dense struct-of-arrays
+	// state: headers in one contiguous slice, record rows carved from the
+	// shared arena.
+	states []portState
 	plans  []portPlan
 	inbox  sim.Inbox
 	arena  []PortRecord
@@ -90,6 +93,7 @@ type portPlan struct {
 
 var (
 	_ sim.Protocol    = (*PortSelect)(nil)
+	_ sim.InboxOwner  = (*PortSelect)(nil)
 	_ sim.MeterAware  = (*PortSelect)(nil)
 	_ sim.Snapshotter = (*PortSelect)(nil)
 )
@@ -106,6 +110,10 @@ func NewPortSelect(alloc *Allocator, uo1, core *vicinity.Protocol, ttl int) *Por
 // Name implements sim.Protocol.
 func (p *PortSelect) Name() string { return "portselect" }
 
+// Inboxes implements sim.InboxOwner: the engine drives the Deliver-phase
+// merge of the record-exchange routing.
+func (p *PortSelect) Inboxes() []*sim.Inbox { return []*sim.Inbox{&p.inbox} }
+
 // SetMeterIndex implements sim.MeterAware.
 func (p *PortSelect) SetMeterIndex(i int) { p.meter = i }
 
@@ -118,7 +126,7 @@ func (p *PortSelect) ensureSlot(slot, width int) {
 			send:  sim.Carve(&p.arena, width),
 			reply: sim.Carve(&p.arena, width),
 		})
-		p.states = append(p.states, nil)
+		p.states = append(p.states, portState{epoch: ^uint32(0), records: sim.Carve(&p.arena, width)})
 	}
 	p.inbox.Grow(slot + 1)
 }
@@ -130,14 +138,20 @@ func (p *PortSelect) InitNode(e *sim.Engine, slot int) {
 	// runs, so the component is known; a reconfiguration that adds
 	// ports falls back to a private heap copy).
 	p.ensureSlot(slot, int(p.alloc.Ports(e.Node(slot).Profile.Comp)))
-	p.states[slot] = &portState{epoch: ^uint32(0)}
+	st := &p.states[slot]
+	// Fresh-join semantics: desync the state so the next Refresh re-syncs
+	// it against the node's (possibly new) profile. Record storage is kept.
+	st.epoch = ^uint32(0)
+	st.comp = 0
+	st.records = st.records[:0]
 }
 
 // SnapshotState implements sim.Snapshotter: per slot, the election-state
 // sync key (epoch, component) and the per-port best-known records.
 func (p *PortSelect) SnapshotState(w *snap.Writer) {
 	w.Len(len(p.states))
-	for _, st := range p.states {
+	for si := range p.states {
+		st := &p.states[si]
 		w.U32(st.epoch)
 		w.Varint(int64(st.comp))
 		writeRecords(w, st.records)
@@ -161,7 +175,7 @@ func (p *PortSelect) RestoreState(e *sim.Engine, r *snap.Reader) error {
 			return err
 		}
 		p.ensureSlot(slot, len(records))
-		p.states[slot] = &portState{epoch: epoch, comp: comp, records: records}
+		p.states[slot] = portState{epoch: epoch, comp: comp, records: records}
 	}
 	p.states = p.states[:n]
 	p.plans = p.plans[:n]
@@ -198,8 +212,11 @@ func readRecords(r *snap.Reader) ([]PortRecord, error) {
 // Belief returns the node's current best-known record for the given port
 // of its own component.
 func (p *PortSelect) Belief(slot int, port int32) PortRecord {
-	st := p.states[slot]
-	if st == nil || int(port) >= len(st.records) {
+	if slot >= len(p.states) {
+		return invalidRecord()
+	}
+	st := &p.states[slot]
+	if int(port) >= len(st.records) {
 		return invalidRecord()
 	}
 	return st.records[port]
@@ -227,7 +244,7 @@ func (p *PortSelect) reset(n *sim.Node, st *portState) {
 func (p *PortSelect) Refresh(ctx *sim.Ctx) {
 	slot := ctx.Slot()
 	self := ctx.Node()
-	st := p.states[slot]
+	st := &p.states[slot]
 	p.inbox.Reset(slot)
 	if st.epoch != self.Profile.Epoch || st.comp != self.Profile.Comp {
 		p.reset(self, st)
@@ -259,7 +276,7 @@ func (p *PortSelect) Plan(ctx *sim.Ctx) {
 	slot := ctx.Slot()
 	self := ctx.Node()
 	e := ctx.Engine()
-	st := p.states[slot]
+	st := &p.states[slot]
 	pl := &p.plans[slot]
 	pl.kind = portNone
 	if len(st.records) == 0 {
@@ -277,6 +294,9 @@ func (p *PortSelect) Plan(ctx *sim.Ctx) {
 	}
 	pl.kind = portSent
 	pl.send = append(pl.send[:0], st.records...)
+	// The request bytes are spent even when the exchange is lost or
+	// answered by a mismatched node; metered into the worker's shard.
+	ctx.Count(p.meter, sim.PortRecordPayload(len(pl.send)))
 	target := e.Lookup(partner.ID)
 	if target == nil || !target.Alive || !ctx.Deliver(target.Slot) {
 		return
@@ -287,20 +307,8 @@ func (p *PortSelect) Plan(ctx *sim.Ctx) {
 	pl.kind = portDelivered
 	pl.targetSlot = target.Slot
 	pl.reply = append(pl.reply[:0], p.states[target.Slot].records...)
-}
-
-// Deliver implements sim.Protocol: meter the exchange (the request is spent
-// even when lost or mismatched) and enqueue it at the partner.
-func (p *PortSelect) Deliver(e *sim.Engine, slot int) {
-	pl := &p.plans[slot]
-	switch pl.kind {
-	case portSent:
-		p.count(e, sim.PortRecordPayload(len(pl.send)))
-	case portDelivered:
-		p.count(e, sim.PortRecordPayload(len(pl.send)))
-		p.count(e, sim.PortRecordPayload(len(pl.reply)))
-		p.inbox.Push(pl.targetSlot, slot)
-	}
+	ctx.Count(p.meter, sim.PortRecordPayload(len(pl.reply)))
+	p.inbox.Push(pl.targetSlot, slot)
 }
 
 // Absorb implements sim.Protocol: fold the snapshots received this round
@@ -308,7 +316,7 @@ func (p *PortSelect) Deliver(e *sim.Engine, slot int) {
 // record set that reached it as the passive side, in inbox order.
 func (p *PortSelect) Absorb(ctx *sim.Ctx) {
 	slot := ctx.Slot()
-	st := p.states[slot]
+	st := &p.states[slot]
 	now := ctx.Round()
 	pl := &p.plans[slot]
 	if pl.kind == portDelivered {
@@ -334,12 +342,6 @@ func mergeRecords(dst, src []PortRecord, now, ttl int) {
 		case src[i].ID == dst[i].ID && src[i].Stamp > dst[i].Stamp:
 			dst[i].Stamp = src[i].Stamp
 		}
-	}
-}
-
-func (p *PortSelect) count(e *sim.Engine, bytes int) {
-	if p.meter >= 0 {
-		e.Meter().Count(p.meter, bytes)
 	}
 }
 

@@ -29,10 +29,14 @@ type UO2 struct {
 	rps    *peersampling.Protocol
 	maxAge int
 	meter  int
-	states []*uo2State
-	plans  []uo2Plan
-	inbox  sim.Inbox
-	arena  []view.Descriptor
+	// states holds the per-slot contact tables as dense struct-of-arrays
+	// state: headers in one contiguous slice, entry rows carved from a
+	// shared arena.
+	states     []uo2State
+	entryArena []uo2Entry
+	plans      []uo2Plan
+	inbox      sim.Inbox
+	arena      []view.Descriptor
 }
 
 // uo2State is one node's contact table, dense by component ID: component
@@ -88,6 +92,7 @@ func (t *uo2State) reset() {
 
 var (
 	_ sim.Protocol    = (*UO2)(nil)
+	_ sim.InboxOwner  = (*UO2)(nil)
 	_ sim.MeterAware  = (*UO2)(nil)
 	_ sim.Snapshotter = (*UO2)(nil)
 )
@@ -104,6 +109,10 @@ func NewUO2(alloc *Allocator, rps *peersampling.Protocol, maxAge int) *UO2 {
 // Name implements sim.Protocol.
 func (u *UO2) Name() string { return "uo2" }
 
+// Inboxes implements sim.InboxOwner: the engine drives the Deliver-phase
+// merge of the swap routing.
+func (u *UO2) Inboxes() []*sim.Inbox { return []*sim.Inbox{&u.inbox} }
+
 // SetMeterIndex implements sim.MeterAware.
 func (u *UO2) SetMeterIndex(i int) { u.meter = i }
 
@@ -113,13 +122,14 @@ func (u *UO2) ensureSlot(slot int) {
 	for len(u.states) <= slot {
 		// A table swap carries at most one descriptor per component plus
 		// the sender's own; carve that capacity up front (a reconfigure
-		// that adds components falls back to a private heap copy).
+		// that adds components falls back to a private heap copy). The
+		// contact table itself is carved one row per component.
 		width := u.alloc.Components() + 1
 		u.plans = append(u.plans, uo2Plan{
 			send:  sim.Carve(&u.arena, width),
 			reply: sim.Carve(&u.arena, width),
 		})
-		u.states = append(u.states, nil)
+		u.states = append(u.states, uo2State{entries: sim.Carve(&u.entryArena, width-1)})
 	}
 	u.inbox.Grow(slot + 1)
 }
@@ -127,11 +137,7 @@ func (u *UO2) ensureSlot(slot int) {
 // InitNode implements sim.Protocol.
 func (u *UO2) InitNode(e *sim.Engine, slot int) {
 	u.ensureSlot(slot)
-	if st := u.states[slot]; st != nil {
-		st.reset()
-	} else {
-		u.states[slot] = &uo2State{}
-	}
+	u.states[slot].reset()
 }
 
 // SnapshotState implements sim.Snapshotter: per slot, the dense contact
@@ -139,7 +145,8 @@ func (u *UO2) InitNode(e *sim.Engine, slot int) {
 // negative under timeout suspicion, hence the signed encoding).
 func (u *UO2) SnapshotState(w *snap.Writer) {
 	w.Len(len(u.states))
-	for _, t := range u.states {
+	for si := range u.states {
+		t := &u.states[si]
 		w.Len(len(t.entries))
 		for ci := range t.entries {
 			entry := &t.entries[ci]
@@ -171,11 +178,7 @@ func (u *UO2) RestoreState(e *sim.Engine, r *snap.Reader) error {
 		if err := r.Err(); err != nil {
 			return err
 		}
-		st := u.states[slot]
-		if st == nil {
-			st = &uo2State{}
-			u.states[slot] = st
-		}
+		st := &u.states[slot]
 		st.reset()
 		st.ensure(width)
 		st.entries = st.entries[:width]
@@ -199,7 +202,7 @@ func (u *UO2) RestoreState(e *sim.Engine, r *snap.Reader) error {
 // Contacts returns the node's current foreign-component contact table as a
 // deterministic (component-sorted) slice.
 func (u *UO2) Contacts(slot int) []view.Descriptor {
-	t := u.states[slot]
+	t := &u.states[slot]
 	out := make([]view.Descriptor, 0, t.count)
 	for ci := range t.entries {
 		if t.entries[ci].valid {
@@ -211,7 +214,7 @@ func (u *UO2) Contacts(slot int) []view.Descriptor {
 
 // Contact returns the node's contact inside the given component, if any.
 func (u *UO2) Contact(slot int, comp view.ComponentID) (view.Descriptor, bool) {
-	t := u.states[slot]
+	t := &u.states[slot]
 	if comp < 0 || int(comp) >= len(t.entries) || !t.entries[comp].valid {
 		return view.Descriptor{}, false
 	}
@@ -227,7 +230,7 @@ func (u *UO2) Coverage(slot int) int { return u.states[slot].count }
 func (u *UO2) Refresh(ctx *sim.Ctx) {
 	slot := ctx.Slot()
 	self := ctx.Node()
-	t := u.states[slot]
+	t := &u.states[slot]
 	now := ctx.Round()
 	u.inbox.Reset(slot)
 
@@ -245,7 +248,7 @@ func (u *UO2) Plan(ctx *sim.Ctx) {
 	slot := ctx.Slot()
 	self := ctx.Node()
 	e := ctx.Engine()
-	t := u.states[slot]
+	t := &u.states[slot]
 	now := ctx.Round()
 	pl := &u.plans[slot]
 	pl.kind = uo2None
@@ -260,25 +263,18 @@ func (u *UO2) Plan(ctx *sim.Ctx) {
 	target := e.Lookup(partner.ID)
 	if target == nil || !target.Alive || !ctx.Deliver(target.Slot) {
 		pl.kind = uo2Timeout
+		ctx.Count(u.meter, sim.DescriptorPayload(len(pl.send)))
 		return
 	}
 	pl.kind = uo2Delivered
 	pl.targetSlot = target.Slot
-	pl.reply = u.tableToSend(target, u.states[target.Slot], now, pl.reply[:0])
-}
+	pl.reply = u.tableToSend(target, &u.states[target.Slot], now, pl.reply[:0])
 
-// Deliver implements sim.Protocol: meter the swap and enqueue it at the
-// partner. Runs serially in slot order.
-func (u *UO2) Deliver(e *sim.Engine, slot int) {
-	pl := &u.plans[slot]
-	switch pl.kind {
-	case uo2Timeout:
-		u.count(e, sim.DescriptorPayload(len(pl.send)))
-	case uo2Delivered:
-		u.count(e, sim.DescriptorPayload(len(pl.send)))
-		u.count(e, sim.DescriptorPayload(len(pl.reply)))
-		u.inbox.Push(pl.targetSlot, slot)
-	}
+	// Meter into the worker's shard and route via the sender's inbox lane;
+	// the engine's Deliver phase merges lanes per destination shard.
+	ctx.Count(u.meter, sim.DescriptorPayload(len(pl.send)))
+	ctx.Count(u.meter, sim.DescriptorPayload(len(pl.reply)))
+	u.inbox.Push(pl.targetSlot, slot)
 }
 
 // Absorb implements sim.Protocol: fold the received tables into the slot's
@@ -287,7 +283,7 @@ func (u *UO2) Deliver(e *sim.Engine, slot int) {
 func (u *UO2) Absorb(ctx *sim.Ctx) {
 	slot := ctx.Slot()
 	self := ctx.Node()
-	t := u.states[slot]
+	t := &u.states[slot]
 	now := ctx.Round()
 	pl := &u.plans[slot]
 	switch pl.kind {
@@ -402,10 +398,4 @@ func (u *UO2) pickPartner(ctx *sim.Ctx, slot int, t *uo2State) (view.Descriptor,
 		pick--
 	}
 	return view.Descriptor{}, false // unreachable: count > 0
-}
-
-func (u *UO2) count(e *sim.Engine, bytes int) {
-	if u.meter >= 0 {
-		e.Meter().Count(u.meter, bytes)
-	}
 }

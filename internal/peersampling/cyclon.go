@@ -75,16 +75,19 @@ type cyclonPlan struct {
 // with the engine before any other layer, then treat it as the candidate
 // source for the upper layers.
 type Protocol struct {
-	opts   Options
-	meter  int
-	states []*view.View // per engine slot
+	opts  Options
+	meter int
+	// states holds the per-slot partial views as dense struct-of-arrays
+	// state (headers and entries in contiguous arena-backed arrays).
+	states view.Table
 	plans  []cyclonPlan // per engine slot
-	inbox  sim.Inbox    // passive-side routing, Deliver -> Absorb
+	inbox  sim.Inbox    // passive-side routing, Plan -> Absorb
 	arena  []view.Descriptor
 }
 
 var (
 	_ sim.Protocol    = (*Protocol)(nil)
+	_ sim.InboxOwner  = (*Protocol)(nil)
 	_ sim.MeterAware  = (*Protocol)(nil)
 	_ sim.Snapshotter = (*Protocol)(nil)
 )
@@ -102,13 +105,17 @@ func (p *Protocol) SetMeterIndex(i int) { p.meter = i }
 
 // View returns the partial view of the node at slot. The returned view is
 // live protocol state: callers must treat it as read-only.
-func (p *Protocol) View(slot int) *view.View { return p.states[slot] }
+func (p *Protocol) View(slot int) *view.View { return p.states.At(slot) }
+
+// Inboxes implements sim.InboxOwner: the engine drives the Deliver-phase
+// merge of the shuffle routing.
+func (p *Protocol) Inboxes() []*sim.Inbox { return []*sim.Inbox{&p.inbox} }
 
 // ensureSlot grows the per-slot storage (plan records, state table, inbox)
 // to cover slot. It draws no randomness, so both InitNode and the restore
 // path share it.
 func (p *Protocol) ensureSlot(slot int) {
-	for len(p.states) <= slot {
+	for len(p.plans) <= slot {
 		// Plan payloads are bounded by the shuffle length, so both
 		// buffers are carved from a chunked arena up front — one
 		// allocation per few hundred slots instead of two lazy ones per
@@ -117,8 +124,8 @@ func (p *Protocol) ensureSlot(slot int) {
 			send:  sim.Carve(&p.arena, p.opts.Gossip),
 			reply: sim.Carve(&p.arena, p.opts.Gossip),
 		})
-		p.states = append(p.states, nil)
 	}
+	p.states.Grow(slot + 1)
 	p.inbox.Grow(slot + 1)
 }
 
@@ -127,8 +134,7 @@ func (p *Protocol) ensureSlot(slot int) {
 // nodes), which is how a fresh node would join a deployed system.
 func (p *Protocol) InitNode(e *sim.Engine, slot int) {
 	p.ensureSlot(slot)
-	v := view.New(p.opts.ViewSize)
-	p.states[slot] = v
+	v := p.states.Init(slot, p.opts.ViewSize)
 	for i := 0; i < p.opts.Bootstrap; i++ {
 		n := e.RandomAlive(slot)
 		if n == nil {
@@ -141,9 +147,9 @@ func (p *Protocol) InitNode(e *sim.Engine, slot int) {
 // SnapshotState implements sim.Snapshotter: the only inter-round state is
 // the per-slot partial view (plans and inboxes live inside one round).
 func (p *Protocol) SnapshotState(w *snap.Writer) {
-	w.Len(len(p.states))
-	for _, v := range p.states {
-		snap.WriteView(w, v)
+	w.Len(p.states.Len())
+	for slot := 0; slot < p.states.Len(); slot++ {
+		snap.WriteView(w, p.states.At(slot))
 	}
 }
 
@@ -159,10 +165,10 @@ func (p *Protocol) RestoreState(e *sim.Engine, r *snap.Reader) error {
 	if n > 0 {
 		p.ensureSlot(n - 1)
 	}
-	p.states = p.states[:n]
+	p.states.Truncate(n)
 	p.plans = p.plans[:n]
 	for slot := 0; slot < n; slot++ {
-		p.states[slot] = snap.ReadView(r)
+		snap.ReadViewInto(r, &p.states, slot)
 	}
 	return r.Err()
 }
@@ -170,7 +176,7 @@ func (p *Protocol) RestoreState(e *sim.Engine, r *snap.Reader) error {
 // Refresh implements sim.Protocol: age the view and reset the inbox.
 func (p *Protocol) Refresh(ctx *sim.Ctx) {
 	slot := ctx.Slot()
-	p.states[slot].AgeAll()
+	p.states.At(slot).AgeAll()
 	p.inbox.Reset(slot)
 }
 
@@ -182,7 +188,7 @@ func (p *Protocol) Plan(ctx *sim.Ctx) {
 	slot := ctx.Slot()
 	self := ctx.Node()
 	e := ctx.Engine()
-	v := p.states[slot]
+	v := p.states.At(slot)
 	pl := &p.plans[slot]
 	pl.kind = planNone
 
@@ -222,6 +228,7 @@ func (p *Protocol) Plan(ctx *sim.Ctx) {
 	if target == nil || !target.Alive || !ctx.Deliver(target.Slot) {
 		// Timeout: the request bytes are spent, the entry stays purged.
 		pl.kind = planTimeout
+		ctx.Count(p.meter, sim.DescriptorPayload(len(pl.send)))
 		return
 	}
 
@@ -229,21 +236,14 @@ func (p *Protocol) Plan(ctx *sim.Ctx) {
 	// (still frozen) view. All draws come from the active node's stream.
 	pl.kind = planDelivered
 	pl.targetSlot = target.Slot
-	pl.reply = p.states[target.Slot].RandomSampleInto(ctx.Rand(), p.opts.Gossip, pl.reply[:0], &pad.Sampler)
-}
+	pl.reply = p.states.At(target.Slot).RandomSampleInto(ctx.Rand(), p.opts.Gossip, pl.reply[:0], &pad.Sampler)
 
-// Deliver implements sim.Protocol: meter the planned exchange and hand the
-// slot to its partner's inbox. Runs serially in slot order.
-func (p *Protocol) Deliver(e *sim.Engine, slot int) {
-	pl := &p.plans[slot]
-	switch pl.kind {
-	case planTimeout:
-		p.count(e, sim.DescriptorPayload(len(pl.send)))
-	case planDelivered:
-		p.count(e, sim.DescriptorPayload(len(pl.send)))
-		p.count(e, sim.DescriptorPayload(len(pl.reply)))
-		p.inbox.Push(pl.targetSlot, slot)
-	}
+	// Route and meter here at the end of Plan: bytes land in the worker's
+	// meter shard, the routing in the sender's inbox lane, and the engine
+	// merges lanes per destination shard in the Deliver phase.
+	ctx.Count(p.meter, sim.DescriptorPayload(len(pl.send)))
+	ctx.Count(p.meter, sim.DescriptorPayload(len(pl.reply)))
+	p.inbox.Push(pl.targetSlot, slot)
 }
 
 // Absorb implements sim.Protocol: fold the round's traffic into the slot's
@@ -252,7 +252,7 @@ func (p *Protocol) Deliver(e *sim.Engine, slot int) {
 func (p *Protocol) Absorb(ctx *sim.Ctx) {
 	slot := ctx.Slot()
 	self := ctx.Node()
-	v := p.states[slot]
+	v := p.states.At(slot)
 	pad := ctx.Pad()
 	pl := &p.plans[slot]
 	switch pl.kind {
@@ -267,12 +267,6 @@ func (p *Protocol) Absorb(ctx *sim.Ctx) {
 	for sender := p.inbox.First(slot); sender >= 0; sender = p.inbox.Next(sender) {
 		spl := &p.plans[sender]
 		mergeCyclon(v, self.ID, spl.send, spl.reply, &pad.IDs)
-	}
-}
-
-func (p *Protocol) count(e *sim.Engine, bytes int) {
-	if p.meter >= 0 {
-		e.Meter().Count(p.meter, bytes)
 	}
 }
 

@@ -1,31 +1,10 @@
 package sim
 
-// carveBlock is how many carved buffers one arena block holds (times the
-// per-carve capacity). Large enough that per-slot buffer allocation is
-// amortized to noise, small enough that a part-filled final block wastes
-// little.
-const carveBlock = 512
+import "sosf/internal/arena"
 
 // Carve returns a zero-length slice with capacity n cut from a chunked
-// arena: when the current block lacks room, a fresh block holding
-// carveBlock × n elements is allocated, and exhausted blocks stay
-// referenced by the slices carved from them. Protocols use it to give every
-// slot's plan record its retained payload buffer with one allocation per
-// few hundred slots instead of one per slot — population setup is where
-// the evaluation harness sheds most of its garbage, since every sweep cell
-// builds a fresh system.
-//
-// The carved slice is full-capacity (three-index): appending within n stays
-// inside the arena, appending beyond n falls back to a private heap copy,
-// so an underestimated capacity costs one allocation, never corruption.
-func Carve[T any](arena *[]T, n int) []T {
-	if n <= 0 {
-		return nil
-	}
-	if cap(*arena)-len(*arena) < n {
-		*arena = make([]T, 0, carveBlock*n)
-	}
-	start := len(*arena)
-	*arena = (*arena)[:start+n]
-	return (*arena)[start : start : start+n]
-}
+// arena — see arena.Carve for the allocation discipline. Re-exported here
+// because every protocol package carves its per-slot buffers through sim;
+// the generic itself lives in internal/arena so slot-indexed containers
+// that sim depends on (like view.Table) can carve too without a cycle.
+func Carve[T any](a *[]T, n int) []T { return arena.Carve(a, n) }

@@ -1,14 +1,3 @@
-// Package sim implements a deterministic, cycle-driven peer-to-peer
-// simulation engine in the style of PeerSim's cycle-driven mode, which is
-// the substrate the paper's evaluation runs on.
-//
-// The engine owns a population of nodes, a stack of protocols, a round
-// scheduler, churn and failure injection, per-protocol bandwidth metering,
-// and per-round observers. All in-round randomness flows from counter-based
-// per-node streams keyed by (seed, node, round, protocol, phase), so a
-// (seed, configuration) pair fully determines a run — for *any* worker
-// count. Setup-time randomness (bootstrap contacts, churn, partitions)
-// flows from a single seeded source consumed serially between rounds.
 package sim
 
 import (
@@ -23,31 +12,11 @@ import (
 
 // Protocol is one layer of the per-node gossip stack. The engine calls
 // InitNode when a node joins (or re-joins after a reconfiguration) and then
-// drives each round as four phases per protocol, in registration order —
-// the bulk-synchronous structure that lets one round shard across workers
-// while staying byte-identical to the serial execution:
-//
-//  1. Refresh — parallel over alive slots. Local state maintenance (aging,
-//     pruning, folding in candidates from lower layers). A Refresh may
-//     mutate the protocol's state for ctx.Slot() only, and may read other
-//     protocols' state for ctx.Slot() only.
-//  2. Plan — parallel over alive slots. Compute the slot's gossip exchange
-//     (partner choice, payloads, delivery outcome) into protocol-owned
-//     per-slot plan records, drawing randomness from ctx.Rand(). A Plan
-//     must treat every view and table as read-only — other workers are
-//     reading them too — but may write state that no other slot's Plan
-//     reads (its own plan record, purely slot-private tables).
-//  3. Deliver — serial, in slot order. Route the planned exchange: append
-//     the slot to its target's inbox and meter the bytes put on the wire.
-//     This is the only phase that may touch the Meter.
-//  4. Absorb — parallel over alive slots. Fold everything the slot received
-//     (its own exchange's reply, plus each inbox sender's payload, in inbox
-//     order) into its local state. Plan records of other slots are frozen
-//     by now and safe to read; mutations are again slot-local.
-//
-// Protocols store their per-node state in their own slot-indexed storage;
-// the engine guarantees slots are dense and stable for the lifetime of a
-// run (dead nodes keep their slot).
+// drives each round as phases per protocol, in registration order — see the
+// package documentation for the five-phase round contract. The Deliver
+// phase is engine-driven (the per-destination-shard inbox merge); protocols
+// that route exchanges implement InboxOwner instead of a Deliver method,
+// meter at Plan time via Ctx.Count, and Push at the end of Plan.
 type Protocol interface {
 	// Name identifies the protocol in bandwidth reports and traces.
 	Name() string
@@ -55,12 +24,19 @@ type Protocol interface {
 	InitNode(e *Engine, slot int)
 	// Refresh runs the slot's local state maintenance (phase 1).
 	Refresh(ctx *Ctx)
-	// Plan computes the slot's exchange for this round (phase 2).
+	// Plan computes, meters, and routes the slot's exchange (phase 2).
 	Plan(ctx *Ctx)
-	// Deliver routes the slot's planned exchange and meters it (phase 3).
-	Deliver(e *Engine, slot int)
 	// Absorb folds received payloads into the slot's state (phase 4).
 	Absorb(ctx *Ctx)
+}
+
+// InboxOwner is implemented by protocols that route planned exchanges
+// through one or more Inboxes. Register collects the inboxes once; the
+// engine then drives the parallel Deliver phase — merging each inbox's
+// planned lanes into per-target receive lists, one worker per destination
+// shard — between every Plan and Absorb.
+type InboxOwner interface {
+	Inboxes() []*Inbox
 }
 
 // Observer is invoked after every completed round; returning stop=true ends
@@ -97,11 +73,19 @@ type Engine struct {
 	// src is rng's underlying source, wrapped to count draws: the count is
 	// what lets Snapshot capture the serial RNG's position and Restore
 	// replay it against a fresh source (see snapshot.go).
-	src       *countedSource
-	seed      int64
-	nodes     []*Node
+	src  *countedSource
+	seed int64
+	// nodes is the dense node table — one contiguous array, not per-node
+	// heap objects, so phases stream it in slot order. Node pointers
+	// (Engine.Node, Lookup, RandomAlive) point into this array and are
+	// stable until the next AddNodes; don't hold them across joins.
+	nodes     []Node
 	slotOfID  []int // dense NodeID -> slot index (IDs are monotonic, never reused)
 	protocols []Protocol
+	// inboxes[pi] caches protocol pi's registered inboxes (nil for
+	// protocols that don't route exchanges); the engine merges them in the
+	// Deliver phase.
+	inboxes   [][]*Inbox
 	observers []Observer
 	meter     *Meter
 	round     int
@@ -119,11 +103,12 @@ type Engine struct {
 	randScratch []int
 
 	// Worker pool for the parallel phases. ctxs holds one execution
-	// context (scratch pad + stream slot) per worker; the pool's
-	// goroutines park on jobs between phases so a steady-state round
-	// spawns nothing and allocates nothing. poolSize counts goroutines
-	// actually started (they are never stopped while the engine lives;
-	// a finalizer closes jobs so they exit when the engine is collected).
+	// context (scratch pad + stream slot + meter shard) per worker; the
+	// pool's goroutines park on jobs between phases so a steady-state
+	// round spawns nothing and allocates nothing. poolSize counts
+	// goroutines actually started (they are never stopped while the
+	// engine lives; a finalizer closes jobs so they exit when the engine
+	// is collected).
 	workers  int
 	ctxs     []Ctx
 	jobs     chan phaseJob
@@ -174,14 +159,18 @@ type Pad struct {
 }
 
 // Ctx is the execution context of one parallel phase call: which slot is
-// being processed, that slot's random stream for the phase, and the
-// worker's scratch pad. Ctx values are engine-owned and reused; protocols
-// must not retain them across calls.
+// being processed, that slot's random stream for the phase, the worker's
+// scratch pad, and the worker's meter shard. Ctx values are engine-owned
+// and reused; protocols must not retain them across calls.
 type Ctx struct {
 	e    *Engine
 	slot int
 	rng  Stream
 	pad  Pad
+	// counts is the worker's per-protocol meter shard: Plan-time byte
+	// counts accumulate here race-free and fold into the shared Meter at
+	// the round barrier.
+	counts []int64
 	// scratch backs RandomAlive's low-liveness fallback filter.
 	scratch []int
 }
@@ -193,7 +182,7 @@ func (c *Ctx) Engine() *Engine { return c.e }
 func (c *Ctx) Slot() int { return c.slot }
 
 // Node returns the node occupying the slot being processed.
-func (c *Ctx) Node() *Node { return c.e.nodes[c.slot] }
+func (c *Ctx) Node() *Node { return &c.e.nodes[c.slot] }
 
 // Round returns the index of the round currently executing.
 func (c *Ctx) Round() int { return c.e.round }
@@ -205,6 +194,17 @@ func (c *Ctx) Rand() *Stream { return &c.rng }
 
 // Pad returns the worker's scratch pad.
 func (c *Ctx) Pad() *Pad { return &c.pad }
+
+// Count adds bytes to the given protocol's bandwidth for this round,
+// accumulated in the worker's meter shard and folded into the shared Meter
+// at the round barrier. Negative protocol indices (unmetered protocols)
+// are ignored. This is the only way phase code may meter: the shared Meter
+// itself is not safe to touch from a parallel phase.
+func (c *Ctx) Count(protocol, bytes int) {
+	if protocol >= 0 {
+		c.counts[protocol] += int64(bytes)
+	}
+}
 
 // Deliver decides whether one request/response exchange from the current
 // slot to the given slot goes through: the partition (if any) is consulted
@@ -232,22 +232,22 @@ func (c *Ctx) RandomAlive(exclude int) *Node {
 		return nil
 	}
 	for tries := 0; tries < 16; tries++ {
-		n := e.nodes[c.rng.Intn(len(e.nodes))]
+		n := &e.nodes[c.rng.Intn(len(e.nodes))]
 		if n.Alive && n.Slot != exclude {
 			return n
 		}
 	}
 	candidates := c.scratch[:0]
-	for _, n := range e.nodes {
-		if n.Alive && n.Slot != exclude {
-			candidates = append(candidates, n.Slot)
+	for i := range e.nodes {
+		if e.nodes[i].Alive && i != exclude {
+			candidates = append(candidates, i)
 		}
 	}
 	c.scratch = candidates
 	if len(candidates) == 0 {
 		return nil
 	}
-	return e.nodes[candidates[c.rng.Intn(len(candidates))]]
+	return &e.nodes[candidates[c.rng.Intn(len(candidates))]]
 }
 
 // Rand exposes the engine's serial random source. It drives everything that
@@ -295,10 +295,15 @@ type MeterAware interface {
 
 // Register appends a protocol to the stack. Protocols step in registration
 // order within each round, mirroring a PeerSim cycle-driven protocol stack
-// (every protocol's four phases complete before the next protocol starts).
+// (every protocol's phases complete before the next protocol starts).
 // Register must be called before AddNodes.
 func (e *Engine) Register(p Protocol) int {
 	e.protocols = append(e.protocols, p)
+	if io, ok := p.(InboxOwner); ok {
+		e.inboxes = append(e.inboxes, io.Inboxes())
+	} else {
+		e.inboxes = append(e.inboxes, nil)
+	}
 	idx := e.meter.AddProtocol(p.Name())
 	if ma, ok := p.(MeterAware); ok {
 		ma.SetMeterIndex(idx)
@@ -318,20 +323,21 @@ func (e *Engine) Observe(o Observer) { e.observers = append(e.observers, o) }
 
 // AddNodes creates n fresh nodes, returning their slots. The caller is
 // expected to assign profiles (via the allocator) before initializing
-// protocols with InitNode or Bootstrap.
+// protocols with InitNode or Bootstrap. Growing the dense node table may
+// move it: node pointers obtained before AddNodes are stale after.
 func (e *Engine) AddNodes(n int) []int {
 	slots := make([]int, 0, n)
 	for i := 0; i < n; i++ {
-		node := &Node{
-			Slot:   len(e.nodes),
+		slot := len(e.nodes)
+		e.nodes = append(e.nodes, Node{
+			Slot:   slot,
 			ID:     e.nextID,
 			Alive:  true,
 			Joined: e.round,
-		}
+		})
 		e.nextID++
-		e.slotOfID = append(e.slotOfID, node.Slot)
-		e.nodes = append(e.nodes, node)
-		slots = append(slots, node.Slot)
+		e.slotOfID = append(e.slotOfID, slot)
+		slots = append(slots, slot)
 	}
 	e.aliveOK = false
 	return slots
@@ -345,8 +351,9 @@ func (e *Engine) InitNode(slot int) {
 	}
 }
 
-// Node returns the node occupying slot.
-func (e *Engine) Node(slot int) *Node { return e.nodes[slot] }
+// Node returns the node occupying slot. The pointer aims into the dense
+// node table and is stable until the next AddNodes.
+func (e *Engine) Node(slot int) *Node { return &e.nodes[slot] }
 
 // Size returns the total number of slots ever allocated (alive + dead).
 func (e *Engine) Size() int { return len(e.nodes) }
@@ -358,7 +365,7 @@ func (e *Engine) Lookup(id view.NodeID) *Node {
 	if id < 0 || int64(id) >= int64(len(e.slotOfID)) {
 		return nil
 	}
-	return e.nodes[e.slotOfID[id]]
+	return &e.nodes[e.slotOfID[id]]
 }
 
 // IsAlive reports whether the node with the given ID exists and is alive.
@@ -374,9 +381,9 @@ func (e *Engine) IsAlive(id view.NodeID) bool {
 func (e *Engine) alive() []int {
 	if !e.aliveOK {
 		e.aliveSlots = e.aliveSlots[:0]
-		for _, n := range e.nodes {
-			if n.Alive {
-				e.aliveSlots = append(e.aliveSlots, n.Slot)
+		for i := range e.nodes {
+			if e.nodes[i].Alive {
+				e.aliveSlots = append(e.aliveSlots, i)
 			}
 		}
 		e.aliveOK = true
@@ -414,7 +421,7 @@ func (e *Engine) RandomAlive(exclude int) *Node {
 		return nil
 	}
 	for tries := 0; tries < 16; tries++ {
-		n := e.nodes[e.rng.Intn(len(e.nodes))]
+		n := &e.nodes[e.rng.Intn(len(e.nodes))]
 		if n.Alive && n.Slot != exclude {
 			return n
 		}
@@ -429,7 +436,7 @@ func (e *Engine) RandomAlive(exclude int) *Node {
 	if len(candidates) == 0 {
 		return nil
 	}
-	return e.nodes[candidates[e.rng.Intn(len(candidates))]]
+	return &e.nodes[candidates[e.rng.Intn(len(candidates))]]
 }
 
 // Kill marks the node at slot dead. Dead nodes stop stepping and refuse
@@ -442,7 +449,7 @@ func (e *Engine) Kill(slot int) {
 // Revive brings a dead node back (fresh join semantics: the caller must
 // re-assign a profile and re-run InitNode).
 func (e *Engine) Revive(slot int) {
-	n := e.nodes[slot]
+	n := &e.nodes[slot]
 	n.Alive = true
 	n.Joined = e.round
 	e.aliveOK = false
@@ -530,7 +537,10 @@ func (e *Engine) DeliverBetween(from, to int) bool {
 }
 
 // Phase identifiers, used to salt the per-node streams so a protocol's
-// phases draw from independent streams.
+// phases draw from independent streams. The engine-driven Deliver merge
+// draws no randomness, so it needs no salt — the constants (and with them
+// every stream of every existing run) are unchanged from the serial-Deliver
+// engine.
 const (
 	phaseRefresh = iota
 	phasePlan
@@ -540,21 +550,36 @@ const (
 
 // phaseJob is one shard of a parallel phase, handed to a pool worker. The
 // job carries everything the worker needs so parked workers hold no engine
-// reference (which would keep a finalized engine alive forever).
+// reference (which would keep a finalized engine alive forever). A job is
+// either a phase shard (p non-nil: run slots through one protocol phase)
+// or a Deliver merge shard (boxes non-nil: link planned exchanges whose
+// target falls in [lo, hi)).
 type phaseJob struct {
 	ctx   *Ctx
 	p     Protocol
 	salt  uint64
 	phase int
 	slots []int
-	done  chan<- struct{}
+
+	boxes  []*Inbox
+	nodes  []Node
+	alive  []int
+	lo, hi int
+
+	done chan<- struct{}
 }
 
-// poolWorker executes phase shards until the jobs channel closes (when the
-// owning engine is garbage-collected).
+// poolWorker executes phase and merge shards until the jobs channel closes
+// (when the owning engine is garbage-collected).
 func poolWorker(jobs <-chan phaseJob) {
 	for j := range jobs {
-		runShard(j.ctx, j.p, j.salt, j.phase, j.slots)
+		if j.boxes != nil {
+			for _, b := range j.boxes {
+				b.merge(j.nodes, j.alive, j.lo, j.hi)
+			}
+		} else {
+			runShard(j.ctx, j.p, j.salt, j.phase, j.slots)
+		}
 		j.done <- struct{}{}
 	}
 }
@@ -565,7 +590,7 @@ func poolWorker(jobs <-chan phaseJob) {
 func runShard(ctx *Ctx, p Protocol, salt uint64, phase int, slots []int) {
 	e := ctx.e
 	for _, slot := range slots {
-		n := e.nodes[slot]
+		n := &e.nodes[slot]
 		if !n.Alive {
 			// A node can die mid-round (not in the base model, but hooks
 			// may kill it); re-check before each phase.
@@ -590,17 +615,40 @@ func runShard(ctx *Ctx, p Protocol, salt uint64, phase int, slots []int) {
 const minShardSlots = 64
 
 // ensureCtxs grows the per-worker context table to the configured worker
-// count, preserving the scratch pads already grown. Called between rounds
-// only, so no phase holds a context pointer across the reallocation.
+// count (preserving the scratch pads already grown) and sizes every
+// worker's meter shard to the protocol count. Called between rounds only,
+// so no phase holds a context pointer across the reallocation, and every
+// shard is folded (zero) when resized.
 func (e *Engine) ensureCtxs() {
-	if len(e.ctxs) >= e.workers {
-		return
+	if len(e.ctxs) < e.workers {
+		ctxs := make([]Ctx, e.workers)
+		copy(ctxs, e.ctxs)
+		e.ctxs = ctxs
+		for i := range e.ctxs {
+			e.ctxs[i].e = e
+		}
 	}
-	ctxs := make([]Ctx, e.workers)
-	copy(ctxs, e.ctxs)
-	e.ctxs = ctxs
+	np := len(e.meter.current)
 	for i := range e.ctxs {
-		e.ctxs[i].e = e
+		if len(e.ctxs[i].counts) < np {
+			e.ctxs[i].counts = make([]int64, np)
+		}
+	}
+}
+
+// foldMeters folds every worker's meter shard into the shared Meter — the
+// serial tail of the round barrier, O(workers × protocols). Folding is
+// int64 addition, so the round's totals are exact and independent of which
+// worker metered which slot.
+func (e *Engine) foldMeters() {
+	for i := range e.ctxs {
+		counts := e.ctxs[i].counts
+		for p, v := range counts {
+			if v != 0 {
+				e.meter.current[p] += v
+				counts[p] = 0
+			}
+		}
 	}
 }
 
@@ -661,11 +709,61 @@ func (e *Engine) runPhase(p Protocol, salt uint64, phase int, alive []int) {
 	}
 }
 
+// deliver runs one protocol's Deliver phase: merge the exchanges planned
+// into its inboxes into per-target receive lists, one worker per
+// contiguous destination shard. Every worker scans senders in ascending
+// slot order, so each target's list is identical to the serial slot-order
+// delivery of the pre-sharded engine — at any worker count. Protocols
+// without inboxes (pure-lookup layers) skip the phase entirely.
+func (e *Engine) deliver(pi int, alive []int) {
+	boxes := e.inboxes[pi]
+	if len(boxes) == 0 {
+		return
+	}
+	w := e.workers
+	if max := len(alive) / minShardSlots; w > max {
+		w = max
+	}
+	size := len(e.nodes)
+	if w <= 1 {
+		for _, b := range boxes {
+			b.merge(e.nodes, alive, 0, size)
+		}
+		return
+	}
+	e.ensurePool()
+	chunk := (size + w - 1) / w
+	sent := 0
+	for i := 0; i < w; i++ {
+		lo := i * chunk
+		if lo >= size {
+			break
+		}
+		hi := lo + chunk
+		if hi > size {
+			hi = size
+		}
+		e.jobs <- phaseJob{
+			boxes: boxes,
+			nodes: e.nodes,
+			alive: alive,
+			lo:    lo,
+			hi:    hi,
+			done:  e.done,
+		}
+		sent++
+	}
+	for ; sent > 0; sent-- {
+		<-e.done
+	}
+}
+
 // RunRound executes one full round: for each protocol in registration
-// order, the parallel Refresh and Plan phases, the serial slot-order
-// Deliver phase, and the parallel Absorb phase; then observers run. The
-// result is byte-identical for every worker count. It reports whether any
-// observer requested a stop.
+// order, the parallel Refresh and Plan phases, the parallel per-destination
+// Deliver merge, and the parallel Absorb phase; then the round barrier
+// folds the per-worker meter shards, snapshots the round's bandwidth, and
+// runs observers. The result is byte-identical for every worker count. It
+// reports whether any observer requested a stop.
 func (e *Engine) RunRound() (stop bool) {
 	alive := e.alive()
 	e.ensureCtxs()
@@ -673,13 +771,10 @@ func (e *Engine) RunRound() (stop bool) {
 		base := uint64(pi) * phaseCount
 		e.runPhase(p, base+phaseRefresh, phaseRefresh, alive)
 		e.runPhase(p, base+phasePlan, phasePlan, alive)
-		for _, slot := range alive {
-			if e.nodes[slot].Alive {
-				p.Deliver(e, slot)
-			}
-		}
+		e.deliver(pi, alive)
 		e.runPhase(p, base+phaseAbsorb, phaseAbsorb, alive)
 	}
+	e.foldMeters()
 	e.meter.EndRound()
 	e.round++
 	for _, o := range e.observers {

@@ -1,14 +1,16 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 
 	"sosf/internal/view"
 )
 
 // countingProtocol records how many times each slot stepped (one step ==
-// one Plan phase call; the counter bumps in the serial Deliver phase so the
-// protocol stays trivially race-free at any worker count).
+// one Plan phase call; the counter storage is pre-grown in InitNode and
+// each bump writes only the slot's own cell, so the protocol stays
+// race-free at any worker count).
 type countingProtocol struct {
 	name  string
 	inits []int
@@ -20,19 +22,14 @@ func (c *countingProtocol) Name() string { return c.name }
 func (c *countingProtocol) InitNode(e *Engine, slot int) {
 	for len(c.inits) <= slot {
 		c.inits = append(c.inits, 0)
+		c.steps = append(c.steps, 0)
 	}
 	c.inits[slot]++
 }
 
 func (c *countingProtocol) Refresh(ctx *Ctx) {}
-func (c *countingProtocol) Plan(ctx *Ctx)    {}
 
-func (c *countingProtocol) Deliver(e *Engine, slot int) {
-	for len(c.steps) <= slot {
-		c.steps = append(c.steps, 0)
-	}
-	c.steps[slot]++
-}
+func (c *countingProtocol) Plan(ctx *Ctx) { c.steps[ctx.Slot()]++ }
 
 func (c *countingProtocol) Absorb(ctx *Ctx) {}
 
@@ -365,5 +362,42 @@ func TestPartitionFewerThanTwoGroupsHeals(t *testing.T) {
 	e.Partition(1)
 	if e.Partitioned() {
 		t.Fatal("Partition(1) must heal")
+	}
+}
+
+// TestShardedDeliverAllocationFree pins the engine's own round loop — the
+// parallel phases, the per-destination-shard Deliver merge, and the
+// round-barrier meter fold — at zero heap allocations per round, at every
+// worker count the full-stack guards use. The root-package alloc tests
+// cover the protocols; this one isolates the engine so a regression in the
+// sharding machinery itself (a lane buffer growing per round, a fold
+// allocating per worker) is attributed to the right layer.
+func TestShardedDeliverAllocationFree(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			e := New(77)
+			e.SetWorkers(workers)
+			p := &probeProtocol{}
+			e.Register(p)
+			for _, s := range e.AddNodes(2000) {
+				e.InitNode(s)
+			}
+			const measured = 10
+			// Warm rounds surface every lazy structure (worker pool,
+			// phase contexts, inbox lanes); Reserve pre-grows the meter
+			// history the measured rounds will append to.
+			e.Meter().Reserve(5 + 2*measured)
+			if _, err := e.Run(5); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(measured, func() {
+				if _, err := e.Run(1); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("engine round allocated %.1f times per round; the sharded Deliver path must stay allocation-free", allocs)
+			}
+		})
 	}
 }

@@ -1,19 +1,25 @@
 package sim
 
 // Inbox routes planned exchanges from active senders to their passive
-// receivers between a round's Deliver and Absorb phases. It is an intrusive
+// receivers between a round's Plan and Absorb phases. It is an intrusive
 // singly-linked list over dense slot-indexed arrays: each sender plans at
-// most one exchange per protocol per round, so one next-pointer per slot is
-// enough, and a steady-state round allocates nothing — unlike per-slot
-// append buffers, whose capacities keep growing as new per-round fan-in
-// maxima appear.
+// most one exchange per protocol per round, so one planned-target lane and
+// one next-pointer per slot are enough, and a steady-state round allocates
+// nothing — unlike per-slot append buffers, whose capacities keep growing
+// as new per-round fan-in maxima appear.
 //
 // The phases divide the work exactly like the protocols themselves:
-// Reset runs in the parallel Refresh phase (slot-local), Push in the serial
-// Deliver phase (slot order fixes the list order), and First/Next iterate
-// in the parallel Absorb phase (read-only).
+// Reset runs in the parallel Refresh phase (slot-local), Push in the
+// parallel Plan phase (each sender writes only its own lane), merge in the
+// parallel Deliver phase (one worker per destination shard, every worker
+// scanning senders in ascending slot order), and First/Next iterate in the
+// parallel Absorb phase (read-only).
 type Inbox struct {
 	head, tail, next []int32
+	// planned[s] is the target slot sender s planned an exchange to this
+	// round, or -1. It is the sender-owned lane that makes Push safe from
+	// the parallel Plan phase; merge turns the lanes into per-target lists.
+	planned []int32
 }
 
 // Grow extends the inbox to cover at least n slots. Call from InitNode.
@@ -22,23 +28,47 @@ func (b *Inbox) Grow(n int) {
 		b.head = append(b.head, -1)
 		b.tail = append(b.tail, -1)
 		b.next = append(b.next, -1)
+		b.planned = append(b.planned, -1)
 	}
 }
 
-// Reset empties the given slot's list.
-func (b *Inbox) Reset(slot int) { b.head[slot] = -1 }
+// Reset empties the given slot's list and clears its planned lane. Call
+// from Refresh for every alive slot, before any Push of the round.
+func (b *Inbox) Reset(slot int) {
+	b.head[slot] = -1
+	b.planned[slot] = -1
+}
 
-// Push appends sender to target's list. Pushes arrive in slot order (the
-// Deliver phase is serial), so iteration yields senders in slot order too.
-func (b *Inbox) Push(target, sender int) {
-	s := int32(sender)
-	b.next[s] = -1
-	if b.head[target] < 0 {
-		b.head[target] = s
-	} else {
-		b.next[b.tail[target]] = s
+// Push records that sender plans an exchange to target this round. Safe
+// from the parallel Plan phase: a sender writes only its own lane. The
+// per-target receive lists materialize in the engine-driven Deliver merge.
+func (b *Inbox) Push(target, sender int) { b.planned[sender] = int32(target) }
+
+// merge is the Deliver phase: link every planned exchange whose target
+// falls in [lo, hi) into that target's intrusive list. Senders are scanned
+// in ascending slot order (the alive list is slot-ordered), so each
+// target's list reads in global sender-slot order no matter how the target
+// space is sharded across workers — byte-identical to a serial slot-order
+// delivery. Disjoint target ranges make concurrent merges race-free: a
+// target's head/tail and its senders' next-pointers are written only by
+// the worker owning the target's range.
+func (b *Inbox) merge(nodes []Node, alive []int, lo, hi int) {
+	for _, s := range alive {
+		t := b.planned[s]
+		if int(t) < lo || int(t) >= hi || !nodes[s].Alive {
+			// Unplanned lanes (-1) fall below any range; the Alive
+			// re-check drops exchanges from senders killed mid-round.
+			continue
+		}
+		sn := int32(s)
+		b.next[sn] = -1
+		if b.head[t] < 0 {
+			b.head[t] = sn
+		} else {
+			b.next[b.tail[t]] = sn
+		}
+		b.tail[t] = sn
 	}
-	b.tail[target] = s
 }
 
 // First returns the first sender in slot's list, or -1 when empty.

@@ -137,7 +137,8 @@ func (e *Engine) SnapshotState(w *snap.Writer) error {
 	w.F64(e.lossRate)
 
 	w.Len(len(e.nodes))
-	for _, n := range e.nodes {
+	for i := range e.nodes {
+		n := &e.nodes[i]
 		w.Varint(int64(n.ID))
 		w.Bool(n.Alive)
 		w.Int(n.Joined)
@@ -193,7 +194,7 @@ func (e *Engine) RestoreState(r *snap.Reader) error {
 		return fmt.Errorf("snap: serial RNG draw count %d exceeds the %d replay bound (corrupt snapshot?)", draws, uint64(maxSerialDraws))
 	}
 
-	nodes := make([]*Node, 0, nodeCount)
+	nodes := make([]Node, 0, nodeCount)
 	slotOfID := make([]int, nodeCount)
 	for i := range slotOfID {
 		slotOfID[i] = -1
@@ -210,7 +211,7 @@ func (e *Engine) RestoreState(r *snap.Reader) error {
 			return fmt.Errorf("snap: invalid or duplicate node ID %d", id)
 		}
 		slotOfID[id] = slot
-		nodes = append(nodes, &Node{
+		nodes = append(nodes, Node{
 			Slot:    slot,
 			ID:      view.NodeID(id),
 			Alive:   alive,

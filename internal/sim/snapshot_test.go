@@ -54,8 +54,8 @@ func (p *snapProbe) Refresh(ctx *Ctx) { p.inbox.Reset(ctx.Slot()) }
 func (p *snapProbe) Plan(ctx *Ctx) {
 	p.marks[ctx.Slot()] = p.marks[ctx.Slot()]*31 + ctx.Rand().Uint64()
 }
-func (p *snapProbe) Deliver(e *Engine, slot int) {}
-func (p *snapProbe) Absorb(ctx *Ctx)             {}
+func (p *snapProbe) Inboxes() []*Inbox { return []*Inbox{&p.inbox} }
+func (p *snapProbe) Absorb(ctx *Ctx)   {}
 
 func (p *snapProbe) SnapshotState(w *snap.Writer) {
 	w.Len(len(p.marks))
@@ -172,7 +172,6 @@ func (plainProbe) Name() string          { return "plain" }
 func (plainProbe) InitNode(*Engine, int) {}
 func (plainProbe) Refresh(*Ctx)          {}
 func (plainProbe) Plan(*Ctx)             {}
-func (plainProbe) Deliver(*Engine, int)  {}
 func (plainProbe) Absorb(*Ctx)           {}
 
 func TestSnapshotRequiresSnapshotter(t *testing.T) {

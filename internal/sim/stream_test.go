@@ -116,16 +116,26 @@ func TestStreamSatisfiesViewRand(t *testing.T) {
 }
 
 func TestInboxOrderAndReset(t *testing.T) {
+	const size = 6
 	var b Inbox
-	b.Grow(6)
-	for slot := 0; slot < 6; slot++ {
+	b.Grow(size)
+	nodes := make([]Node, size)
+	alive := make([]int, 0, size)
+	for slot := 0; slot < size; slot++ {
+		nodes[slot] = Node{Slot: slot, Alive: true}
+		alive = append(alive, slot)
 		b.Reset(slot)
 	}
-	// Deliver runs in slot order; the list must iterate in push order.
+	// Push records planned lanes; the lists materialize in the merge,
+	// which scans senders in ascending slot order.
+	b.Push(3, 5)
 	b.Push(3, 0)
 	b.Push(3, 2)
-	b.Push(3, 5)
 	b.Push(1, 4)
+	// Merge in two target shards to prove sharding is invisible: the
+	// per-target order must still be global ascending sender order.
+	b.merge(nodes, alive, 0, 3)
+	b.merge(nodes, alive, 3, size)
 	var got []int
 	for s := b.First(3); s >= 0; s = b.Next(s) {
 		got = append(got, s)
@@ -148,6 +158,28 @@ func TestInboxOrderAndReset(t *testing.T) {
 	b.Reset(3)
 	if b.First(3) != -1 {
 		t.Fatal("reset slot should be empty")
+	}
+}
+
+func TestInboxMergeSkipsDeadAndRerouted(t *testing.T) {
+	var b Inbox
+	b.Grow(4)
+	nodes := make([]Node, 4)
+	for slot := range nodes {
+		nodes[slot] = Node{Slot: slot, Alive: true}
+		b.Reset(slot)
+	}
+	b.Push(2, 0)
+	b.Push(2, 1)
+	b.Push(0, 1) // re-push: only the last planned target counts
+	nodes[0].Alive = false
+	// Sender 0 died between Plan and Deliver: its exchange is dropped.
+	b.merge(nodes, []int{0, 1, 2, 3}, 0, 4)
+	if b.First(2) != -1 {
+		t.Fatalf("inbox(2) should be empty, got sender %d", b.First(2))
+	}
+	if b.First(0) != 1 || b.Next(1) != -1 {
+		t.Fatal("inbox(0) should hold exactly sender 1")
 	}
 }
 
@@ -175,18 +207,15 @@ func (p *probeProtocol) InitNode(e *Engine, slot int) {
 
 func (p *probeProtocol) Refresh(ctx *Ctx) { p.inbox.Reset(ctx.Slot()) }
 
+func (p *probeProtocol) Inboxes() []*Inbox { return []*Inbox{&p.inbox} }
+
 func (p *probeProtocol) Plan(ctx *Ctx) {
 	slot := ctx.Slot()
 	p.picks[slot] = -1
 	if n := ctx.RandomAlive(slot); n != nil && ctx.Deliver(n.Slot) {
 		p.picks[slot] = n.Slot
-	}
-}
-
-func (p *probeProtocol) Deliver(e *Engine, slot int) {
-	if t := p.picks[slot]; t >= 0 {
-		e.Meter().Count(0, slot+1)
-		p.inbox.Push(t, slot)
+		ctx.Count(0, slot+1)
+		p.inbox.Push(n.Slot, slot)
 	}
 }
 

@@ -380,3 +380,30 @@ func ReadView(r *Reader) *view.View {
 	}
 	return v
 }
+
+// ReadViewInto decodes a view written by WriteView into the table's slot,
+// carving entry storage from the table's arena instead of allocating a
+// standalone view — the restore path of the struct-of-arrays protocol
+// state. Byte layout and validation are identical to ReadView.
+func ReadViewInto(r *Reader, t *view.Table, slot int) {
+	capacity := r.Len()
+	n := r.Len()
+	if r.err != nil {
+		return
+	}
+	if n > capacity {
+		r.failf("view holds %d entries over capacity %d", n, capacity)
+		return
+	}
+	v := t.Init(slot, capacity)
+	for i := 0; i < n; i++ {
+		d := ReadDescriptor(r)
+		if r.err != nil {
+			return
+		}
+		if !v.Add(d) {
+			r.failf("duplicate or unplaceable view entry for node %d", d.ID)
+			return
+		}
+	}
+}

@@ -106,7 +106,9 @@ type Protocol struct {
 	rps    *peersampling.Protocol
 	feeds  []CandidateSource
 	meter  int
-	states []*view.View
+	// states holds the per-slot overlay views as dense struct-of-arrays
+	// state (headers and entries in contiguous arena-backed arrays).
+	states view.Table
 	plans  []vicinityPlan
 	inbox  sim.Inbox
 	arena  []view.Descriptor
@@ -114,6 +116,7 @@ type Protocol struct {
 
 var (
 	_ sim.Protocol    = (*Protocol)(nil)
+	_ sim.InboxOwner  = (*Protocol)(nil)
 	_ sim.MeterAware  = (*Protocol)(nil)
 	_ sim.Snapshotter = (*Protocol)(nil)
 	_ CandidateSource = (*Protocol)(nil)
@@ -145,10 +148,10 @@ func (p *Protocol) Candidates(slot int) []view.Descriptor {
 // SourceView implements ViewSource: the overlay's own view is its candidate
 // feed, readable in place by stacked overlays.
 func (p *Protocol) SourceView(slot int) *view.View {
-	if slot >= len(p.states) {
+	if slot >= p.states.Len() {
 		return nil
 	}
-	return p.states[slot]
+	return p.states.At(slot)
 }
 
 // Name implements sim.Protocol.
@@ -158,13 +161,17 @@ func (p *Protocol) Name() string { return p.name }
 func (p *Protocol) SetMeterIndex(i int) { p.meter = i }
 
 // View returns the overlay view of the node at slot (treat as read-only).
-func (p *Protocol) View(slot int) *view.View { return p.states[slot] }
+func (p *Protocol) View(slot int) *view.View { return p.states.At(slot) }
+
+// Inboxes implements sim.InboxOwner: the engine drives the Deliver-phase
+// merge of the exchange routing.
+func (p *Protocol) Inboxes() []*sim.Inbox { return []*sim.Inbox{&p.inbox} }
 
 // ensureSlot grows the per-slot storage (plan records, state table, inbox)
 // to cover slot, without touching any view. Shared by InitNode and the
 // restore path (which must not draw randomness or consult profiles).
 func (p *Protocol) ensureSlot(slot int) {
-	for len(p.states) <= slot {
+	for len(p.plans) <= slot {
 		// Both payloads are bounded by the gossip budget; carving them
 		// from a chunked arena makes population setup two allocations
 		// per few hundred slots instead of two per slot.
@@ -172,25 +179,24 @@ func (p *Protocol) ensureSlot(slot int) {
 			send:  sim.Carve(&p.arena, p.opts.Gossip),
 			reply: sim.Carve(&p.arena, p.opts.Gossip),
 		})
-		p.states = append(p.states, nil)
 	}
+	p.states.Grow(slot + 1)
 	p.inbox.Grow(slot + 1)
 }
 
 // InitNode implements sim.Protocol.
 func (p *Protocol) InitNode(e *sim.Engine, slot int) {
 	p.ensureSlot(slot)
-	capacity := p.ranker.Capacity(e.Node(slot).Profile)
-	p.states[slot] = view.New(capacity)
+	p.states.Init(slot, p.ranker.Capacity(e.Node(slot).Profile))
 }
 
 // SnapshotState implements sim.Snapshotter: the inter-round state is the
 // per-slot overlay view (capacities included — they are re-derived from the
 // ranker on the next Refresh anyway, but the view's entry order is state).
 func (p *Protocol) SnapshotState(w *snap.Writer) {
-	w.Len(len(p.states))
-	for _, v := range p.states {
-		snap.WriteView(w, v)
+	w.Len(p.states.Len())
+	for slot := 0; slot < p.states.Len(); slot++ {
+		snap.WriteView(w, p.states.At(slot))
 	}
 }
 
@@ -206,10 +212,10 @@ func (p *Protocol) RestoreState(e *sim.Engine, r *snap.Reader) error {
 	if n > 0 {
 		p.ensureSlot(n - 1)
 	}
-	p.states = p.states[:n]
+	p.states.Truncate(n)
 	p.plans = p.plans[:n]
 	for slot := 0; slot < n; slot++ {
-		p.states[slot] = snap.ReadView(r)
+		snap.ReadViewInto(r, &p.states, slot)
 	}
 	return r.Err()
 }
@@ -221,7 +227,7 @@ func (p *Protocol) RestoreState(e *sim.Engine, r *snap.Reader) error {
 func (p *Protocol) Refresh(ctx *sim.Ctx) {
 	slot := ctx.Slot()
 	self := ctx.Node()
-	v := p.states[slot]
+	v := p.states.At(slot)
 	p.inbox.Reset(slot)
 	// Capacity can change across reconfigurations (role differentiation).
 	v.SetCap(p.ranker.Capacity(self.Profile))
@@ -251,7 +257,7 @@ func (p *Protocol) Plan(ctx *sim.Ctx) {
 	slot := ctx.Slot()
 	self := ctx.Node()
 	e := ctx.Engine()
-	v := p.states[slot]
+	v := p.states.At(slot)
 	pl := &p.plans[slot]
 	pl.kind = planNone
 
@@ -268,6 +274,7 @@ func (p *Protocol) Plan(ctx *sim.Ctx) {
 		// loss must not empty views, but dead peers accumulate penalties
 		// (they keep being selected as the oldest entry) and age out.
 		pl.kind = planTimeout
+		ctx.Count(p.meter, sim.DescriptorPayload(len(pl.send)))
 		return
 	}
 
@@ -276,20 +283,12 @@ func (p *Protocol) Plan(ctx *sim.Ctx) {
 	pl.kind = planDelivered
 	pl.targetSlot = target.Slot
 	pl.reply = p.selectFor(ctx, target.Slot, self.Profile, self.ID, pl.reply[:0])
-}
 
-// Deliver implements sim.Protocol: meter the exchange and enqueue it at the
-// partner. Runs serially in slot order.
-func (p *Protocol) Deliver(e *sim.Engine, slot int) {
-	pl := &p.plans[slot]
-	switch pl.kind {
-	case planTimeout:
-		p.count(e, sim.DescriptorPayload(len(pl.send)))
-	case planDelivered:
-		p.count(e, sim.DescriptorPayload(len(pl.send)))
-		p.count(e, sim.DescriptorPayload(len(pl.reply)))
-		p.inbox.Push(pl.targetSlot, slot)
-	}
+	// Meter into the worker's shard and route via the sender's inbox lane;
+	// the engine's Deliver phase merges lanes per destination shard.
+	ctx.Count(p.meter, sim.DescriptorPayload(len(pl.send)))
+	ctx.Count(p.meter, sim.DescriptorPayload(len(pl.reply)))
+	p.inbox.Push(pl.targetSlot, slot)
 }
 
 // Absorb implements sim.Protocol: fold the round's incoming payloads into
@@ -298,7 +297,7 @@ func (p *Protocol) Deliver(e *sim.Engine, slot int) {
 func (p *Protocol) Absorb(ctx *sim.Ctx) {
 	slot := ctx.Slot()
 	self := ctx.Node()
-	v := p.states[slot]
+	v := p.states.At(slot)
 	pad := ctx.Pad()
 	pl := &p.plans[slot]
 	switch pl.kind {
@@ -348,7 +347,7 @@ func (p *Protocol) selectFor(ctx *sim.Ctx, slot int, owner view.Profile, ownerID
 	pad := ctx.Pad()
 	m := &pad.Merger
 	m.Begin(ownerID)
-	m.AddView(p.states[slot])
+	m.AddView(p.states.At(slot))
 	if !p.opts.NoRandomFeed && p.rps != nil {
 		m.AddView(p.rps.View(slot))
 	}
@@ -435,12 +434,6 @@ func (p *Protocol) purge(owner view.Profile, v *view.View) {
 	v.Filter(func(d view.Descriptor) bool {
 		return int(d.Age) <= p.opts.MaxAge && p.ranker.Rank(owner, d.Profile) < view.RankInf
 	})
-}
-
-func (p *Protocol) count(e *sim.Engine, bytes int) {
-	if p.meter >= 0 {
-		e.Meter().Count(p.meter, bytes)
-	}
 }
 
 // sortByRank orders descriptors by (rank, age, id), in place. The
