@@ -326,6 +326,9 @@ func TestCSVSink(t *testing.T) {
 	if !strings.HasPrefix(lines[0], "round,nodes,converged,baseline_bytes,overhead_bytes,Elementary Topology") {
 		t.Fatalf("header = %q", lines[0])
 	}
+	if !strings.HasSuffix(lines[0], ",heals,actions") {
+		t.Fatalf("header = %q, want trailing heals,actions columns", lines[0])
+	}
 	if !strings.HasPrefix(lines[1], "1,120,false,") {
 		t.Fatalf("first row = %q", lines[1])
 	}

@@ -55,7 +55,12 @@
 //	-pop-floor F   require the population to stay above F of its initial
 //	               size — deliberately strict, for seeding failures
 //	-no-repair     sample kill blasts without replacement joins or the
-//	               trailing rebalance (exposes the known index-hole gap)
+//	               trailing rebalance (with self-healing on these timelines
+//	               reconverge on their own; add -no-heal to expose the
+//	               legacy index-hole gap)
+//	-no-heal       disable the self-healing layer for every generated run
+//	               (pins `option heal 0` in each spec, so reproducers
+//	               replay the legacy behavior flag-free)
 //	-no-resume     skip the per-run resume-equivalence check
 //	-corpus DIR    write each finding as a NAME.in/NAME.out reproducer
 //	               pair under DIR (see testdata/corpus)
@@ -73,6 +78,9 @@
 //	-seed N        random seed (default 1)
 //	-churn F       replace F of the population per round (e.g. 0.01)
 //	-loss F        drop each exchange with probability F
+//	-no-heal       disable the self-healing layer (legacy behavior: index
+//	               holes from unreplaced deaths persist until a
+//	               `reconfigure`); the file's `option heal 0` does the same
 //	-to-end        keep running after convergence (play always does)
 //	-snap FILE     (snapshot, resume) checkpoint file to write / read
 //	-json          (run, play, snapshot, resume) print the final report as
@@ -127,6 +135,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", sosf.DefaultSeed, "random seed")
 	churn := fs.Float64("churn", 0, "fraction of nodes replaced per round")
 	loss := fs.Float64("loss", 0, "probability that an exchange is lost")
+	noHeal := fs.Bool("no-heal", false, "disable the self-healing layer (legacy index-hole behavior)")
 	toEnd := fs.Bool("to-end", false, "keep running after convergence")
 	workers := fs.Int("workers", 1, "workers sharding each round (0 = GOMAXPROCS; output identical for any value)")
 	asJSON := fs.Bool("json", false, "machine-readable final report (run, play, snapshot, resume)")
@@ -159,6 +168,9 @@ func run(args []string) error {
 	}
 	if explicit["seed"] {
 		opts = append(opts, sosf.WithSeed(*seed))
+	}
+	if *noHeal {
+		opts = append(opts, sosf.WithHealing(false))
 	}
 	if *toEnd {
 		opts = append(opts, sosf.WithRunToEnd())
@@ -262,6 +274,7 @@ func fuzz(args []string) error {
 	bandwidth := fs.Float64("bandwidth", 12288, "per-node per-round byte ceiling")
 	popFloor := fs.Float64("pop-floor", 0, "population floor as a fraction of the initial size (0 = off; strict values seed failures)")
 	noRepair := fs.Bool("no-repair", false, "sample kills without replacement joins or the trailing rebalance")
+	noHeal := fs.Bool("no-heal", false, "disable the self-healing layer in every generated run (pins option heal 0)")
 	noResume := fs.Bool("no-resume", false, "skip the per-run resume-equivalence check")
 	corpusDir := fs.String("corpus", "", "write each finding as a NAME.in/NAME.out pair under this directory")
 	workers := fs.Int("workers", 1, "workers sharding each round (0 = GOMAXPROCS; results identical for any value)")
@@ -279,6 +292,7 @@ func fuzz(args []string) error {
 		BandwidthCeiling: *bandwidth,
 		PopulationFloor:  *popFloor,
 		NoRepair:         *noRepair,
+		NoHeal:           *noHeal,
 		SkipResumeCheck:  *noResume,
 		Workers:          *workers,
 		Log:              os.Stderr,

@@ -32,6 +32,11 @@ type RoundEvent struct {
 	BaselineBytes float64 `json:"baseline_bytes"`
 	// OverheadBytes is documented with BaselineBytes.
 	OverheadBytes float64 `json:"overhead_bytes"`
+	// Heals counts the self-healing re-densify repairs the allocator
+	// performed this round (absent on rounds without a heal, which is every
+	// round of a fault-free run — steady-state streams are byte-identical
+	// to pre-healing ones).
+	Heals int `json:"heals,omitempty"`
 	// Actions lists the scenario actions that fired this round, in
 	// timeline order (absent on quiet rounds).
 	Actions []string `json:"actions,omitempty"`
@@ -76,6 +81,10 @@ func (s *System) emit(e *sim.Engine) bool {
 		ev.BaselineBytes = float64(base) / float64(ev.Nodes)
 		ev.OverheadBytes = float64(over) / float64(ev.Nodes)
 	}
+	if total := s.sys.Allocator().HealsTotal(); total > s.healsSeen {
+		ev.Heals = int(total - s.healsSeen)
+		s.healsSeen = total
+	}
 	if s.bound != nil && len(s.bound.Fired()) > 0 {
 		ev.Actions = append([]string(nil), s.bound.Fired()...)
 	}
@@ -110,7 +119,7 @@ func CSVSink(w io.Writer) func(RoundEvent) {
 			for _, sub := range core.Subs() {
 				header = append(header, sub.String())
 			}
-			header = append(header, "actions")
+			header = append(header, "heals", "actions")
 			_ = cw.Write(header)
 			wroteHeader = true
 		}
@@ -124,6 +133,7 @@ func CSVSink(w io.Writer) func(RoundEvent) {
 		for _, sub := range core.Subs() {
 			row = append(row, strconv.FormatFloat(ev.Accuracy[sub.String()], 'g', -1, 64))
 		}
+		row = append(row, strconv.Itoa(ev.Heals))
 		row = append(row, strings.Join(ev.Actions, "; "))
 		_ = cw.Write(row)
 		cw.Flush()

@@ -7,14 +7,19 @@ package sosf
 // blast, live reconfiguration, component kill) and byte-comparing the
 // JSONL event stream against the committed fixture.
 //
-// The fixture was regenerated exactly once, when the engine moved from a
-// single shared RNG consumed in shuffled step order to counter-based
-// per-node streams keyed by (seed, node, round, protocol, phase) — the
-// discipline that makes one round shard across workers with byte-identical
-// results for every worker count (see workers_test.go, which replays this
-// same scenario at workers 1/2/4/8 against one another). Since that
-// regeneration the fixture is frozen again: it is the cross-worker-count
-// determinism contract.
+// The fixture has been regenerated exactly twice. Once when the engine
+// moved from a single shared RNG consumed in shuffled step order to
+// counter-based per-node streams keyed by (seed, node, round, protocol,
+// phase) — the discipline that makes one round shard across workers with
+// byte-identical results for every worker count (see workers_test.go,
+// which replays this same scenario at workers 1/2/4/8 against one
+// another). And once when the runtime gained self-healing index
+// re-densification: the round-30 blast now triggers repairs (the events
+// gained a "heals" field and rounds 30-45 — blast to reconfiguration —
+// recover along a different, healed trajectory; every round outside that
+// window was byte-identical across the change, confirming the RNG draw
+// sequence itself was untouched). Outside those two deliberate breaks the
+// fixture is frozen: it is the cross-worker-count determinism contract.
 //
 // If this test fails, a change reordered or added random draws. That is
 // a breaking change to the determinism contract, not a fixture refresh:

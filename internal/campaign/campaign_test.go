@@ -79,22 +79,47 @@ func TestSeededFindingByteIdentical(t *testing.T) {
 }
 
 // TestNoRepairExposesIndexHoleGap pins the campaign's second seeded
-// failure: without the generator's repair events, a single unreplaced
-// death leaves a permanent index hole that index-structured shapes cannot
-// re-form around, and the Reconverge invariant catches it.
+// failure in its legacy form: with the runtime's self-healing disabled
+// (NoHeal) and no repair events generated, a single unreplaced death
+// leaves a permanent index hole that index-structured shapes cannot
+// re-form around, and the Reconverge invariant catches it. The violation
+// detail must name the stuck layer so reproducer headers stay actionable.
 func TestNoRepairExposesIndexHoleGap(t *testing.T) {
-	findings, err := New(Config{Seed: 1, Runs: 6, NoRepair: true}).Run()
+	findings, err := New(Config{Seed: 1, Runs: 6, NoRepair: true, NoHeal: true}).Run()
 	if err != nil {
 		t.Fatal(err)
 	}
 	var reconverge int
 	for _, f := range findings {
-		if f.Violation.Invariant == InvReconverge {
-			reconverge++
+		if f.Violation.Invariant != InvReconverge {
+			continue
+		}
+		reconverge++
+		if !strings.Contains(f.Violation.Detail, "stuck") {
+			t.Errorf("reconverge detail does not diagnose the stuck layer: %q", f.Violation.Detail)
 		}
 	}
 	if reconverge == 0 {
-		t.Fatalf("NoRepair campaign found no reconverge violation (findings: %d) — either the index-hole gap was fixed (update the corpus and this test) or the knob is broken", len(findings))
+		t.Fatalf("NoHeal+NoRepair campaign found no reconverge violation (findings: %d) — either the index-hole gap reproduction is gone or the knob is broken", len(findings))
+	}
+}
+
+// TestNoRepairHealsClean pins the tentpole from the campaign's side:
+// the very timelines that exposed the index-hole gap are clean once the
+// runtime's self-healing is left on — bare faults reconverge without a
+// trailing reconfiguration.
+func TestNoRepairHealsClean(t *testing.T) {
+	findings, err := New(Config{Seed: 1, Runs: 6, NoRepair: true}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		var lines []string
+		for _, f := range findings {
+			lines = append(lines, f.Violation.String())
+		}
+		t.Fatalf("NoRepair campaign with healing on found %d violation(s):\n%s",
+			len(findings), strings.Join(lines, "\n"))
 	}
 }
 

@@ -70,9 +70,47 @@ func (i Reconverge) Check(r *Run) *Violation {
 	return &Violation{
 		Invariant: InvReconverge,
 		Round:     deadline,
-		Detail: fmt.Sprintf("no convergence in the %d rounds after the last fault (round %d); accuracy at round %d: %s",
-			i.Within, r.LastFault, deadline, accuracySummary(r.Events[deadline-1])),
+		Detail: fmt.Sprintf("no convergence in the %d rounds after the last fault (round %d); %s; accuracy at round %d: %s",
+			i.Within, r.LastFault, stuckSummary(r, deadline), deadline, accuracySummary(r.Events[deadline-1])),
 	}
+}
+
+// stuckSummary names every layer below 1.0 at the deadline with the round
+// its trailing sub-1.0 streak began — the round it got stuck — and, when
+// the end-of-run system is available, the components whose elementary
+// shape never re-formed. This turns a bare "did not reconverge" into a
+// directly actionable diagnosis without replaying the reproducer.
+func stuckSummary(r *Run, deadline int) string {
+	end := r.Events[deadline-1]
+	keys := make([]string, 0, len(end.Accuracy))
+	for k := range end.Accuracy {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var parts []string
+	for _, k := range keys {
+		if end.Accuracy[k] >= 1 {
+			continue
+		}
+		// Walk the trailing streak of sub-1.0 rounds back from the
+		// deadline to find where this layer got (and stayed) stuck.
+		first := deadline - 1
+		for first > 0 && r.Events[first-1].Accuracy[k] < 1 {
+			first--
+		}
+		parts = append(parts, fmt.Sprintf("%s stuck since round %d", k, r.Events[first].Round))
+	}
+	if len(parts) == 0 {
+		// Every layer individually touched 1.0 at the deadline but never
+		// simultaneously within the window.
+		parts = append(parts, "layers never at 1.0 simultaneously")
+	}
+	if r.Sys != nil {
+		if stuck := r.Sys.StuckComponents(); len(stuck) > 0 {
+			parts = append(parts, fmt.Sprintf("stuck component(s) at end of run: %s", strings.Join(stuck, ", ")))
+		}
+	}
+	return strings.Join(parts, "; ")
 }
 
 // OrphanTail bounds the end-of-run orphan count (alive nodes with

@@ -34,6 +34,26 @@ type Allocator struct {
 	freeIndex [][]int32
 	// sizes tracks the current alive membership estimate per component.
 	sizes []int32
+	// noHeal disables the self-healing layer (dense alive-rank translation
+	// plus threshold re-densify), preserving the legacy behavior where
+	// index holes left by unreplaced deaths pin shape gradients below the
+	// oracle ranking until a full Reconfigure.
+	noHeal bool
+	// ranks maps, per component, a current-epoch sparse index to its dense
+	// alive-rank: index minus the number of vacated indices below it. This
+	// is exactly the position the oracle assigns when it sorts survivors by
+	// (Index, ID), so rankers that translate through Dense steer toward the
+	// measured target structure even while the index space has holes.
+	// Tables are rebuilt only at serial mutation barriers (FlushRanks,
+	// AssignAll, reDensify, restore) and are read-only during the parallel
+	// round phases, keeping the steady-state round loop allocation-free.
+	ranks [][]int32
+	// ranksDirty marks components whose ranks table went stale after a
+	// mid-epoch join/leave; System flushes it after every mutation batch.
+	ranksDirty []bool
+	// healsTotal counts re-densify repairs performed since start (or since
+	// the snapshot the allocator was restored from was taken, cumulative).
+	healsTotal uint64
 	// portCounts caches the number of ports per component.
 	portCounts []int32
 	// sides flattens every link into its two directed endpoints.
@@ -82,6 +102,8 @@ func (a *Allocator) install(topo *spec.Topology) error {
 	a.nextIndex = make([]int32, len(topo.Components))
 	a.freeIndex = make([][]int32, len(topo.Components))
 	a.sizes = make([]int32, len(topo.Components))
+	a.ranks = make([][]int32, len(topo.Components))
+	a.ranksDirty = make([]bool, len(topo.Components))
 
 	a.portCounts = make([]int32, len(topo.Components))
 	for i := range topo.Components {
@@ -185,6 +207,7 @@ func (a *Allocator) AssignAll(e *sim.Engine) {
 		a.nextIndex[c] = size
 		a.freeIndex[c] = a.freeIndex[c][:0]
 		a.sizes[c] = size
+		a.refreshRanksComp(c)
 	}
 }
 
@@ -208,6 +231,7 @@ func (a *Allocator) AssignJoin(n *sim.Node) {
 	n.Profile.Index = idx
 	n.Profile.Size = a.sizes[c]
 	n.Profile.Epoch = a.epoch
+	a.ranksDirty[c] = true
 }
 
 // NoteLeave updates the allocator's size estimate when a node is known to
@@ -222,7 +246,147 @@ func (a *Allocator) NoteLeave(n *sim.Node) {
 		a.sizes[c]--
 	}
 	a.freeIndex[c] = append(a.freeIndex[c], n.Profile.Index)
+	a.ranksDirty[c] = true
 }
+
+// refreshRanksComp rebuilds one component's dense alive-rank table from
+// its freeIndex list: ranks[c][i] = i minus the number of vacated indices
+// strictly below i. Vacated indices themselves get the same formula (the
+// rank an alive holder of that slot would have), so stale descriptors of
+// departed members still translate to a deterministic, in-range rank.
+func (a *Allocator) refreshRanksComp(c int) {
+	n := int(a.nextIndex[c])
+	t := a.ranks[c]
+	if cap(t) < n {
+		t = make([]int32, n)
+	} else {
+		t = t[:n]
+	}
+	for i := range t {
+		t[i] = 0
+	}
+	for _, f := range a.freeIndex[c] {
+		if int(f) < n {
+			t[f] = -1
+		}
+	}
+	var vac int32
+	for i := range t {
+		free := t[i] < 0
+		t[i] = int32(i) - vac
+		if free {
+			vac++
+		}
+	}
+	a.ranks[c] = t
+	a.ranksDirty[c] = false
+}
+
+// FlushRanks rebuilds the dense-rank tables of components whose membership
+// changed since the last flush. System calls it after every mutation batch
+// (kills, joins, churn) at the serial round barrier; it is a no-op when
+// nothing moved, so steady-state rounds never touch it.
+func (a *Allocator) FlushRanks() {
+	for c, dirty := range a.ranksDirty {
+		if dirty {
+			a.refreshRanksComp(c)
+		}
+	}
+}
+
+// Dense translates a profile's sparse index and stamped size into the
+// component's current dense alive-rank and alive size. The dense rank is
+// exactly the position the oracle assigns the node when ranking survivors
+// by (Index, ID), so rankers comparing Dense profiles agree with the
+// measured target structure even while deaths have left index holes.
+// Identity when healing is disabled or the profile is from a stale epoch.
+func (a *Allocator) Dense(p view.Profile) view.Profile {
+	if a.noHeal || p.Epoch != a.epoch || p.Comp < 0 || int(p.Comp) >= len(a.ranks) {
+		return p
+	}
+	if t := a.ranks[p.Comp]; int(p.Index) >= 0 && int(p.Index) < len(t) {
+		p.Index = t[p.Index]
+	} else if p.Index > 0 {
+		// Beyond the table (a join the table predates, before the next
+		// flush): every tracked vacancy sits below this index.
+		p.Index -= int32(len(a.freeIndex[p.Comp]))
+	}
+	if s := a.sizes[p.Comp]; s > 0 {
+		p.Size = s
+	}
+	return p
+}
+
+// healThreshold is the vacancy count above which a component re-densifies:
+// proportional to the component size so small components heal promptly
+// while large ones amortize the O(members) compaction.
+func healThreshold(size int32) int {
+	t := int(size) / 4
+	if t < 4 {
+		t = 4
+	}
+	return t
+}
+
+// MaybeHeal scans components for vacancy buildup and re-densifies those
+// whose freeIndex crossed the heal threshold. It must run at the serial
+// round barrier (every membership mutation path already does), never from
+// the parallel round phases: re-densify rewrites member profiles and may
+// allocate. Returns the number of components healed.
+func (a *Allocator) MaybeHeal(e *sim.Engine) int {
+	if a.noHeal {
+		return 0
+	}
+	healed := 0
+	for c := range a.freeIndex {
+		if len(a.freeIndex[c]) > healThreshold(a.sizes[c]) {
+			a.reDensify(view.ComponentID(c), e)
+			healed++
+		}
+	}
+	return healed
+}
+
+// reDensify compacts one component's index space without an epoch bump:
+// every alive current-epoch member is reassigned the dense index it
+// already occupies in (Index, ID) order. Because the new sparse index of
+// each member equals its previous dense rank, the repair is pure
+// bookkeeping — gradient decisions made through Dense are unchanged in the
+// same instant, no descriptors are invalidated, and no state is evicted.
+// Stale copies of pre-heal descriptors in remote views briefly translate
+// through the reset table; they wash out through normal gossip freshness.
+func (a *Allocator) reDensify(c view.ComponentID, e *sim.Engine) {
+	var ms []*sim.Node
+	for _, slot := range e.AliveSlots() {
+		n := e.Node(slot)
+		if n.Profile.Comp == c && n.Profile.Epoch == a.epoch {
+			ms = append(ms, n)
+		}
+	}
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Profile.Index != ms[j].Profile.Index {
+			return ms[i].Profile.Index < ms[j].Profile.Index
+		}
+		return ms[i].ID < ms[j].ID
+	})
+	size := int32(len(ms))
+	for i, n := range ms {
+		n.Profile.Index = int32(i)
+		n.Profile.Size = size
+	}
+	a.nextIndex[c] = size
+	a.freeIndex[c] = a.freeIndex[c][:0]
+	a.sizes[c] = size
+	a.refreshRanksComp(int(c))
+	a.healsTotal++
+}
+
+// HealsTotal returns the cumulative number of re-densify repairs.
+func (a *Allocator) HealsTotal() uint64 { return a.healsTotal }
+
+// SetHealing enables or disables the self-healing layer. Call before the
+// first round; flipping it mid-run would silently change gradient ranks.
+func (a *Allocator) SetHealing(on bool) { a.noHeal = !on }
 
 // Reconfigure installs a new topology, bumps the epoch, and reassigns all
 // alive nodes. Descriptors of the previous epoch become stale everywhere

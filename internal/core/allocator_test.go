@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -269,5 +270,190 @@ func TestElectionScoreDistinguishesPorts(t *testing.T) {
 	d := electionScore(1, 0, 1, 42)
 	if a == b || a == c || a == d {
 		t.Fatal("election scores must vary with port, component, epoch")
+	}
+}
+
+// killComp kills n alive members of component c (in slot order) and routes
+// the departures through the allocator, mirroring what System.Kill does at
+// the serial round barrier minus the flush.
+func killComp(t *testing.T, a *Allocator, e *sim.Engine, c view.ComponentID, n int) {
+	t.Helper()
+	killed := 0
+	for _, slot := range e.AliveSlots() {
+		if killed == n {
+			return
+		}
+		node := e.Node(slot)
+		if node.Profile.Comp != c {
+			continue
+		}
+		a.NoteLeave(node)
+		e.Kill(slot)
+		killed++
+	}
+	if killed != n {
+		t.Fatalf("killed %d of %d requested in component %d", killed, n, c)
+	}
+}
+
+// oracleRanks computes the dense position every alive member of c holds
+// when survivors are ranked by (Index, ID) — the ordering the oracle uses
+// to pick target-shape members.
+func oracleRanks(e *sim.Engine, c view.ComponentID) map[int]int32 {
+	var ms []*sim.Node
+	for _, slot := range e.AliveSlots() {
+		if n := e.Node(slot); n.Profile.Comp == c {
+			ms = append(ms, n)
+		}
+	}
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Profile.Index != ms[j].Profile.Index {
+			return ms[i].Profile.Index < ms[j].Profile.Index
+		}
+		return ms[i].ID < ms[j].ID
+	})
+	out := make(map[int]int32, len(ms))
+	for i, n := range ms {
+		out[n.Slot] = int32(i)
+	}
+	return out
+}
+
+// TestDenseMatchesOracleRanks is the tentpole's correctness core: after
+// any number of unreplaced deaths, Dense must translate every survivor's
+// sparse index to exactly the dense position the oracle assigns it.
+func TestDenseMatchesOracleRanks(t *testing.T) {
+	a, _ := NewAllocator(ringsTopo(3))
+	e := newPopulation(t, 90, 7)
+	a.AssignAll(e)
+	const c = view.ComponentID(1)
+	for kills := 0; kills < 20; kills++ {
+		want := oracleRanks(e, c)
+		for slot, rank := range want {
+			p := a.Dense(e.Node(slot).Profile)
+			if p.Index != rank {
+				t.Fatalf("after %d kills: slot %d dense index = %d, oracle rank = %d", kills, slot, p.Index, rank)
+			}
+			if int(p.Size) != len(want) {
+				t.Fatalf("after %d kills: slot %d dense size = %d, alive = %d", kills, slot, p.Size, len(want))
+			}
+		}
+		killComp(t, a, e, c, 1)
+		a.FlushRanks()
+	}
+}
+
+// TestDenseIdentityWhenDisabled pins the escape hatch: with healing off,
+// Dense returns profiles untouched and MaybeHeal never fires.
+func TestDenseIdentityWhenDisabled(t *testing.T) {
+	a, _ := NewAllocator(ringsTopo(3))
+	a.SetHealing(false)
+	e := newPopulation(t, 90, 7)
+	a.AssignAll(e)
+	killComp(t, a, e, 0, 20)
+	a.FlushRanks()
+	if n := a.MaybeHeal(e); n != 0 {
+		t.Fatalf("MaybeHeal healed %d components with healing disabled", n)
+	}
+	for _, slot := range e.AliveSlots() {
+		p := e.Node(slot).Profile
+		if got := a.Dense(p); got != p {
+			t.Fatalf("Dense(%v) = %v with healing disabled, want identity", p, got)
+		}
+	}
+	if a.HealsTotal() != 0 {
+		t.Fatalf("HealsTotal = %d with healing disabled", a.HealsTotal())
+	}
+}
+
+// TestMaybeHealThreshold pins the trigger: a component re-densifies only
+// once its vacancy count exceeds max(4, size/4), and the repair compacts
+// the index space in (Index, ID) order without an epoch bump.
+func TestMaybeHealThreshold(t *testing.T) {
+	a, _ := NewAllocator(ringsTopo(3))
+	e := newPopulation(t, 90, 7)
+	a.AssignAll(e)
+	const c = view.ComponentID(2)
+	epoch := a.Epoch()
+
+	// Walk kills up to the threshold: size ~30, so the trigger needs
+	// len(freeIndex) > max(4, size/4). Track it against the live size.
+	kills := 0
+	for {
+		threshold := healThreshold(a.sizes[c])
+		if len(a.freeIndex[c]) >= threshold {
+			break
+		}
+		killComp(t, a, e, c, 1)
+		a.FlushRanks()
+		kills++
+		if kills > 30 {
+			t.Fatal("never reached the heal threshold")
+		}
+	}
+	if n := a.MaybeHeal(e); n != 0 {
+		t.Fatalf("healed %d components at the threshold boundary (vacancies == threshold must not trigger)", n)
+	}
+
+	// One more death crosses it.
+	killComp(t, a, e, c, 1)
+	a.FlushRanks()
+	want := oracleRanks(e, c)
+	if n := a.MaybeHeal(e); n != 1 {
+		t.Fatalf("healed %d components past the threshold, want 1", n)
+	}
+	if a.HealsTotal() != 1 {
+		t.Fatalf("HealsTotal = %d after one repair", a.HealsTotal())
+	}
+	if len(a.freeIndex[c]) != 0 {
+		t.Fatalf("freeIndex not drained by the repair: %v", a.freeIndex[c])
+	}
+	if a.Epoch() != epoch {
+		t.Fatalf("repair bumped the epoch %d -> %d; re-densify must not invalidate descriptors", epoch, a.Epoch())
+	}
+	// The new sparse indices are exactly the previous dense ranks, so the
+	// repair was pure bookkeeping for the gradient.
+	for slot, rank := range want {
+		p := e.Node(slot).Profile
+		if p.Index != rank {
+			t.Fatalf("slot %d re-densified to index %d, previous dense rank %d", slot, p.Index, rank)
+		}
+		if int(p.Size) != len(want) {
+			t.Fatalf("slot %d re-densified size %d, alive %d", slot, p.Size, len(want))
+		}
+		if got := a.Dense(p); got != p {
+			t.Fatalf("post-repair Dense(%v) = %v, want identity on a dense component", p, got)
+		}
+	}
+}
+
+// TestDenseStaleAndJoinProfiles pins the translation edges: stale-epoch
+// profiles pass through untouched, and a just-joined index beyond the
+// rank table translates by subtracting the tracked vacancy count.
+func TestDenseStaleAndJoinProfiles(t *testing.T) {
+	a, _ := NewAllocator(ringsTopo(3))
+	e := newPopulation(t, 90, 7)
+	a.AssignAll(e)
+	const c = view.ComponentID(0)
+	killComp(t, a, e, c, 3)
+	a.FlushRanks()
+
+	stale := e.Node(e.AliveSlots()[0]).Profile
+	stale.Epoch++
+	if got := a.Dense(stale); got != stale {
+		t.Fatalf("Dense(%v) = %v on a foreign epoch, want identity", stale, got)
+	}
+
+	// A join lands past the dense prefix; before the next flush its index
+	// is beyond the rank table and must still translate densely.
+	slots := e.AddNodes(1)
+	n := e.Node(slots[0])
+	n.Profile.Key = e.Rand().Uint64()
+	a.AssignJoin(n)
+	if n.Profile.Comp == c {
+		vac := int32(len(a.freeIndex[c]))
+		if got := a.Dense(n.Profile); got.Index != n.Profile.Index-vac {
+			t.Fatalf("join Dense index = %d, want %d", got.Index, n.Profile.Index-vac)
+		}
 	}
 }

@@ -302,6 +302,36 @@ func (o *Oracle) portConnect(members [][]*sim.Node) float64 {
 	return float64(ok) / float64(total)
 }
 
+// StuckComponents returns the names of components whose elementary shape
+// is not fully realized in the current state, in topology order — the
+// per-component refinement of the Elementary Topology fraction. Diagnostic
+// tooling (the fuzz campaign's Reconverge violation detail) uses it to say
+// *which* component failed to re-form instead of just the global fraction.
+func (o *Oracle) StuckComponents() []string {
+	s := o.sys
+	members := o.compMembers()
+	var out []string
+	for c, ms := range members {
+		if len(ms) < 2 {
+			continue
+		}
+		shape := s.alloc.Shape(view.ComponentID(c))
+		realized := true
+		for _, e := range shapes.TargetEdges(shape, len(ms)) {
+			u, v := ms[e[0]], ms[e[1]]
+			if !s.core.View(u.Slot).Contains(v.ID) && !s.core.View(v.Slot).Contains(u.ID) &&
+				!s.uo1.View(u.Slot).Contains(v.ID) && !s.uo1.View(v.Slot).Contains(u.ID) {
+				realized = false
+				break
+			}
+		}
+		if !realized {
+			out = append(out, s.alloc.Topology().Components[c].Name)
+		}
+	}
+	return out
+}
+
 // RealizedGraph builds the realized system topology: the union of every
 // component's core overlay plus the established inter-component links —
 // "the union of these different overlays" in the paper's words.

@@ -41,6 +41,15 @@ func (r uo1Ranker) Capacity(view.Profile) int { return r.capacity }
 // shape. Cross-component and stale-epoch candidates are rejected outright,
 // so a component's core view only ever contains current members of the
 // same component.
+//
+// Alive-rank protocol: both profiles are translated through
+// Allocator.Dense before the shape sees them, so gradients compare dense
+// alive-ranks (the oracle's ordering of survivors) rather than the sparse
+// Profile.Index. After an unreplaced death this closes the gradient-vs-
+// oracle mismatch immediately: the shape steers toward the structure the
+// oracle actually measures, and the timeline reconverges without a
+// Reconfigure. With healing disabled Dense is the identity and the legacy
+// sparse-index behavior is preserved.
 type coreRanker struct {
 	alloc *Allocator
 }
@@ -53,7 +62,7 @@ func (r coreRanker) Rank(owner, cand view.Profile) float64 {
 		cand.Epoch != r.alloc.Epoch() || owner.Epoch != r.alloc.Epoch() {
 		return view.RankInf
 	}
-	return r.alloc.Shape(owner.Comp).Rank(owner, cand)
+	return r.alloc.Shape(owner.Comp).Rank(r.alloc.Dense(owner), r.alloc.Dense(cand))
 }
 
 // Capacity implements vicinity.Ranker.
@@ -61,5 +70,5 @@ func (r coreRanker) Capacity(p view.Profile) int {
 	if p.Comp < 0 || int(p.Comp) >= r.alloc.Components() {
 		return 1
 	}
-	return r.alloc.Shape(p.Comp).Capacity(p)
+	return r.alloc.Shape(p.Comp).Capacity(r.alloc.Dense(p))
 }

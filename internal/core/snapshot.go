@@ -12,8 +12,11 @@ import (
 )
 
 // systemSnapKind tags full-system snapshots (engine + allocator + active
-// topology + behavior-defining configuration).
-const systemSnapKind = "system"
+// topology + behavior-defining configuration). Bumped "system" → "system2"
+// when the self-healing layer landed: the allocator section grew a heal
+// counter and the embedded config a no_heal knob, so pre-healing snapshots
+// are rejected instead of being misread.
+const systemSnapKind = "system2"
 
 // snapConfig is Config minus the Topology pointer, for JSON embedding in a
 // snapshot. Every field here changes protocol behavior, so Restore verifies
@@ -28,6 +31,7 @@ type snapConfig struct {
 	PortTTL       int                  `json:"port_ttl"`
 	DisableUO2    bool                 `json:"disable_uo2"`
 	PureGreedy    bool                 `json:"pure_greedy"`
+	NoHeal        bool                 `json:"no_heal"`
 	Nodes         int                  `json:"nodes"`
 	Seed          int64                `json:"seed"`
 }
@@ -42,6 +46,7 @@ func snapConfigOf(cfg Config) snapConfig {
 		PortTTL:       cfg.PortTTL,
 		DisableUO2:    cfg.DisableUO2,
 		PureGreedy:    cfg.PureGreedy,
+		NoHeal:        cfg.DisableHealing,
 		Nodes:         cfg.Nodes,
 		Seed:          cfg.Seed,
 	}
@@ -160,18 +165,19 @@ func RestoreSystem(r io.Reader, workers int) (*System, error) {
 		return nil, err
 	}
 	sys, err := NewSystem(Config{
-		Topology:      topo,
-		Nodes:         snapCfg.Nodes,
-		Seed:          snapCfg.Seed,
-		Workers:       workers,
-		RPS:           snapCfg.RPS,
-		UO1Capacity:   snapCfg.UO1Capacity,
-		OverlayGossip: snapCfg.OverlayGossip,
-		OverlayMaxAge: snapCfg.OverlayMaxAge,
-		UO2MaxAge:     snapCfg.UO2MaxAge,
-		PortTTL:       snapCfg.PortTTL,
-		DisableUO2:    snapCfg.DisableUO2,
-		PureGreedy:    snapCfg.PureGreedy,
+		Topology:       topo,
+		Nodes:          snapCfg.Nodes,
+		Seed:           snapCfg.Seed,
+		Workers:        workers,
+		RPS:            snapCfg.RPS,
+		UO1Capacity:    snapCfg.UO1Capacity,
+		OverlayGossip:  snapCfg.OverlayGossip,
+		OverlayMaxAge:  snapCfg.OverlayMaxAge,
+		UO2MaxAge:      snapCfg.UO2MaxAge,
+		PortTTL:        snapCfg.PortTTL,
+		DisableUO2:     snapCfg.DisableUO2,
+		PureGreedy:     snapCfg.PureGreedy,
+		DisableHealing: snapCfg.NoHeal,
 	})
 	if err != nil {
 		return nil, err
@@ -187,6 +193,7 @@ func RestoreSystem(r io.Reader, workers int) (*System, error) {
 // the system snapshot carries separately.
 func (a *Allocator) snapshot(w *snap.Writer) {
 	w.U32(a.epoch)
+	w.U64(a.healsTotal)
 	w.Len(len(a.nextIndex))
 	for c := range a.nextIndex {
 		w.Varint(int64(a.nextIndex[c]))
@@ -199,9 +206,13 @@ func (a *Allocator) snapshot(w *snap.Writer) {
 }
 
 // restore installs the active topology and rebuilds the allocator's
-// bookkeeping from a snapshot.
+// bookkeeping from a snapshot. The dense-rank tables are derived state, so
+// they are rebuilt from the restored freeIndex lists rather than carried
+// in the stream — this is what keeps resume-equivalence byte-identical
+// even for a snapshot taken mid-heal.
 func (a *Allocator) restore(r *snap.Reader, topo *spec.Topology) error {
 	epoch := r.U32()
+	heals := r.U64()
 	ncomps := r.Len()
 	if err := r.Err(); err != nil {
 		return err
@@ -213,6 +224,7 @@ func (a *Allocator) restore(r *snap.Reader, topo *spec.Topology) error {
 		return err
 	}
 	a.epoch = epoch
+	a.healsTotal = heals
 	for c := 0; c < ncomps; c++ {
 		a.nextIndex[c] = int32(r.Varint())
 		a.sizes[c] = int32(r.Varint())
@@ -225,6 +237,7 @@ func (a *Allocator) restore(r *snap.Reader, topo *spec.Topology) error {
 			free[i] = int32(r.Varint())
 		}
 		a.freeIndex[c] = free
+		a.refreshRanksComp(c)
 	}
 	return r.Err()
 }

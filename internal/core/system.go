@@ -56,6 +56,12 @@ type Config struct {
 	// PureGreedy removes the random candidate feed from the overlays
 	// (ablation): pure T-Man-style greedy gossip.
 	PureGreedy bool
+	// DisableHealing turns off the self-healing layer: gradient rankers
+	// fall back to comparing sparse Profile.Index values and the allocator
+	// never re-densifies on vacancy buildup, so an unreplaced death pins
+	// index-structured shapes below accuracy 1.0 until a Reconfigure (the
+	// legacy behavior, kept as an escape hatch and for regression pins).
+	DisableHealing bool
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +118,7 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	alloc.SetHealing(!cfg.DisableHealing)
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = int(cfg.Topology.Option("nodes", 0))
 	}
@@ -230,12 +237,14 @@ func (s *System) Reconfigure(topo *spec.Topology) error {
 }
 
 // AddNodes grows the population by n joining nodes (key, role, protocol
-// bootstrap), returning their slots.
+// bootstrap), returning their slots. Runs at the serial round barrier, so
+// the dense-rank flush below never races the parallel round phases.
 func (s *System) AddNodes(n int) []int {
 	slots := s.eng.AddNodes(n)
 	for _, slot := range slots {
 		s.initJoin(slot)
 	}
+	s.alloc.FlushRanks()
 	return slots
 }
 
@@ -247,12 +256,17 @@ func (s *System) initJoin(slot int) {
 }
 
 // Kill fails ceil(f × alive) random nodes, keeping the allocator's size
-// estimates in sync. Returns the failed slots.
+// estimates in sync. Returns the failed slots. Like every membership
+// mutation it runs at the serial round barrier: the dense-rank tables are
+// flushed and vacancy buildup may trigger a self-healing re-densify here,
+// never inside the parallel round phases.
 func (s *System) Kill(f float64) []int {
 	killed := s.eng.KillFraction(f)
 	for _, slot := range killed {
 		s.alloc.NoteLeave(s.eng.Node(slot))
 	}
+	s.alloc.FlushRanks()
+	s.alloc.MaybeHeal(s.eng)
 	return killed
 }
 
@@ -272,6 +286,8 @@ func (s *System) KillComponent(name string) int {
 			killed++
 		}
 	}
+	s.alloc.FlushRanks()
+	s.alloc.MaybeHeal(s.eng)
 	return killed
 }
 

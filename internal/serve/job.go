@@ -56,6 +56,10 @@ type Job struct {
 	cancel   context.CancelFunc
 	runDone  chan struct{}
 	changed  chan struct{} // closed and replaced on every state transition
+	// pendingHeals queues the rounds of self-healing repairs until the
+	// next round that reports full convergence, which resolves each into a
+	// heal-latency sample for /metrics.
+	pendingHeals []int
 }
 
 // setStateLocked transitions the state and wakes waiters.
@@ -82,7 +86,7 @@ func (j *Job) buildLocked(restore bool) error {
 	sink := sosf.JSONLSink(j.spool)
 	sys.Subscribe(func(ev sosf.RoundEvent) {
 		sink(ev)
-		j.srv.noteRound(sys, names, ev)
+		j.srv.noteRound(j, sys, names, ev)
 	})
 	budget := sys.RoundBudget()
 	if h := sys.ScenarioHorizon(); h > budget {
@@ -163,6 +167,27 @@ func (j *Job) runLoop(ctx context.Context, sys *sosf.System, budget int, done ch
 		j.mu.Lock()
 		j.round = sys.Round()
 		j.mu.Unlock()
+	}
+}
+
+// noteHeals tracks heal-to-reconvergence latency: the round of every
+// self-healing repair queues up until the system next reports full
+// convergence, at which point each waiting heal contributes
+// (converged round − heal round) to the /metrics latency summary. Called
+// from the event sink on the runner goroutine, which never holds j.mu
+// while stepping.
+func (j *Job) noteHeals(ev sosf.RoundEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i := 0; i < ev.Heals; i++ {
+		j.pendingHeals = append(j.pendingHeals, ev.Round)
+	}
+	if ev.Converged && len(j.pendingHeals) > 0 {
+		for _, hr := range j.pendingHeals {
+			j.srv.stats.Add(metricHealLatSum, float64(ev.Round-hr))
+			j.srv.stats.Add(metricHealLatCnt, 1)
+		}
+		j.pendingHeals = j.pendingHeals[:0]
 	}
 }
 

@@ -404,6 +404,21 @@ func TestMetricsEndpoint(t *testing.T) {
 	if got := series[metricRoundsPerSec]; got <= 0 {
 		t.Errorf("%s = %g, want > 0", metricRoundsPerSec, got)
 	}
+	// The playdemo blast at round 30 is big enough to trip the runtime's
+	// self-healing re-densification, and the run converges afterwards, so
+	// both the heal counter and the heal-to-reconvergence latency summary
+	// must carry samples.
+	if got := series[metricHeals]; got < 1 {
+		t.Errorf("%s = %g, want >= 1 (the playdemo blast heals)", metricHeals, got)
+	}
+	if got := series[metricHealLatCnt]; got < 1 {
+		t.Errorf("%s = %g, want >= 1", metricHealLatCnt, got)
+	}
+	if cnt := series[metricHealLatCnt]; cnt > 0 {
+		if sum := series[metricHealLatSum]; sum < 0 || sum/cnt > 150 {
+			t.Errorf("%s/%s = %g/%g, want a sane mean latency in rounds", metricHealLatSum, metricHealLatCnt, sum, cnt)
+		}
+	}
 	// Families with no series yet must still be present (scrape-stable).
 	if _, ok := series[metricEvictions]; !ok {
 		t.Errorf("untouched counter %s missing from scrape", metricEvictions)

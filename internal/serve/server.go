@@ -28,6 +28,9 @@ const (
 	metricRestores      = "sosf_serve_restores_total"
 	metricRestoreSecSum = "sosf_serve_restore_seconds_sum"
 	metricRestoreSecCnt = "sosf_serve_restore_seconds_count"
+	metricHeals         = "sosf_serve_heals_total"
+	metricHealLatSum    = "sosf_serve_heal_latency_rounds_sum"
+	metricHealLatCnt    = "sosf_serve_heal_latency_rounds_count"
 	metricUptime        = "sosf_serve_uptime_seconds"
 )
 
@@ -102,6 +105,9 @@ func NewServer(cfg Config) (*Server, error) {
 	s.stats.Counter(metricRestores, "Evicted jobs restored from their checkpoint.")
 	s.stats.Counter(metricRestoreSecSum, "Cumulative seconds spent restoring evicted jobs.")
 	s.stats.Counter(metricRestoreSecCnt, "Number of restore timings in the sum.")
+	s.stats.Counter(metricHeals, "Self-healing re-densify repairs across all jobs.")
+	s.stats.Counter(metricHealLatSum, "Cumulative rounds from each heal to the next full convergence.")
+	s.stats.Counter(metricHealLatCnt, "Number of heal latencies in the sum.")
 	s.stats.Gauge(metricUptime, "Seconds since the server started.")
 	return s, nil
 }
@@ -113,14 +119,20 @@ func (s *Server) Stats() *Registry { return s.stats }
 func (s *Server) tickLRU() int64 { return s.lruClock.Add(1) }
 
 // noteRound feeds the stats registry from a job's event sink: one round
-// executed, plus this round's per-protocol bandwidth from the engine meter.
-func (s *Server) noteRound(sys *sosf.System, names []string, ev sosf.RoundEvent) {
+// executed, this round's per-protocol bandwidth from the engine meter, and
+// any self-healing repairs (with their heal-to-reconvergence latency
+// tracked per job).
+func (s *Server) noteRound(j *Job, sys *sosf.System, names []string, ev sosf.RoundEvent) {
 	s.stats.Add(metricRounds, 1)
 	for p, b := range sys.ProtocolBandwidth(ev.Round - 1) {
 		if b != 0 {
 			s.stats.Add(metricProtocolBytes, float64(b), "protocol", names[p])
 		}
 	}
+	if ev.Heals > 0 {
+		s.stats.Add(metricHeals, float64(ev.Heals))
+	}
+	j.noteHeals(ev)
 }
 
 // noteRestore records a timed eviction restore.

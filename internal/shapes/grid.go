@@ -139,8 +139,19 @@ func (t Torus) Rank(o, c view.Profile) float64 {
 	return float64(dx + dy)
 }
 
-// Capacity implements Shape.
-func (Torus) Capacity(view.Profile) int { return 4 + slack }
+// Capacity implements Shape. An exact torus keeps the 4-neighborhood plus
+// slack. A ragged torus (size not a multiple of the width) degenerates to
+// a full view like Clique: the clamped wrap edges of the short row rank
+// arbitrarily far from their endpoints under the cyclic metric, so rank
+// competition at small capacity would permanently evict them and the
+// target could never be realized. Sizes fluctuate under churn, so the
+// degenerate capacity is usually transient.
+func (t Torus) Capacity(p view.Profile) int {
+	if w := int(t.Width); w >= 1 && p.Size > 0 && int(p.Size)%w != 0 {
+		return int(p.Size) - 1 + slack
+	}
+	return 4 + slack
+}
 
 // Hypercube arranges members on a binary hypercube: member i links to every
 // index obtained by flipping one bit of i (when that index is a member).

@@ -37,6 +37,8 @@ type config struct {
 	workers     int
 	lossRate    float64
 	churnRate   float64
+	healing     bool
+	healingSet  bool
 	scenario    Scenario
 	events      []func(RoundEvent)
 	restorePath string
@@ -151,6 +153,18 @@ func WithChurn(rate float64) Option {
 		}
 		c.churnRate = rate
 	})
+}
+
+// WithHealing turns the self-healing layer on or off. On (the default),
+// gradient rankers compare dense alive-ranks and the allocator re-densifies
+// a component's index space when deaths leave too many holes, so bare
+// kill/churn timelines reconverge to accuracy 1.0 without a reconfiguration.
+// WithHealing(false) preserves the legacy behavior — an unreplaced death
+// pins index-structured shapes below 1.0 until a `reconfigure` — which is
+// what the regression pins and `sos fuzz -no-heal` use. An explicit
+// WithHealing always wins over the source's `option heal`.
+func WithHealing(on bool) Option {
+	return optionFunc(func(c *config) { c.healing, c.healingSet = on, true })
 }
 
 // WithScenario schedules a declarative fault/reconfiguration timeline (see

@@ -98,6 +98,9 @@ func (s *System) Restore(r io.Reader) error {
 	if err := s.sys.Restore(r); err != nil {
 		return err
 	}
+	// Heals performed before the checkpoint were already reported by the
+	// original run's event stream; only post-resume deltas are emitted.
+	s.healsSeen = s.sys.Allocator().HealsTotal()
 	sr := snap.NewReader(r)
 	if tag := sr.String(); sr.Err() == nil && tag != "sosf-trailer" {
 		return fmt.Errorf("sosf: snapshot trailer is %q, want \"sosf-trailer\"", tag)

@@ -111,6 +111,10 @@ type System struct {
 	fileRounds int // the source's `option rounds` (0 when absent)
 	events     []func(RoundEvent)
 	snapErr    error // first periodic-snapshot write failure, surfaced by Step
+	// healsSeen is the allocator heal count already reported through the
+	// event stream; emit publishes the per-round delta and Restore re-syncs
+	// it so a resumed run reports the same heals as the uninterrupted one.
+	healsSeen uint64
 }
 
 // New compiles the DSL source and boots the full runtime stack over a
@@ -136,6 +140,12 @@ func New(src string, opts ...Option) (*System, error) {
 		// the caller nor the file says anything.
 		cfg.seed = topo.Option("seed", cfg.seed)
 	}
+	if !cfg.healingSet {
+		// Same precedence for the self-healing layer: a committed
+		// reproducer can pin `option heal 0` to replay the legacy
+		// no-healing behavior with no flags. Healing defaults to on.
+		cfg.healing = topo.Option("heal", 1) != 0
+	}
 	if len(cfg.scenario) > 0 {
 		// A programmatic scenario composes with (runs alongside) any
 		// timeline embedded in the DSL source.
@@ -149,11 +159,12 @@ func New(src string, opts ...Option) (*System, error) {
 		}
 	}
 	sys, err := core.NewSystem(core.Config{
-		Topology: topo,
-		Nodes:    cfg.nodes,
-		Seed:     cfg.seed,
-		Workers:  cfg.workers,
-		LossRate: cfg.lossRate,
+		Topology:       topo,
+		Nodes:          cfg.nodes,
+		Seed:           cfg.seed,
+		Workers:        cfg.workers,
+		LossRate:       cfg.lossRate,
+		DisableHealing: !cfg.healing,
 	})
 	if err != nil {
 		return nil, err
@@ -351,6 +362,14 @@ func (s *System) Managers() map[string]int64 {
 		}
 	}
 	return out
+}
+
+// StuckComponents names the components whose elementary shape is not fully
+// realized right now (empty when Elementary Topology is at 1.0), in
+// topology order — the per-component refinement of Accuracy's "Elementary
+// Topology" entry, for diagnosing which component failed to (re)assemble.
+func (s *System) StuckComponents() []string {
+	return s.sys.Oracle().StuckComponents()
 }
 
 // Accuracy returns the current accuracy of every sub-procedure, keyed by

@@ -9,9 +9,17 @@
 # either the change is intentional (commit the regenerated corpus with it)
 # or determinism broke (fix that instead).
 #
-# `sos fuzz` exits non-zero when it finds violations — which is exactly
-# what these seeded campaigns are for — so each invocation is expected to
-# "fail".
+# The corpus has been regenerated exactly once, when the runtime gained
+# self-healing index re-densification: round events grew a "heals" field
+# and the bare-fault recovery trajectories changed, so every committed
+# .out stream shifted in that one sweep. The reconverge entry also moved
+# from `-no-repair` alone to `-no-repair -no-heal` — with healing on,
+# bare-fault timelines reconverge and that campaign is clean (the third
+# invocation below pins exactly that).
+#
+# `sos fuzz` exits non-zero when it finds violations — which is what the
+# first two seeded campaigns are for — so those invocations are expected
+# to "fail".
 set -u
 cd "$(dirname "$0")/../.."
 dir=testdata/corpus
@@ -23,14 +31,21 @@ go run ./cmd/sos fuzz -seed 3 -runs 3 -pop-floor 0.95 -corpus "$dir" && {
     exit 1
 }
 
-# The known index-hole gap: without the generator's repair events, a
-# single unreplaced death pins Elementary Topology below 1.0 on
-# index-structured shapes (see internal/campaign and ROADMAP.md). The
-# corpus pins today's stuck-state behavior; when the runtime learns to
-# re-densify indices without a reconfiguration, these entries (and the
-# NoRepair knob's test) are the first things that should change.
-go run ./cmd/sos fuzz -seed 1 -runs 6 -no-repair -corpus "$dir" && {
-    echo "generate-corpus: expected the no-repair campaign to find violations" >&2
+# The legacy index-hole gap, preserved behind the -no-heal escape hatch:
+# with self-healing disabled and no repair events generated, a single
+# unreplaced death pins Elementary Topology below 1.0 on index-structured
+# shapes (see internal/campaign and README.md). The reproducer carries
+# `option heal 0`, so replays reproduce the stuck state without flags.
+go run ./cmd/sos fuzz -seed 1 -runs 6 -no-repair -no-heal -corpus "$dir" && {
+    echo "generate-corpus: expected the no-heal campaign to find violations" >&2
+    exit 1
+}
+
+# The self-healing contract: the same campaign with healing on (the
+# default) must be clean — bare kill/churn timelines reconverge with no
+# reconfiguration. A violation here means the repair layer regressed.
+go run ./cmd/sos fuzz -seed 1 -runs 6 -no-repair || {
+    echo "generate-corpus: the no-repair campaign must be clean with healing on" >&2
     exit 1
 }
 
