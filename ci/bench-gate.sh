@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Benchmark-regression gate: three steady-state full-stack rounds per
+# anchored population (-benchmem so the allocs/op column feeds the gate),
+# compared against the committed perf-trajectory record — any allocation
+# per round, or more than 25% ns/op regression, fails. Then the
+# worker-scaling gate: the 10k-node round at workers=1 vs workers=4 must
+# reach a 1.5x speedup on a multi-core runner, so the sharded Deliver path
+# cannot silently serialize (benchguard skips the ratio, with a note, on a
+# single-CPU runner). Leaves /tmp/bench.txt behind for bench-record.sh.
+set -euo pipefail
+
+BASELINE="${BASELINE:-BENCH_PR8.json}"
+
+go test -run '^$' -bench '^BenchmarkRound$/^n=(1k|10k)$' \
+  -benchtime 3x -benchmem . | tee /tmp/bench.txt
+go run ./cmd/benchguard -baseline "$BASELINE" \
+  -bench /tmp/bench.txt -max-regress 25
+
+go test -run '^$' -bench '^BenchmarkRoundWorkers$/^n=10k/workers=(1|4)$' \
+  -benchtime 3x -benchmem . | tee /tmp/bench-workers.txt
+go run ./cmd/benchguard -baseline "$BASELINE" \
+  -bench /tmp/bench-workers.txt -max-regress 25 -min-speedup 1.5

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Campaign smoke: the generative fault campaign over the built-in
+# seed × topology × population matrix — randomized churn/partition/loss/
+# join/kill timelines, checked for reconvergence, orphan tail, bandwidth,
+# and resume equivalence. `sos fuzz` exits non-zero on any finding, so
+# this run IS the zero-violation gate. The committed reproducer corpus
+# replays under `go test ./...` (corpus_test.go).
+set -euo pipefail
+
+go run ./cmd/sos fuzz -seed 1 -runs 6

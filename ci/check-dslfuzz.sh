@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Native Go fuzzing of the DSL front end: 30 seconds of mutation on the
+# committed seed corpus. Crashes land in internal/dsl/testdata/fuzz and
+# should be committed as regression inputs.
+set -euo pipefail
+
+go test -run '^$' -fuzz FuzzParse -fuzztime "${FUZZTIME:-30s}" ./internal/dsl/

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Every example is a runnable demo of the public API; a smoke run catches
+# API drift that unit tests miss.
+set -euo pipefail
+
+for d in examples/*/; do
+  echo "== $d"
+  go run "./$d" > /dev/null
+done

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Fails when any file needs gofmt, listing the offenders.
+set -euo pipefail
+
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+  echo "gofmt needed on:" >&2
+  echo "$out" >&2
+  exit 1
+fi

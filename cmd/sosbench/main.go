@@ -43,9 +43,11 @@
 //	-memprofile FILE  write a pprof heap profile at exit
 //	-benchjson FILE   write machine-readable metrics (wall clock, heap
 //	                  bytes and allocation counts per figure driver,
-//	                  steady-state engine-round cost at 1k/10k nodes, and
-//	                  a worker-scaling section: ns/round at 1/2/4/8
-//	                  intra-round workers) — the BENCH_*.json
+//	                  steady-state engine-round cost at 1k/10k nodes, a
+//	                  worker-scaling section: ns/round at 1/2/4/8
+//	                  intra-round workers, and a dist-scaling section:
+//	                  ns/round with the same run sharded across 1 and 2
+//	                  coordinator-driven processes) — the BENCH_*.json
 //	                  perf-trajectory records committed alongside
 //	                  performance PRs are generated this way
 //
@@ -67,6 +69,7 @@ import (
 	"time"
 
 	"sosf/internal/core"
+	"sosf/internal/dist"
 	"sosf/internal/eval"
 	"sosf/internal/plot"
 )
@@ -364,10 +367,23 @@ type roundMetric struct {
 	AllocsPerRound float64 `json:"allocs_per_round"`
 }
 
+// distMetric is one dist_scaling entry: the steady-state round cost of the
+// same simulation sharded across N coordinator-driven worker replicas over
+// in-process pipes — the `sos dist` execution path. Recorded alongside
+// worker_scaling so the perf trajectory pins both parallelism axes: threads
+// within one process and shards across processes.
+type distMetric struct {
+	Shards     int     `json:"shards"`
+	Nodes      int     `json:"nodes"`
+	Rounds     int     `json:"rounds_measured"`
+	NSPerRound float64 `json:"ns_per_round"`
+}
+
 // benchRecord is the BENCH_*.json schema (sosf-bench/2): environment,
-// per-driver costs, steady-state engine-round costs, and the worker-scaling
+// per-driver costs, steady-state engine-round costs, the worker-scaling
 // section (ns/round at 1/2/4/8 intra-round workers — the v2 addition,
-// together with the per-round worker count on every round metric).
+// together with the per-round worker count on every round metric), and the
+// dist-scaling section (ns/round at 1 and 2 process shards).
 type benchRecord struct {
 	Schema        string         `json:"schema"`
 	Go            string         `json:"go"`
@@ -381,6 +397,7 @@ type benchRecord struct {
 	Full          bool           `json:"full"`
 	EngineRounds  []roundMetric  `json:"engine_rounds,omitempty"`
 	WorkerScaling []roundMetric  `json:"worker_scaling,omitempty"`
+	DistScaling   []distMetric   `json:"dist_scaling,omitempty"`
 	Drivers       []driverMetric `json:"drivers,omitempty"`
 	Serve         *serveMetric   `json:"serve,omitempty"`
 	TotalWallMS   float64        `json:"total_wall_ms"`
@@ -425,6 +442,44 @@ func measureRound(nodes, rounds, warm, workers int) (roundMetric, error) {
 		BytesPerRound:  float64(after.TotalAlloc-before.TotalAlloc) / r,
 		AllocsPerRound: float64(after.Mallocs-before.Mallocs) / r,
 	}, nil
+}
+
+// measureDist runs the BenchmarkRound configuration through the `sos dist`
+// path (coordinator plus N in-process pipe workers) and reports ns/round.
+// RunLocal has no warm/measure split — every run goes handshake-to-report —
+// so the steady-state cost is isolated by subtraction: a short run prices
+// the fixed handshake, build, and warmup cost, a long run adds the measured
+// rounds, and the difference divided by the extra rounds is the per-round
+// cost with both fixed costs cancelled.
+func measureDist(nodes, shards int) (distMetric, error) {
+	const warm, measured = 5, 50
+	run := func(rounds int) (time.Duration, error) {
+		t0 := time.Now()
+		_, err := dist.RunLocal(dist.Config{
+			Source: eval.RingOfRingsDSL(20),
+			Shards: shards,
+			Nodes:  nodes,
+			Rounds: rounds, RoundsSet: true,
+			Threads: 1,
+		})
+		return time.Since(t0), err
+	}
+	short, err := run(warm)
+	if err != nil {
+		return distMetric{}, err
+	}
+	long, err := run(warm + measured)
+	if err != nil {
+		return distMetric{}, err
+	}
+	ns := float64((long - short).Nanoseconds()) / measured
+	if ns < 1 {
+		// Subtraction timing can go nonpositive under scheduler noise on a
+		// loaded runner; clamp so the record stays schema-valid — a 1 ns
+		// round is transparently "too fast to measure", not a real number.
+		ns = 1
+	}
+	return distMetric{Shards: shards, Nodes: nodes, Rounds: measured, NSPerRound: ns}, nil
 }
 
 // benchSchema is the schema identifier every BENCH_*.json record carries.
@@ -485,6 +540,17 @@ func validateBenchRecord(rec *benchRecord) error {
 	for _, m := range rec.WorkerScaling {
 		if err := validRound("worker_scaling", m); err != nil {
 			return err
+		}
+	}
+	if len(rec.DistScaling) == 0 {
+		return fmt.Errorf("dist_scaling must not be empty")
+	}
+	for _, m := range rec.DistScaling {
+		if m.Shards < 1 || m.Nodes < 1 || m.Rounds < 1 {
+			return fmt.Errorf("dist_scaling: shards/nodes/rounds must be >= 1, got %d/%d/%d", m.Shards, m.Nodes, m.Rounds)
+		}
+		if m.NSPerRound <= 0 {
+			return fmt.Errorf("dist_scaling (shards=%d): ns_per_round must be > 0, got %g", m.Shards, m.NSPerRound)
 		}
 	}
 	if rec.CPUs > 1 {
@@ -588,6 +654,18 @@ func writeBenchJSON(path string, o eval.Options, workers int, metrics []driverMe
 				rec.EngineRounds = append(rec.EngineRounds, sm)
 			}
 		}
+	}
+	// Dist-scaling section: the same simulation coordinated across process
+	// shards (in-process pipes, so one command regenerates the record). The
+	// shards=1 entry prices the coordination protocol itself against the
+	// serial engine_rounds numbers; shards=2 shows what sharding the Plan
+	// phase buys on this runner.
+	for _, shards := range []int{1, 2} {
+		dm, err := measureDist(1000, shards)
+		if err != nil {
+			return err
+		}
+		rec.DistScaling = append(rec.DistScaling, dm)
 	}
 	return writeValidatedBenchJSON(path, &rec)
 }

@@ -112,6 +112,22 @@ func TestMillionNodeRound(t *testing.T) {
 	t.Logf("1M-node round: %.1f ms (workers=%d)", m.NSPerRound/1e6, m.Workers)
 }
 
+// TestMeasureDist smokes the dist_scaling measurement end to end: the
+// subtraction timing must produce a positive per-round cost through the
+// real coordinator/worker path.
+func TestMeasureDist(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dist measurement smoke skipped in -short mode")
+	}
+	m, err := measureDist(200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards != 2 || m.Nodes != 200 || m.NSPerRound <= 0 {
+		t.Fatalf("metric = %+v, want a positive 2-shard round cost", m)
+	}
+}
+
 // validRecord builds a minimal record that passes the sosf-bench/2 schema
 // check; the failure cases below each break exactly one field.
 func validRecord() benchRecord {
@@ -126,6 +142,10 @@ func validRecord() benchRecord {
 		WorkerScaling: []roundMetric{
 			round,
 			{Nodes: 1000, Workers: 4, Rounds: 50, NSPerRound: 5e5},
+		},
+		DistScaling: []distMetric{
+			{Shards: 1, Nodes: 1000, Rounds: 50, NSPerRound: 1.1e6},
+			{Shards: 2, Nodes: 1000, Rounds: 50, NSPerRound: 9e5},
 		},
 		Drivers:     []driverMetric{{Name: "fig2", WallMS: 12.5}},
 		TotalWallMS: 100,
@@ -191,6 +211,9 @@ func TestValidateBenchRecordRejectsMalformed(t *testing.T) {
 		{"no engine rounds", func(r *benchRecord) { r.EngineRounds = nil }},
 		{"zero-node round", func(r *benchRecord) { r.EngineRounds[0].Nodes = 0 }},
 		{"negative ns", func(r *benchRecord) { r.WorkerScaling[1].NSPerRound = -1 }},
+		{"no dist scaling", func(r *benchRecord) { r.DistScaling = nil }},
+		{"zero-shard dist entry", func(r *benchRecord) { r.DistScaling[0].Shards = 0 }},
+		{"zero-ns dist entry", func(r *benchRecord) { r.DistScaling[1].NSPerRound = 0 }},
 		{"no drivers", func(r *benchRecord) { r.Drivers = nil }},
 		{"unnamed driver", func(r *benchRecord) { r.Drivers[0].Name = "" }},
 		{"zero driver wall", func(r *benchRecord) { r.Drivers[0].WallMS = 0 }},

@@ -28,6 +28,7 @@ var healShapes = []struct {
 	{"tree", "tree { param arity 2 weight 2 port p }"},
 	{"grid", "grid { param width 8 weight 2 port p }"},
 	{"torus", "torus { param width 8 weight 2 port p }"},
+	{"torus-ragged", "torus { param width 5 weight 2 port p }"},
 	{"star-hub", "star { param hubs 2 weight 2 port p }"},
 }
 
@@ -103,9 +104,10 @@ func TestBareKillReconverges(t *testing.T) {
 // doing, not slack in the budget: with healing disabled the same timelines
 // never reconverge and never heal. The gap is pinned on the shapes where
 // index holes reliably break the gradient: tree and grid at every seed,
-// star-hub when the blast reaches the low indices. (Torus is deliberately
-// absent — its ragged-size full-view capacity realizes target edges
-// regardless of index holes, so the sparse-index gap cannot manifest.)
+// star-hub when the blast reaches the low indices. (The torus shapes are
+// deliberately absent — the cyclic metric keeps every surviving cell's wrap
+// edges rank-1 at any size, so the sparse-index gap does not reliably
+// manifest there.)
 func TestNoHealStaysStuck(t *testing.T) {
 	cases := []struct {
 		shape string

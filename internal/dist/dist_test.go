@@ -1,0 +1,220 @@
+package dist
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sosf"
+)
+
+// testSource is a small two-component system with a fault/loss/reconfigure
+// timeline — every runtime layer and every sharded protocol gets exercised,
+// and the scenario keeps the population moving so shard bounds rebalance.
+const testSource = `
+topology distpair {
+    nodes 96
+
+    component left ring {
+        weight 1
+        port head
+        port tail
+    }
+    component right ring {
+        weight 1
+        port head
+        port tail
+    }
+
+    link left.head right.tail
+    link right.head left.tail
+
+    scenario {
+        during 8 12 loss 0.2
+        at 15 kill 0.3
+        at 25 reconfigure {
+            component left ring {
+                weight 2
+                port head
+                port tail
+            }
+            component right ring {
+                weight 1
+                port head
+                port tail
+            }
+            link left.head right.tail
+            link right.head left.tail
+        }
+    }
+}
+`
+
+// serialReference steps the coordinator's replica without any exchange —
+// the plain engine path every shard count must reproduce byte for byte.
+func serialReference(t *testing.T, cfg Config) (stream, snapshot []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg.Shards = 1
+	cfg.Events = []func(sosf.RoundEvent){sosf.JSONLSink(&buf)}
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	sys := c.System()
+	if _, err := sys.Step(c.TotalRounds() - sys.Round()); err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	return buf.Bytes(), snapshotOf(t, sys)
+}
+
+// distRun runs the config through RunLocal and captures the same outputs.
+func distRun(t *testing.T, cfg Config, shards int) (stream, snapshot []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg.Shards = shards
+	cfg.Events = []func(sosf.RoundEvent){sosf.JSONLSink(&buf)}
+	sys, err := RunLocal(cfg)
+	if err != nil {
+		t.Fatalf("RunLocal(shards=%d): %v", shards, err)
+	}
+	return buf.Bytes(), snapshotOf(t, sys)
+}
+
+func snapshotOf(t *testing.T, sys *sosf.System) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sys.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestShardEquivalence is the tentpole contract: the event stream and the
+// final snapshot are byte-identical to the serial run at shards 1, 2, and
+// 4, with churn keeping the slot space growing under the partition.
+func TestShardEquivalence(t *testing.T) {
+	cfg := Config{
+		Source: testSource,
+		Seed:   7, SeedSet: true,
+		Churn:  0.01,
+		Rounds: 40, RoundsSet: true,
+		Threads: 1,
+	}
+	wantStream, wantSnap := serialReference(t, cfg)
+	if len(wantStream) == 0 {
+		t.Fatal("serial reference produced no events")
+	}
+	for _, shards := range []int{1, 2, 4} {
+		stream, snap := distRun(t, cfg, shards)
+		if !bytes.Equal(stream, wantStream) {
+			t.Errorf("shards=%d: event stream diverges from serial run\nserial:\n%s\ndist:\n%s",
+				shards, wantStream, stream)
+		}
+		if !bytes.Equal(snap, wantSnap) {
+			t.Errorf("shards=%d: final snapshot diverges from serial run (%d vs %d bytes)",
+				shards, len(snap), len(wantSnap))
+		}
+	}
+}
+
+// TestShardEquivalenceMoreShardsThanUseful pins the degenerate partitions:
+// more shards than minimum shard size would suggest, including shards that
+// own very few (or transiently zero) slots.
+func TestShardEquivalenceManyShards(t *testing.T) {
+	cfg := Config{
+		Source: testSource,
+		Seed:   3, SeedSet: true,
+		Rounds: 12, RoundsSet: true,
+		Threads: 1,
+	}
+	wantStream, wantSnap := serialReference(t, cfg)
+	stream, snap := distRun(t, cfg, 7)
+	if !bytes.Equal(stream, wantStream) {
+		t.Error("shards=7: event stream diverges from serial run")
+	}
+	if !bytes.Equal(snap, wantSnap) {
+		t.Error("shards=7: final snapshot diverges from serial run")
+	}
+}
+
+// TestDistResumeEquivalence cuts one distributed run in two at a
+// coordinator checkpoint: snapshot at round 20 from a 2-shard run, resume
+// to round 40 at 4 shards, and require the concatenated streams to equal
+// the uninterrupted serial run — resume is byte-invisible across both the
+// cut and a shard-count change.
+func TestDistResumeEquivalence(t *testing.T) {
+	base := Config{
+		Source: testSource,
+		Seed:   7, SeedSet: true,
+		Churn:   0.01,
+		Threads: 1,
+	}
+	full := base
+	full.Rounds, full.RoundsSet = 40, true
+	wantStream, wantSnap := serialReference(t, full)
+
+	ckpt := filepath.Join(t.TempDir(), "dist.sosnap")
+	first := base
+	first.Rounds, first.RoundsSet = 20, true
+	first.SnapPath = ckpt
+	firstStream, _ := distRun(t, first, 2)
+
+	second := base
+	second.Rounds, second.RoundsSet = 40, true
+	second.ResumePath = ckpt
+	secondStream, secondSnap := distRun(t, second, 4)
+
+	combined := append(append([]byte(nil), firstStream...), secondStream...)
+	if !bytes.Equal(combined, wantStream) {
+		t.Errorf("snapshot/resume lap diverges from uninterrupted run\nwant:\n%s\ngot:\n%s",
+			wantStream, combined)
+	}
+	if !bytes.Equal(secondSnap, wantSnap) {
+		t.Error("final snapshot after resume diverges from uninterrupted run")
+	}
+}
+
+// TestPlaydemoGolden replays the committed golden fixture through a
+// 2-shard run — the in-process twin of the CI dist-equivalence gate.
+func TestPlaydemoGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden replay is the long way around; CI runs the full gate")
+	}
+	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", "playdemo.sos"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("..", "..", "testdata", "golden", "playdemo.events.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, _ := distRun(t, Config{Source: string(src), Threads: 1}, 2)
+	if !bytes.Equal(stream, want) {
+		t.Error("2-shard playdemo stream diverges from testdata/golden/playdemo.events.jsonl")
+	}
+}
+
+// TestShardRange pins the partition arithmetic: contiguous, covering, and
+// balanced within one slot.
+func TestShardRange(t *testing.T) {
+	for _, size := range []int{0, 1, 5, 96, 97, 1000} {
+		for _, n := range []int{1, 2, 3, 4, 7} {
+			prev := 0
+			for k := 0; k < n; k++ {
+				lo, hi := shardRange(size, k, n)
+				if lo != prev {
+					t.Fatalf("size=%d n=%d: shard %d starts at %d, want %d", size, n, k, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("size=%d n=%d: shard %d is [%d,%d)", size, n, k, lo, hi)
+				}
+				prev = hi
+			}
+			if prev != size {
+				t.Fatalf("size=%d n=%d: shards cover [0,%d), want [0,%d)", size, n, prev, size)
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Package dist runs one simulation sharded across processes: a coordinator
+// and N workers each hold a full replica of the system and split only the
+// Plan phase of the exchange-routing protocols, trading planned records at
+// each protocol's Deliver barrier. The event stream and every snapshot are
+// byte-identical to a serial run at any shard count — sharding, like thread
+// workers, only changes the wall clock.
+//
+// # Topology
+//
+// Every process builds the identical system from the same DSL source, seed,
+// and behavior configuration (the handshake ships all three, so workers
+// cannot drift). Worker k owns the contiguous slot shard
+//
+//	[k·size/N, (k+1)·size/N)
+//
+// recomputed from the replicated population size at every round, so the
+// partition rebalances itself under churn and joins with no messages. The
+// coordinator owns the empty shard: it plans nothing, relays everything,
+// and is the only process with event subscribers — which is why it is also
+// the only process that needs the stream.
+//
+// # Barrier protocol
+//
+// A round crosses one barrier per sharded protocol, in the fixed protocol
+// order every replica computes from the stack (Engine.ShardedProtocols).
+// Per barrier, per connection, the frame sequence is strict:
+//
+//	worker                          coordinator
+//	------                          -----------
+//	Plan own shard                  Plan nothing
+//	fkPlans{round,pi,shard,...} --->
+//	                                collect fkPlans from workers 0..N-1
+//	                                (a read error or fkFault here names
+//	                                 the dead worker and aborts the run)
+//	          <--- fkAggregate{round,pi, all N shards}
+//	import N-1 remote shards        import all N shards
+//	Deliver + Absorb (replicated)   Deliver + Absorb (replicated)
+//
+// The coordinator reads the workers' fkPlans frames sequentially; every
+// alive worker sends its frame promptly after planning, so a dead peer
+// surfaces as a truncated read within one barrier — never a hang. Each
+// frame is length-prefixed and CRC-32C checksummed (internal/snap), so a
+// flipped bit fails loudly instead of desynchronizing the stream.
+//
+// The full connection lifecycle:
+//
+//	CONNECTED --fkHello--> HANDSHAKING --fkHelloAck--> RUNNING
+//	RUNNING   --fkPlans/fkAggregate cycles, one per barrier--> RUNNING
+//	RUNNING   --round loop exhausted (replicated stop decision)--> DONE
+//	any state --fkFault / read error--> FAILED (named error, run aborted)
+//
+// There is no end-of-run message: the stop decision (round budget,
+// scenario horizon) is computed by the replicated observers, so every
+// process leaves the loop at the same round on its own.
+//
+// # Determinism
+//
+// Byte-identity at any shard count falls out of the same discipline that
+// makes thread sharding invisible: every in-round draw comes from a
+// counter-based per-(node, round, protocol, phase) stream, so a slot plans
+// the same exchange no matter which process runs it; the Deliver merge
+// scans senders in ascending slot order no matter which lanes were pushed
+// locally and which were imported; and the serial RNG only advances in the
+// between-round observers, which every replica runs against identical
+// state. Plan-phase meter deltas ride the barrier frames, so bandwidth
+// accounting stays global on every replica and snapshots match bit for bit.
+//
+// Scenario timelines run replicated too, which means a scheduled
+// `snapshot` action writes its checkpoint on every process — the same
+// bytes, atomically renamed, so co-located processes overwrite each other
+// harmlessly.
+//
+// # Checkpoint and resume
+//
+// The coordinator owns checkpointing: it restores a -resume file before the
+// handshake and ships the blob to every worker inside fkHello, and it
+// writes the -snap checkpoint after the run from its own replica. A resumed
+// distributed run continues the stream byte-for-byte, at any shard count on
+// either side of the cut.
+package dist

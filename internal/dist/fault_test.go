@@ -1,0 +1,176 @@
+package dist
+
+// Fault-injection tests for the barrier protocol: every failure mode must
+// surface as a named error within one barrier — never a hang. Each test
+// runs its protocol exchange under faultTimeout so a regression fails the
+// test instead of wedging the suite.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"sosf/internal/snap"
+)
+
+const faultTimeout = 60 * time.Second
+
+// within fails the test unless fn returns before faultTimeout — the
+// "never a hang" half of every fault contract.
+func within(t *testing.T, what string, fn func() error) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- fn() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(faultTimeout):
+		t.Fatalf("%s: still blocked after %v (protocol hang)", what, faultTimeout)
+		return nil
+	}
+}
+
+// TestWorkerRejectsVersionMismatch hand-crafts a hello from a future
+// protocol version; the worker must fail with ErrVersionMismatch and the
+// coordinator side must learn about it from the fault frame.
+func TestWorkerRejectsVersionMismatch(t *testing.T) {
+	co, wk := net.Pipe()
+	go func() {
+		var buf bytes.Buffer
+		w := snap.NewWriter(&buf)
+		w.Header("dist-hello")
+		w.U16(wireVersion + 1)
+		_ = snap.WriteFrame(co, fkHello, buf.Bytes())
+		// Drain the worker's fault report so its write can complete.
+		_, _, _ = snap.ReadFrame(co, 0)
+		co.Close()
+	}()
+	err := within(t, "worker handshake", func() error { return RunWorker(wk, 1, "") })
+	if !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("worker error = %v, want ErrVersionMismatch", err)
+	}
+}
+
+// TestWorkerRejectsTopologyMismatch launches a worker holding a local DSL
+// file that differs from the run the coordinator ships.
+func TestWorkerRejectsTopologyMismatch(t *testing.T) {
+	c, err := NewCoordinator(Config{Source: testSource, Shards: 1, Rounds: 3, RoundsSet: true, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, wk := net.Pipe()
+	workerErr := make(chan error, 1)
+	go func() {
+		workerErr <- RunWorker(wk, 1, testSource+"\n# drifted local copy\n")
+	}()
+	coordErr := within(t, "coordinator run", func() error { return c.Run([]Conn{co}) })
+	if err := <-workerErr; !errors.Is(err, ErrTopologyMismatch) {
+		t.Errorf("worker error = %v, want ErrTopologyMismatch", err)
+	}
+	if !errors.Is(coordErr, ErrPeerFault) {
+		t.Errorf("coordinator error = %v, want ErrPeerFault carrying the worker's report", coordErr)
+	}
+}
+
+// TestWorkerSurfacesTruncatedFrame cuts the connection mid-frame: header
+// promising a payload that never arrives.
+func TestWorkerSurfacesTruncatedFrame(t *testing.T) {
+	co, wk := net.Pipe()
+	go func() {
+		hdr := make([]byte, 9)
+		hdr[0] = fkHello
+		binary.LittleEndian.PutUint32(hdr[1:5], 100) // 100 payload bytes, never sent
+		co.Write(hdr)
+		co.Close()
+	}()
+	err := within(t, "worker handshake", func() error { return RunWorker(wk, 1, "") })
+	if !errors.Is(err, snap.ErrFrameTruncated) {
+		t.Fatalf("worker error = %v, want snap.ErrFrameTruncated", err)
+	}
+}
+
+// TestWorkerSurfacesChecksumMismatch flips one payload bit in an otherwise
+// valid hello frame.
+func TestWorkerSurfacesChecksumMismatch(t *testing.T) {
+	h := &hello{Source: testSource, Shards: 1, TotalRounds: 3, RunToEnd: true}
+	var frame bytes.Buffer
+	if err := snap.WriteFrame(&frame, fkHello, encodeHello(h)); err != nil {
+		t.Fatal(err)
+	}
+	raw := frame.Bytes()
+	raw[len(raw)-1] ^= 0x40 // corrupt the payload, not the header
+	co, wk := net.Pipe()
+	go func() {
+		co.Write(raw)
+		co.Close()
+	}()
+	err := within(t, "worker handshake", func() error { return RunWorker(wk, 1, "") })
+	if !errors.Is(err, snap.ErrFrameChecksum) {
+		t.Fatalf("worker error = %v, want snap.ErrFrameChecksum", err)
+	}
+}
+
+// TestCoordinatorSurvivesWorkerDeathMidRun kills one of two workers right
+// after its handshake; the coordinator must name the dead shard within the
+// first barrier, and the surviving worker must fail with the relayed fault
+// instead of hanging.
+func TestCoordinatorSurvivesWorkerDeathMidRun(t *testing.T) {
+	c, err := NewCoordinator(Config{Source: testSource, Shards: 2, Rounds: 10, RoundsSet: true, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co0, wk0 := net.Pipe()
+	co1, wk1 := net.Pipe()
+	surviving := make(chan error, 1)
+	go func() { surviving <- RunWorker(wk0, 1, "") }()
+	go func() {
+		// Shard 1 handshakes by the book, then dies before planning.
+		kind, payload, err := snap.ReadFrame(wk1, 0)
+		if err != nil || kind != fkHello {
+			wk1.Close()
+			return
+		}
+		if _, digest, err := decodeHello(payload); err == nil {
+			_ = snap.WriteFrame(wk1, fkHelloAck, encodeAck(digest, 1))
+		}
+		wk1.Close()
+	}()
+	coordErr := within(t, "coordinator run", func() error { return c.Run([]Conn{co0, co1}) })
+	if !errors.Is(coordErr, ErrWorkerDead) {
+		t.Errorf("coordinator error = %v, want ErrWorkerDead", coordErr)
+	}
+	if coordErr == nil || !bytes.Contains([]byte(coordErr.Error()), []byte("shard 1/2")) {
+		t.Errorf("coordinator error %q does not name the dead shard", coordErr)
+	}
+	err = within(t, "surviving worker", func() error { return <-surviving })
+	if err == nil {
+		t.Error("surviving worker returned nil, want the relayed fault or a closed stream")
+	}
+}
+
+// TestCoordinatorRejectsStaleAck pins the handshake's digest check: a
+// worker acking a different run must be turned away.
+func TestCoordinatorRejectsStaleAck(t *testing.T) {
+	c, err := NewCoordinator(Config{Source: testSource, Shards: 1, Rounds: 3, RoundsSet: true, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, wk := net.Pipe()
+	go func() {
+		if kind, _, err := snap.ReadFrame(wk, 0); err != nil || kind != fkHello {
+			wk.Close()
+			return
+		}
+		_ = snap.WriteFrame(wk, fkHelloAck, encodeAck(0xdeadbeef, 0))
+		// Drain the coordinator's fault report so its abort can finish.
+		_, _, _ = snap.ReadFrame(wk, 0)
+		wk.Close()
+	}()
+	coordErr := within(t, "coordinator handshake", func() error { return c.Run([]Conn{co}) })
+	if !errors.Is(coordErr, ErrTopologyMismatch) {
+		t.Fatalf("coordinator error = %v, want ErrTopologyMismatch", coordErr)
+	}
+}

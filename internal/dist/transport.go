@@ -1,0 +1,110 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"time"
+)
+
+// Conn is one coordinator↔worker byte stream. Frames (internal/snap) are
+// the only thing written to it, so any io.ReadWriteCloser works: a TCP or
+// Unix-socket connection between processes, or an in-process net.Pipe end.
+type Conn = io.ReadWriteCloser
+
+// Listener accepts worker connections on the coordinator side.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	// Addr is the bound address in Dial-able form (useful with ":0").
+	Addr() string
+}
+
+// Transport abstracts how coordinator and workers reach each other: TCP
+// across machines, Unix sockets across co-located processes, synchronous
+// pipes inside one process. All three carry the identical frame protocol.
+type Transport interface {
+	Name() string
+	Listen(addr string) (Listener, error)
+	Dial(addr string) (Conn, error)
+}
+
+// netTransport adapts the net package; network is "tcp" or "unix".
+type netTransport struct{ network string }
+
+func (t netTransport) Name() string { return t.network }
+
+func (t netTransport) Listen(addr string) (Listener, error) {
+	ln, err := net.Listen(t.network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return netListener{ln}, nil
+}
+
+func (t netTransport) Dial(addr string) (Conn, error) {
+	return net.Dial(t.network, addr)
+}
+
+type netListener struct{ ln net.Listener }
+
+func (l netListener) Accept() (Conn, error) { return l.ln.Accept() }
+func (l netListener) Close() error          { return l.ln.Close() }
+func (l netListener) Addr() string          { return l.ln.Addr().String() }
+
+// TCP connects processes across machines (or loopback in CI).
+func TCP() Transport { return netTransport{"tcp"} }
+
+// Unix connects co-located processes through a filesystem socket.
+func Unix() Transport { return netTransport{"unix"} }
+
+// ChooseTransport picks the transport a CLI address implies: a path
+// (anything containing a slash) is a Unix socket, everything else is TCP.
+func ChooseTransport(addr string) Transport {
+	if strings.Contains(addr, "/") {
+		return Unix()
+	}
+	return TCP()
+}
+
+// Pipe is the in-process transport: Listen returns a rendezvous the same
+// process Dials, each match yielding the two ends of a synchronous
+// net.Pipe. The strict write-then-read ordering of the barrier protocol
+// keeps the unbuffered pipe deadlock-free.
+func Pipe() Transport { return &pipeTransport{accept: make(chan Conn)} }
+
+type pipeTransport struct{ accept chan Conn }
+
+func (t *pipeTransport) Name() string { return "pipe" }
+
+func (t *pipeTransport) Listen(string) (Listener, error) { return pipeListener{t.accept}, nil }
+
+func (t *pipeTransport) Dial(string) (Conn, error) {
+	a, b := net.Pipe()
+	t.accept <- a
+	return b, nil
+}
+
+type pipeListener struct{ accept chan Conn }
+
+func (l pipeListener) Accept() (Conn, error) { return <-l.accept, nil }
+func (l pipeListener) Close() error          { return nil }
+func (l pipeListener) Addr() string          { return "pipe" }
+
+// DialRetry dials until the coordinator's listener is up or the timeout
+// elapses — workers launched alongside the coordinator (CI backgrounds
+// them) must not lose the race to its Listen call.
+func DialRetry(t Transport, addr string, timeout time.Duration) (Conn, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		c, err := t.Dial(addr)
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("dist: dial %s %s: %w", t.Name(), addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -1,0 +1,80 @@
+package peersampling
+
+// Distributed plan codec: ships one shard's cyclonPlan records across
+// processes so a remote replica can absorb this shard's shuffles exactly as
+// if it had planned them locally. Only the fields each kind's Absorb path
+// (active side and, via the inbox, passive side) reads are encoded.
+
+import (
+	"fmt"
+
+	"sosf/internal/sim"
+	"sosf/internal/snap"
+	"sosf/internal/view"
+)
+
+var _ sim.PlanCodec = (*Protocol)(nil)
+
+// EncodePlans implements sim.PlanCodec.
+func (p *Protocol) EncodePlans(w *snap.Writer, slots []int) {
+	w.Len(len(slots))
+	for _, slot := range slots {
+		pl := &p.plans[slot]
+		w.Int(slot)
+		w.Int(pl.kind)
+		switch pl.kind {
+		case planBoot:
+			snap.WriteDescriptor(w, pl.boot)
+		case planTimeout:
+			w.Varint(int64(pl.partner))
+		case planDelivered:
+			w.Varint(int64(pl.partner))
+			w.Int(pl.targetSlot)
+			snap.WriteDescriptors(w, pl.send)
+			snap.WriteDescriptors(w, pl.reply)
+		}
+	}
+}
+
+// DecodePlans implements sim.PlanCodec.
+func (p *Protocol) DecodePlans(e *sim.Engine, r *snap.Reader) error {
+	n := r.Len()
+	size := e.Size()
+	for i := 0; i < n; i++ {
+		slot := r.Int()
+		kind := r.Int()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if slot < 0 || slot >= size || slot >= len(p.plans) {
+			return fmt.Errorf("peersampling: plan slot %d out of range [0,%d)", slot, size)
+		}
+		pl := &p.plans[slot]
+		pl.kind = kind
+		switch kind {
+		case planNone:
+		case planBoot:
+			pl.boot = snap.ReadDescriptor(r)
+		case planTimeout:
+			pl.partner = view.NodeID(r.Varint())
+		case planDelivered:
+			pl.partner = view.NodeID(r.Varint())
+			pl.targetSlot = r.Int()
+			pl.send = snap.ReadDescriptorsInto(r, pl.send[:0])
+			pl.reply = snap.ReadDescriptorsInto(r, pl.reply[:0])
+			if err := r.Err(); err != nil {
+				return err
+			}
+			if pl.targetSlot < 0 || pl.targetSlot >= size {
+				return fmt.Errorf("peersampling: plan target %d out of range [0,%d)", pl.targetSlot, size)
+			}
+			p.inbox.Push(pl.targetSlot, slot)
+		default:
+			return fmt.Errorf("peersampling: unknown plan kind %d", kind)
+		}
+		if err := r.Err(); err != nil {
+			return err
+		}
+	}
+	return r.Err()
+}

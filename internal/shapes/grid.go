@@ -128,28 +128,44 @@ func (t Torus) Neighbors(i, n int) []int {
 }
 
 // Rank implements Shape: Manhattan distance with wraparound on both axes.
+// The horizontal wrap is measured on the shorter of the two endpoint rows,
+// with both columns clamped onto it — the same clamping Neighbors applies
+// to a ragged last row's wrap edges, so those target edges are rank-1 under
+// this metric instead of ranking arbitrarily far. On an exact torus every
+// row is full and the clamp is a no-op, so exact rankings are unchanged.
 func (t Torus) Rank(o, c view.Profile) float64 {
 	w := t.Width
 	if w < 1 {
 		w = 1
 	}
-	rows := int32(t.rows(int(o.Size)))
-	dx := cyclicDist(o.Index%w, c.Index%w, w)
-	dy := cyclicDist(o.Index/w, c.Index/w, rows)
-	return float64(dx + dy)
+	n := int(o.Size)
+	dy := cyclicDist(o.Index/w, c.Index/w, int32(t.rows(n)))
+	m := int32(t.rowLen(int(o.Index/w), n))
+	if l := int32(t.rowLen(int(c.Index/w), n)); l < m {
+		m = l
+	}
+	if m < 1 {
+		// Transient out-of-range indices (stale profiles mid-epoch) land
+		// outside every row; pin them to a 1-column wrap like cyclicDist
+		// pins out-of-range rows.
+		m = 1
+	}
+	xo, xc := o.Index%w, c.Index%w
+	if xo >= m {
+		xo = m - 1
+	}
+	if xc >= m {
+		xc = m - 1
+	}
+	return float64(cyclicDist(xo, xc, m) + dy)
 }
 
-// Capacity implements Shape. An exact torus keeps the 4-neighborhood plus
-// slack. A ragged torus (size not a multiple of the width) degenerates to
-// a full view like Clique: the clamped wrap edges of the short row rank
-// arbitrarily far from their endpoints under the cyclic metric, so rank
-// competition at small capacity would permanently evict them and the
-// target could never be realized. Sizes fluctuate under churn, so the
-// degenerate capacity is usually transient.
-func (t Torus) Capacity(p view.Profile) int {
-	if w := int(t.Width); w >= 1 && p.Size > 0 && int(p.Size)%w != 0 {
-		return int(p.Size) - 1 + slack
-	}
+// Capacity implements Shape: the 4-neighborhood plus slack, at every size.
+// Ragged sizes need no more — Rank clamps the horizontal wrap onto the
+// shorter endpoint row, so each target edge is rank-1 for at least one of
+// its endpoints and either endpoint's retention realizes it. (Before the
+// clamped metric, ragged sizes degenerated to a Clique-style full view.)
+func (t Torus) Capacity(view.Profile) int {
 	return 4 + slack
 }
 

@@ -325,6 +325,50 @@ func TestTorusWraparound(t *testing.T) {
 	}
 }
 
+// TestTorusRaggedCapacity pins the O(1) view at ragged sizes: the clamped
+// rank metric — not a Clique-style full view — is what realizes a short
+// row's wrap edges, so capacity stays at the 4-neighborhood plus slack
+// regardless of whether the size divides the width.
+func TestTorusRaggedCapacity(t *testing.T) {
+	tor := Torus{Width: 5}
+	for _, n := range []int{14, 64, 97} {
+		if got := tor.Capacity(profile(0, n)); got != 4+slack {
+			t.Fatalf("ragged torus capacity at n=%d = %d, want %d", n, got, 4+slack)
+		}
+	}
+}
+
+// TestTorusRaggedEdgeRetention is the property that lets ragged tori keep
+// O(1) views: for every target edge, at least one endpoint ranks fewer
+// than capacity-many candidates strictly better than the other endpoint,
+// so retention at that endpoint realizes the edge (an edge counts as
+// realized when either endpoint holds it).
+func TestTorusRaggedEdgeRetention(t *testing.T) {
+	for _, tor := range []Torus{{Width: 4}, {Width: 5}, {Width: 8}} {
+		for n := 2; n <= 40; n++ {
+			capacity := tor.Capacity(profile(0, n))
+			for _, e := range TargetEdges(tor, n) {
+				ok := false
+				for s := 0; s < 2 && !ok; s++ {
+					i, j := e[s], e[1-s]
+					r := tor.Rank(profile(i, n), profile(j, n))
+					better := 0
+					for k := 0; k < n; k++ {
+						if k != i && tor.Rank(profile(i, n), profile(k, n)) < r {
+							better++
+						}
+					}
+					ok = better < capacity
+				}
+				if !ok {
+					t.Fatalf("width=%d n=%d: target edge %v crowded out at both endpoints",
+						tor.Width, n, e)
+				}
+			}
+		}
+	}
+}
+
 func TestTorusRaggedConnected(t *testing.T) {
 	for n := 1; n <= 30; n++ {
 		g := graph.New(n)

@@ -1,0 +1,148 @@
+package sim
+
+// Distributed rounds. A distributed run replicates the full engine state in
+// every participating process (coordinator and workers alike) and shards
+// only the Plan phase of the exchange-routing protocols: each process plans
+// the slots of its contiguous shard, the planned records cross the wire at
+// that protocol's Deliver barrier, and every process then imports the
+// remote shards' records — rebuilding plan records and re-pushing inbox
+// lanes — before running the (replicated) Deliver merge and Absorb phases
+// over the whole population.
+//
+// Byte-identity at any shard count falls out of the same discipline that
+// makes thread sharding invisible: every in-round draw comes from a
+// counter-based per-(node, round, protocol, phase) stream, so a slot's Plan
+// produces the same record no matter which process executes it, and the
+// engine-driven Deliver merge scans senders in ascending slot order no
+// matter which lanes were pushed locally and which were imported. The
+// serial RNG only moves between rounds, where every process replays the
+// identical observer sequence against identical state.
+//
+// Protocols whose Plan phase mutates only their own slot's state and routes
+// nothing (no InboxOwner) are planned replicated — every process runs them
+// over all slots — so they need no codec and their meter counts are already
+// global. Inbox-owning protocols opt into sharding by implementing
+// PlanCodec; an inbox owner without a codec also falls back to replicated
+// planning, which keeps the round correct (merely unsharded).
+
+import (
+	"sort"
+
+	"sosf/internal/snap"
+)
+
+// PlanCodec is implemented by inbox-owning protocols whose Plan phase a
+// distributed round shards across processes. EncodePlans serializes the
+// plan records of the given slots (a shard of the alive population, in
+// ascending slot order); DecodePlans applies records encoded by a remote
+// shard — restoring the per-slot plan record and re-pushing the inbox lane
+// of every delivered exchange, exactly as the remote Plan did. Decode runs
+// between the Plan and Deliver phases of the owning protocol, so pushed
+// lanes are merged by the engine's own Deliver pass.
+type PlanCodec interface {
+	EncodePlans(w *snap.Writer, slots []int)
+	DecodePlans(e *Engine, r *snap.Reader) error
+}
+
+// ShardExchange is the per-protocol barrier hook of a distributed round.
+// The engine calls it after planning the local shard of protocol pi and
+// before pi's Deliver merge; the implementation must ship the local shard's
+// records to the other participants (EncodePlans), import every remote
+// shard's records (DecodePlans), and exchange the protocol's Plan-phase
+// meter delta (PlanBytes / AddPlanBytes) so every replica's meter stays
+// global. An error aborts the round immediately.
+type ShardExchange func(pi int, codec PlanCodec, shard []int) error
+
+// RunRoundSharded executes one round with the Plan phase of every
+// codec-capable inbox-owning protocol restricted to the alive slots in
+// [lo, hi), invoking exch at each such protocol's Deliver barrier. All
+// other phases (and the Plan of codec-less protocols) run over the whole
+// alive population, so the caller must hold state identical to every other
+// participant's. A nil exch runs a plain full round. On error the round is
+// abandoned mid-flight and the engine must not be stepped again.
+func (e *Engine) RunRoundSharded(lo, hi int, exch ShardExchange) (stop bool, err error) {
+	return e.runRoundSharded(lo, hi, exch)
+}
+
+func (e *Engine) runRoundSharded(lo, hi int, exch ShardExchange) (stop bool, err error) {
+	alive := e.alive()
+	e.ensureCtxs()
+	for pi, p := range e.protocols {
+		base := uint64(pi) * phaseCount
+		e.runPhase(p, base+phaseRefresh, phaseRefresh, alive)
+		var codec PlanCodec
+		if exch != nil && len(e.inboxes[pi]) > 0 {
+			codec, _ = p.(PlanCodec)
+		}
+		if codec != nil {
+			shard := sliceSlots(alive, lo, hi)
+			e.runPhase(p, base+phasePlan, phasePlan, shard)
+			if err := exch(pi, codec, shard); err != nil {
+				return false, err
+			}
+		} else {
+			e.runPhase(p, base+phasePlan, phasePlan, alive)
+		}
+		e.deliver(pi, alive)
+		e.runPhase(p, base+phaseAbsorb, phaseAbsorb, alive)
+	}
+	e.foldMeters()
+	e.meter.EndRound()
+	e.round++
+	for _, o := range e.observers {
+		if o.AfterRound(e) {
+			stop = true
+		}
+	}
+	return stop, nil
+}
+
+// sliceSlots returns the subslice of the ascending slot list whose slots
+// fall in [lo, hi). It is a window into the caller's slice, not a copy.
+func sliceSlots(slots []int, lo, hi int) []int {
+	i := sort.SearchInts(slots, lo)
+	j := i + sort.SearchInts(slots[i:], hi)
+	return slots[i:j]
+}
+
+// ShardedProtocols returns the indices of registered protocols whose Plan
+// phase a distributed round shards: inbox owners implementing PlanCodec.
+// The list is a pure function of the registered stack, so every replica of
+// a run computes the same one — it defines the per-round barrier sequence.
+func (e *Engine) ShardedProtocols() []int {
+	var out []int
+	for pi, p := range e.protocols {
+		if len(e.inboxes[pi]) == 0 {
+			continue
+		}
+		if _, ok := p.(PlanCodec); ok {
+			out = append(out, pi)
+		}
+	}
+	return out
+}
+
+// PlanBytes returns the bytes protocol pi metered into the per-worker
+// shards since the last round barrier — during a distributed round, the
+// local shard's Plan-phase count for pi, because Plan is the only metered
+// phase and each protocol meters only its own index. Called by the shard
+// exchange to export the local meter delta.
+func (e *Engine) PlanBytes(pi int) int64 {
+	var sum int64
+	for i := range e.ctxs {
+		if pi < len(e.ctxs[i].counts) {
+			sum += e.ctxs[i].counts[pi]
+		}
+	}
+	return sum
+}
+
+// AddPlanBytes credits bytes metered by a remote shard's Plan phase to
+// protocol pi. The credit lands directly in the shared meter's current
+// round, joining the local per-worker shards when foldMeters runs at the
+// round barrier.
+func (e *Engine) AddPlanBytes(pi int, v int64) {
+	if pi >= 0 && pi < len(e.meter.current) {
+		e.meter.current[pi] += v
+	}
+}

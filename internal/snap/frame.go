@@ -1,0 +1,118 @@
+package snap
+
+// Wire frames: the length-prefixed, checksummed envelope distributed runs
+// use to move snap-codec payloads (handshakes, plan-record shards, barrier
+// aggregates) over a byte stream. A frame is deliberately dumb — kind tag,
+// length, CRC, payload — so the stream stays recoverable by construction:
+// a reader always knows how many bytes to consume, a flipped bit fails the
+// checksum instead of desynchronizing the codec, and a torn connection
+// surfaces as ErrFrameTruncated on the very next read instead of a hang.
+//
+// Layout (all little-endian):
+//
+//	kind    u8
+//	length  u32  payload byte count
+//	crc     u32  CRC-32C (Castagnoli) of the payload
+//	payload length bytes
+//
+// The payload is typically a snap Writer stream, but the frame layer does
+// not care; it moves opaque bytes.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"sosf/internal/view"
+)
+
+// Frame-layer errors. Wrapped with detail by ReadFrame; match with
+// errors.Is.
+var (
+	// ErrFrameTruncated marks a frame cut short by a closed or dead peer.
+	ErrFrameTruncated = errors.New("snap: truncated frame")
+	// ErrFrameChecksum marks a payload whose CRC does not match its header.
+	ErrFrameChecksum = errors.New("snap: frame checksum mismatch")
+	// ErrFrameTooBig marks a frame whose declared length exceeds the
+	// reader's limit (a desynchronized or hostile stream).
+	ErrFrameTooBig = errors.New("snap: frame exceeds size limit")
+)
+
+// frameHeaderSize is kind (1) + length (4) + crc (4).
+const frameHeaderSize = 9
+
+// MaxFrame is the default frame size limit: generous enough for the plan
+// records of a million-slot shard, small enough to keep a corrupted length
+// field from provoking a giant allocation.
+const MaxFrame = 1 << 30
+
+// castagnoli is the CRC-32C table shared by all frame writers and readers.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteFrame writes one frame. The payload is not retained.
+func WriteFrame(w io.Writer, kind uint8, payload []byte) error {
+	var hdr [frameHeaderSize]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[5:9], crc32.Checksum(payload, castagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, enforcing the given payload size limit
+// (<= 0 selects MaxFrame). A cleanly closed stream returns io.EOF before
+// the first header byte; anything torn mid-frame is ErrFrameTruncated.
+func ReadFrame(r io.Reader, limit int) (kind uint8, payload []byte, err error) {
+	if limit <= 0 {
+		limit = MaxFrame
+	}
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: %v", ErrFrameTruncated, err)
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return 0, nil, fmt.Errorf("%w: %v", ErrFrameTruncated, err)
+	}
+	kind = hdr[0]
+	n := binary.LittleEndian.Uint32(hdr[1:5])
+	sum := binary.LittleEndian.Uint32(hdr[5:9])
+	if int64(n) > int64(limit) {
+		return 0, nil, fmt.Errorf("%w: %d bytes (limit %d)", ErrFrameTooBig, n, limit)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: %v", ErrFrameTruncated, err)
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != sum {
+		return 0, nil, fmt.Errorf("%w: got %#x, header says %#x", ErrFrameChecksum, got, sum)
+	}
+	return kind, payload, nil
+}
+
+// WriteDescriptors encodes a descriptor slice (length-prefixed), the plan
+// payload building block shared by the distributed plan codecs.
+func WriteDescriptors(w *Writer, ds []view.Descriptor) {
+	w.Len(len(ds))
+	for _, d := range ds {
+		WriteDescriptor(w, d)
+	}
+}
+
+// ReadDescriptorsInto decodes a slice written by WriteDescriptors, appending
+// into dst (pass a [:0] prefix to reuse its capacity). On a corrupt stream
+// the reader's sticky error is set and the partial slice is returned.
+func ReadDescriptorsInto(r *Reader, dst []view.Descriptor) []view.Descriptor {
+	n := r.Len()
+	for i := 0; i < n && r.Err() == nil; i++ {
+		dst = append(dst, ReadDescriptor(r))
+	}
+	return dst
+}
